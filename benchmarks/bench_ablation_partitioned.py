@@ -1,0 +1,146 @@
+"""Ablation (Lesson 14): partitioned shared-request synchronization, and
+how far double buffering goes.
+
+"Application developers could use multiple partitioned operations (e.g.,
+double buffering) to dampen the overhead resulting from the semantic
+limitation, but they cannot eliminate them in a manner like the other two
+designs can."
+
+The bench streams C cycles of a T-partition message from one node to
+another:
+
+- ``partitioned B=1`` — one request: every cycle ends in the
+  single-thread Waitall+restart + barrier;
+- ``partitioned B=2`` — double buffering: the wait for a buffer happens
+  one cycle behind, overlapping communication with the next cycle;
+- ``endpoints`` — T fully independent per-thread sends: no shared state
+  at all (the upper bound).
+
+Reported: time per cycle and the contention on the shared request lock.
+"""
+
+import numpy as np
+from _common import bench_once, ratio
+
+from repro.bench import Table, write_results
+from repro.mpi.endpoints import comm_create_endpoints
+from repro.mpi.partitioned import precv_init, psend_init
+from repro.runtime import World
+from repro.sim.sync import Barrier
+
+T = 8            # threads / partitions
+COUNT = 256      # elements per partition
+CYCLES = 12
+
+
+def _run_partitioned(buffers: int):
+    world = World(num_nodes=2, procs_per_node=1, threads_per_proc=T)
+    stats = {}
+
+    def sender(proc):
+        buf = np.zeros(T * COUNT)
+        reqs = [psend_init(proc.comm_world, buf, T, COUNT, dest=1, tag=b)
+                for b in range(buffers)]
+        for r in reqs:
+            yield from r.start()
+        barrier = Barrier(proc.sim, T)
+
+        def thread(tid):
+            for c in range(CYCLES):
+                b = c % buffers
+                if c >= buffers:
+                    # reuse of buffer b: it must have completed cycle c-B
+                    yield from barrier.wait()
+                    if tid == 0:
+                        yield from reqs[b].wait()
+                        yield from reqs[b].start()
+                    yield from barrier.wait()
+                yield from reqs[b].pready(tid)
+
+        threads = [proc.spawn(thread(tid)) for tid in range(T)]
+        yield proc.sim.all_of(threads)
+        for b in range(min(buffers, CYCLES)):
+            yield from reqs[b].wait()
+        stats["lock"] = sum(r.shared_lock.stats.contended_acquisitions
+                            for r in reqs)
+        return proc.sim.now
+
+    def receiver(proc):
+        buf = np.zeros(T * COUNT)
+        reqs = [precv_init(proc.comm_world, buf, T, COUNT, source=0, tag=b)
+                for b in range(buffers)]
+        for r in reqs:
+            yield from r.start()
+        done = 0
+        c = 0
+        while done < CYCLES:
+            b = c % buffers
+            yield from reqs[b].wait()
+            done += 1
+            c += 1
+            if done + buffers - 1 < CYCLES:
+                yield from reqs[b].start()
+        return proc.sim.now
+
+    tasks = [world.procs[0].spawn(sender(world.procs[0])),
+             world.procs[1].spawn(receiver(world.procs[1]))]
+    ends = world.run_all(tasks, max_steps=None)
+    return max(ends) / CYCLES, stats["lock"]
+
+
+def _run_endpoints():
+    world = World(num_nodes=2, procs_per_node=1, threads_per_proc=T)
+
+    def node(proc):
+        eps = yield from comm_create_endpoints(proc.comm_world, T)
+        is_sender = proc.rank == 0
+
+        def thread(ep, tid):
+            peer = (ep.rank + T) % (2 * T)
+            data = np.zeros(COUNT)
+            for c in range(CYCLES):
+                if is_sender:
+                    req = yield from ep.Isend(data, peer, tag=0)
+                else:
+                    req = yield from ep.Irecv(data, peer, tag=0)
+                yield from req.wait()
+
+        threads = [proc.spawn(thread(ep, i)) for i, ep in enumerate(eps)]
+        yield proc.sim.all_of(threads)
+        return proc.sim.now
+
+    tasks = [world.procs[r].spawn(node(world.procs[r])) for r in range(2)]
+    return max(world.run_all(tasks, max_steps=None)) / CYCLES
+
+
+def test_ablation_partitioned(benchmark):
+    t1, lock1 = _run_partitioned(1)
+    t2, lock2 = _run_partitioned(2)
+    t3, lock3 = _run_partitioned(3)
+    tep = _run_endpoints()
+
+    table = Table("Lesson 14: partitioned sync overhead per cycle (us)",
+                  ["variant", "time/cycle", "vs endpoints",
+                   "contended lock acq."],
+                  widths=[18, 11, 13, 20])
+    for name, t, lk in (("partitioned B=1", t1, lock1),
+                        ("partitioned B=2", t2, lock2),
+                        ("partitioned B=3", t3, lock3),
+                        ("endpoints", tep, 0)):
+        table.add(name, f"{t * 1e6:.2f}", f"{ratio(t, tep):.2f}x", lk)
+    path = write_results("ablation_partitioned", table.render())
+    print(table.render())
+    print(f"[written to {path}]")
+
+    # Double buffering dampens the synchronization overhead...
+    assert t2 < t1
+    # ...but none of the buffered variants reach endpoint independence.
+    for t in (t1, t2, t3):
+        assert t > 1.1 * tep
+    # Threads really do contend on the shared request (Lesson 14).
+    assert lock1 > 0
+
+    benchmark.extra_info["per_cycle_us"] = {
+        "B1": round(t1 * 1e6, 2), "B2": round(t2 * 1e6, 2),
+        "B3": round(t3 * 1e6, 2), "endpoints": round(tep * 1e6, 2)}
+    bench_once(benchmark, lambda: _run_partitioned(2))

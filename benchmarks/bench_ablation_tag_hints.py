@@ -1,0 +1,59 @@
+"""Ablation (Lessons 7-9): dissecting the tag-hint bundle.
+
+Message rate with the hint bundle progressively enabled:
+
+1. no hints ("original") — one VCI;
+2. ``allow_overtaking`` only — sends spread, receives funnel;
+3. no-wildcard assertions with the default *hash* policy — both sides
+   spread, but hash collisions cost throughput (Lesson 7: "at the mercy
+   of how MPICH hashes the tags");
+4. the full Listing 2 one-to-one bundle — optimal, but built from four
+   implementation-specific hints (the portability cost of Lesson 8).
+"""
+
+from _common import bench_once, ratio
+
+from repro.bench import MsgRateConfig, Table, run_msgrate, write_results
+
+STAGES = ("threads-original", "threads-overtaking", "threads-tags-hash",
+          "threads-tags")
+LABELS = {"threads-original": "no hints",
+          "threads-overtaking": "+allow_overtaking",
+          "threads-tags-hash": "+no-wildcards (hash)",
+          "threads-tags": "full Listing 2 (1:1)"}
+CORES = (8, 16)
+
+
+def test_ablation_tag_hints(benchmark):
+    rates = {}
+    for stage in STAGES:
+        for cores in CORES:
+            r = run_msgrate(MsgRateConfig(mode=stage, cores=cores,
+                                          msgs_per_core=64))
+            rates[(stage, cores)] = r.rate
+
+    table = Table("Tag-hint ablation: message rate (M msg/s)",
+                  ["hint stage"] + [f"{c} cores" for c in CORES],
+                  widths=[22, 10, 10])
+    for stage in STAGES:
+        table.add(LABELS[stage],
+                  *[f"{rates[(stage, c)] / 1e6:.2f}" for c in CORES])
+    path = write_results("ablation_tag_hints", table.render())
+    print(table.render())
+    print(f"[written to {path}]")
+
+    for c in CORES:
+        # The full bundle dominates the hash policy, which dominates the
+        # single-channel baseline.
+        assert rates[("threads-tags", c)] > 1.3 * rates[("threads-tags-hash", c)]
+        assert rates[("threads-tags-hash", c)] > 1.5 * rates[("threads-original", c)]
+        # Overtaking alone does NOT deliver receive-side parallelism: the
+        # rate stays within ~2x of the baseline, far from the full bundle
+        # (Section II-A: relaxed sends, unrelaxed receives).
+        assert rates[("threads-overtaking", c)] \
+            < 0.5 * rates[("threads-tags", c)]
+
+    benchmark.extra_info["rate_Mmsgs_16c"] = {
+        LABELS[s]: round(rates[(s, 16)] / 1e6, 2) for s in STAGES}
+    bench_once(benchmark, lambda: run_msgrate(
+        MsgRateConfig(mode="threads-tags", cores=8, msgs_per_core=32)))

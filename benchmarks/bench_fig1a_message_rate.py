@@ -1,0 +1,63 @@
+"""Fig 1(a): message rate vs cores — MPI everywhere vs MPI+threads.
+
+Paper series (Skylake + Omni-Path): "MPI everywhere" and the logically
+parallel MPI+threads variants scale together; "MPI+threads (Original)"
+stays flat. This bench regenerates the same series on the simulated
+Omni-Path-like fabric and asserts the shape.
+"""
+
+from _common import bench_once, ratio
+
+from repro.bench import MsgRateConfig, Table, run_msgrate, write_results
+from repro.netsim import NetworkConfig
+
+CORES = (1, 2, 4, 8, 16, 32, 64)
+MODES = ("everywhere", "threads-original", "threads-tags",
+         "threads-comms", "threads-endpoints")
+
+
+def _sweep():
+    net = NetworkConfig.omnipath()
+    rates = {}
+    for mode in MODES:
+        for cores in CORES:
+            r = run_msgrate(MsgRateConfig(mode=mode, cores=cores,
+                                          msgs_per_core=64), net=net)
+            rates[(mode, cores)] = r.rate
+    return rates
+
+
+def test_fig1a_message_rate(benchmark):
+    rates = _sweep()
+
+    table = Table("Fig 1(a): aggregate message rate (M msg/s) vs cores",
+                  ["cores"] + list(MODES),
+                  widths=[6] + [19] * len(MODES))
+    for cores in CORES:
+        table.add(cores, *[f"{rates[(m, cores)] / 1e6:.2f}" for m in MODES])
+    path = write_results("fig1a_message_rate", table.render())
+    print(table.render())
+    print(f"[written to {path}]")
+
+    # --- the paper's shape ------------------------------------------------
+    # 1. MPI everywhere scales with cores.
+    assert rates[("everywhere", 32)] > 10 * rates[("everywhere", 1)]
+    # 2. The original MPI+threads mode stays flat (< 2x from 1 to 32 cores).
+    assert rates[("threads-original", 32)] < 2 * rates[("threads-original", 1)]
+    # 3. Tags-with-hints and endpoints match MPI everywhere (within 15%).
+    for mode in ("threads-tags", "threads-endpoints"):
+        assert abs(ratio(rates[(mode, 32)], rates[("everywhere", 32)]) - 1) \
+            < 0.15
+    # 4. At scale, logically parallel communication is an order of
+    #    magnitude above the original mode.
+    assert rates[("threads-endpoints", 32)] > 5 * rates[("threads-original", 32)]
+    # 5. The node's aggregate injection ceiling flattens the curve at the
+    #    top end (a plateau, not unbounded linear scaling).
+    assert rates[("everywhere", 64)] < 1.6 * rates[("everywhere", 32)]
+
+    benchmark.extra_info["rate_Mmsgs"] = {
+        f"{m}/{c}": round(rates[(m, c)] / 1e6, 2)
+        for m in MODES for c in (1, 32, 64)}
+    bench_once(benchmark, lambda: run_msgrate(
+        MsgRateConfig(mode="threads-endpoints", cores=8, msgs_per_core=32),
+        net=NetworkConfig.omnipath()))

@@ -1,0 +1,61 @@
+"""Fig 5 / Lesson 5: Legion's polling thread — communicators vs endpoints.
+
+The paper: "Legion's polling thread processes events 1.63x slower with
+communicators than with endpoints." The bench sweeps the task-thread count
+(= communicator count the polling thread must iterate over) and reports
+the polling thread's cost per processed event.
+"""
+
+from _common import bench_once, ratio
+
+from repro.apps.legion import LegionConfig, run_legion
+from repro.bench import Table, write_results
+
+THREADS = (4, 8, 12, 16)
+
+
+def _run(mech, nthreads):
+    # Keep the aggregate event rate at the polling thread constant across
+    # thread counts (non-saturated regime, as measured in the paper).
+    return run_legion(LegionConfig(
+        num_nodes=3, task_threads=nthreads, msgs_per_thread=10,
+        mechanism=mech, task_work=1.25e-6 * nthreads * 2))
+
+
+def test_fig5_polling(benchmark):
+    rows = {}
+    for n in THREADS:
+        rows[n] = {m: _run(m, n)
+                   for m in ("original", "communicators", "endpoints")}
+
+    table = Table("Fig 5: polling-thread cost per event (ns)",
+                  ["task threads", "original", "communicators", "endpoints",
+                   "comm/ep", "probes/evt comm", "probes/evt ep"],
+                  widths=[13, 10, 14, 10, 8, 16, 14])
+    for n, r in rows.items():
+        table.add(n,
+                  f"{r['original'].polling_cost_per_event * 1e9:.0f}",
+                  f"{r['communicators'].polling_cost_per_event * 1e9:.0f}",
+                  f"{r['endpoints'].polling_cost_per_event * 1e9:.0f}",
+                  f"{ratio(r['communicators'].polling_cost_per_event, r['endpoints'].polling_cost_per_event):.2f}x",
+                  f"{r['communicators'].probes_per_event:.1f}",
+                  f"{r['endpoints'].probes_per_event:.1f}")
+    path = write_results("fig5_polling", table.render())
+    print(table.render())
+    print(f"[written to {path}]")
+
+    assert all(r.correct for byn in rows.values() for r in byn.values())
+    ratios = [ratio(rows[n]["communicators"].polling_cost_per_event,
+                    rows[n]["endpoints"].polling_cost_per_event)
+              for n in THREADS]
+    # Paper's 1.63x sits inside our observed band at moderate thread
+    # counts, and the penalty grows with the communicator count.
+    assert any(1.3 < x < 2.2 for x in ratios)
+    assert ratios[-1] > ratios[0]
+    # The iteration is visible in raw probe counts too.
+    for n in THREADS:
+        assert rows[n]["communicators"].probes_per_event \
+            > rows[n]["endpoints"].probes_per_event
+
+    benchmark.extra_info["comm_over_ep"] = [round(x, 2) for x in ratios]
+    bench_once(benchmark, lambda: _run("endpoints", 8))

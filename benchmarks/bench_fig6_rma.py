@@ -1,0 +1,60 @@
+"""Fig 6 / Lesson 16: NWChem get-compute-update over RMA.
+
+Windows constrain atomic parallelism: with default ordering every
+accumulate serializes on the window's channel; relaxing
+``accumulate_ordering`` lets the library hash over channels (collisions);
+endpoints within the window give parallelism *and* atomicity.
+"""
+
+from _common import bench_once, ratio
+
+from repro.apps.nwchem import NwchemConfig, run_nwchem
+from repro.bench import Table, write_results
+
+MECHS = ("window", "window-relaxed", "endpoints")
+THREADS = (4, 8, 16)
+
+
+def _run(mech, nthreads):
+    return run_nwchem(NwchemConfig(
+        num_nodes=3, threads_per_proc=nthreads, tiles_per_proc=16,
+        tile_dim=12, tasks_per_thread=6, mechanism=mech))
+
+
+def test_fig6_rma(benchmark):
+    rows = {(m, n): _run(m, n) for m in MECHS for n in THREADS}
+
+    table = Table("Fig 6: get-compute-update wall time (us)",
+                  ["threads"] + list(MECHS)
+                  + ["win/ep", "imbalance rel", "imbalance ep"],
+                  widths=[8, 12, 15, 12, 8, 14, 13])
+    for n in THREADS:
+        table.add(n,
+                  *[f"{rows[(m, n)].wall_time * 1e6:.1f}" for m in MECHS],
+                  f"{ratio(rows[('window', n)].wall_time, rows[('endpoints', n)].wall_time):.2f}x",
+                  f"{rows[('window-relaxed', n)].channel_imbalance:.2f}",
+                  f"{rows[('endpoints', n)].channel_imbalance:.2f}")
+    path = write_results("fig6_rma", table.render())
+    print(table.render())
+    print(f"[written to {path}]")
+
+    assert all(r.correct for r in rows.values())
+    for n in THREADS:
+        # Serialized window loses to endpoints; the gap grows with threads.
+        assert rows[("window", n)].wall_time \
+            > rows[("endpoints", n)].wall_time
+        # Relaxed hashing sits between serialized and endpoint-perfect.
+        assert rows[("window-relaxed", n)].wall_time \
+            <= rows[("window", n)].wall_time
+        assert rows[("endpoints", n)].wall_time \
+            <= rows[("window-relaxed", n)].wall_time * 1.1
+    assert ratio(rows[("window", 16)].wall_time,
+                 rows[("endpoints", 16)].wall_time) \
+        > ratio(rows[("window", 4)].wall_time,
+                rows[("endpoints", 4)].wall_time)
+
+    benchmark.extra_info["win_over_ep"] = {
+        n: round(ratio(rows[("window", n)].wall_time,
+                       rows[("endpoints", n)].wall_time), 2)
+        for n in THREADS}
+    bench_once(benchmark, lambda: _run("endpoints", 8))

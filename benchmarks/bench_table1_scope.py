@@ -1,0 +1,58 @@
+"""Table I: summary of design choices, plus the usability accounting.
+
+The scope matrix is generated from the capability metadata in
+``repro.analysis.scope`` and cross-checked against the *behaviour* of the
+implementation (partitioned receives reject wildcards; endpoint windows
+spread atomics; the hierarchical collective exists for endpoints).
+"""
+
+import numpy as np
+import pytest
+from _common import bench_once
+
+from repro.analysis import (
+    render_table,
+    render_usability,
+    scope_matrix,
+    stencil_usability,
+)
+from repro.bench import write_results
+from repro.errors import MpiUsageError
+from repro.mapping import STENCIL_2D_5PT, StencilGeometry
+from repro.mpi import ANY_TAG
+from repro.mpi.partitioned import precv_init
+from repro.runtime import World
+
+
+def test_table1_scope(benchmark):
+    matrix = scope_matrix()
+    text = render_table()
+    geom = StencilGeometry((3, 3), (3, 3), STENCIL_2D_5PT)
+    usability = render_usability(stencil_usability(geom))
+    out = ("Table I: design choices to expose logically parallel "
+           "communication\n\n" + text
+           + "\n\nUsability accounting (2D 5-pt stencil, 3x3 threads):\n"
+           + usability)
+    path = write_results("table1_scope", out)
+    print(out)
+    print(f"[written to {path}]")
+
+    # --- Table I's structure ---------------------------------------------
+    # Endpoints cover every operation type with one concept.
+    for op in ("point-to-point", "rma", "collective"):
+        assert matrix[(op, "endpoints")].supported
+    # Partitioned RMA/collectives are TBD in MPI 4.0.
+    assert matrix[("rma", "partitioned")].status == "tbd"
+    assert matrix[("collective", "partitioned")].status == "tbd"
+    # Existing-mechanism collectives need user-side work (Lesson 18).
+    assert matrix[("collective", "existing")].user_side_work
+
+    # --- behavioural cross-checks -----------------------------------------
+    # Partitioned wildcard polling really is rejected by the library.
+    world = World(num_nodes=2, procs_per_node=1)
+    with pytest.raises(MpiUsageError):
+        precv_init(world.comm_world(0), np.zeros(4), 2, 2, source=0,
+                   tag=ANY_TAG)
+    assert not matrix[("wildcard-polling", "partitioned")].supported
+
+    bench_once(benchmark, lambda: render_table())

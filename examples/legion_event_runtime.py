@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Event-driven runtime (Legion pattern): communicators vs endpoints.
+
+Reproduces the Fig 5 scenario: task threads message remote nodes while a
+polling thread absorbs incoming events with wildcard receives. With
+communicators, the polling thread must iterate over every task thread's
+communicator (the paper measured 1.63x slower event processing); with
+endpoints it owns one wildcard channel.
+
+Run:  python examples/legion_event_runtime.py
+"""
+
+from repro.apps.legion import CircuitConfig, LegionConfig, run_circuit, run_legion
+
+
+def main():
+    print("== Fig 5: polling-thread cost per event ==")
+    base = dict(num_nodes=3, task_threads=8, msgs_per_thread=12)
+    results = {}
+    for mech in ("original", "communicators", "endpoints"):
+        r = run_legion(LegionConfig(mechanism=mech, **base))
+        results[mech] = r
+        print(f"  {r}")
+    ratio = (results["communicators"].polling_cost_per_event
+             / results["endpoints"].polling_cost_per_event)
+    print(f"\n  communicators / endpoints polling cost: {ratio:.2f}x "
+          "(paper: 1.63x)")
+
+    print("\n== Fig 1(c): Legion circuit proxy, time per timestep ==")
+    cbase = dict(num_nodes=3, task_threads=8, timesteps=5,
+                 wires_per_thread=16, compute_per_step=1e-6)
+    for mech in ("original", "communicators", "endpoints"):
+        r = run_circuit(CircuitConfig(mechanism=mech, **cbase))
+        print(f"  {r}")
+    print("\nPartitioned communication is absent by design: the polling "
+          "thread\nrelies on wildcards and dynamic targets (Lesson 15).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""NWChem-style get-compute-update over RMA (Fig 6, Lesson 16).
+
+Threads Get remote tiles, multiply them, and Accumulate the product into a
+destination tile. Atomicity forces one window; the example compares how
+each channel strategy maps the independent atomics onto network
+parallelism.
+
+Run:  python examples/nwchem_rma.py
+"""
+
+from repro.apps.nwchem import NwchemConfig, run_nwchem
+
+
+def main():
+    print("== block-sparse matmul: get -> compute -> accumulate ==")
+    base = dict(num_nodes=3, threads_per_proc=8, tiles_per_proc=16,
+                tile_dim=12, tasks_per_thread=6)
+    rows = {}
+    for mech in ("window", "window-relaxed", "endpoints"):
+        r = run_nwchem(NwchemConfig(mechanism=mech, **base))
+        rows[mech] = r
+        print(f"  {r}  correct={r.correct}")
+    print(f"""
+Reading the table (Lesson 16):
+ - 'window'          : default accumulate ordering pins every atomic to the
+                       window's base VCI -> few channels, serialized.
+ - 'window-relaxed'  : accumulate_ordering=none lets the library hash ops
+                       over VCIs -- more channels but collisions
+                       (imbalance {rows['window-relaxed'].channel_imbalance:.2f}).
+ - 'endpoints'       : one channel per endpoint, atomicity preserved --
+                       parallel and balanced
+                       (imbalance {rows['endpoints'].channel_imbalance:.2f}).""")
+
+
+if __name__ == "__main__":
+    main()

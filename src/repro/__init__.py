@@ -1,0 +1,67 @@
+"""repro — a reproduction of "Lessons Learned on MPI+Threads Communication"
+(Zambre & Chandramowlishwaran, SC 2022).
+
+The package implements, from scratch and on a deterministic discrete-event
+simulator, everything the paper's comparison rests on:
+
+- a VCI-enabled, MPICH-flavoured MPI library (:mod:`repro.mpi`) with
+  point-to-point, RMA, and collective communication, MPI-4.0 Info hints,
+  **user-visible endpoints**, and **partitioned communication**;
+- a NIC/fabric hardware model with limited hardware contexts
+  (:mod:`repro.netsim`);
+- the mechanism-mapping helpers the paper's lessons are about
+  (:mod:`repro.mapping`): mirrored communicator maps, Listing-2 tag
+  encodings, endpoint addressing, partition plans, and the Lesson-3
+  resource formulas;
+- application proxies (:mod:`repro.apps`): stencil halo exchange
+  (hypre/Smilei/Pencil), a Legion-style event runtime and circuit
+  simulation, Vite-style dynamic graph communication, NWChem's
+  get-compute-update RMA pattern, and VASP-style multithreaded
+  collectives;
+- benchmark workloads (:mod:`repro.bench`) and the Table-I scope/usability
+  analysis (:mod:`repro.analysis`).
+
+Quick start::
+
+    import numpy as np
+    from repro import World
+
+    world = World(num_nodes=2, procs_per_node=1)
+
+    def rank0(proc):
+        yield from proc.comm_world.Send(np.arange(4.0), dest=1, tag=0)
+
+    def rank1(proc):
+        buf = np.zeros(4)
+        yield from proc.comm_world.Recv(buf, source=0, tag=0)
+
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+"""
+
+from .errors import (
+    HintViolationError,
+    InvalidHintError,
+    MpiError,
+    MpiUsageError,
+    RmaSemanticsError,
+    TagOverflowError,
+    TruncationError,
+)
+from .mpi import ANY_SOURCE, ANY_TAG, Communicator, Info, Request, Status
+from .mpi.endpoints import Endpoint, comm_create_endpoints
+from .mpi.partitioned import precv_init, psend_init
+from .mpi.rma import win_create
+from .netsim import NetworkConfig
+from .runtime import MpiProcess, Node, World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY_SOURCE", "ANY_TAG", "Communicator", "Endpoint",
+    "HintViolationError", "Info", "InvalidHintError", "MpiError",
+    "MpiProcess", "MpiUsageError", "NetworkConfig", "Node", "Request",
+    "RmaSemanticsError", "Status", "TagOverflowError", "TruncationError",
+    "World", "__version__", "comm_create_endpoints", "precv_init",
+    "psend_init", "win_create",
+]

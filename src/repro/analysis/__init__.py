@@ -1,0 +1,19 @@
+"""Scope (Table I) and usability analysis of the three designs."""
+
+from .contention import ContentionReport, NodeReport, VciReport, collect
+from .scope import (
+    MECHANISM_NAMES,
+    OPERATIONS,
+    PATTERNS,
+    Capability,
+    render_table,
+    scope_matrix,
+)
+from .usability import UsabilityReport, render_usability, stencil_usability
+
+__all__ = [
+    "Capability", "ContentionReport", "MECHANISM_NAMES", "NodeReport",
+    "OPERATIONS", "PATTERNS", "UsabilityReport", "VciReport", "collect",
+    "render_table", "render_usability", "scope_matrix",
+    "stencil_usability",
+]

@@ -1,0 +1,1 @@
+"""Application proxies exercising the paper's communication patterns."""

@@ -1,0 +1,5 @@
+"""Device-initiated communication proxy (Lesson 20)."""
+
+from .offload import DeviceConfig, DeviceParams, DeviceResult, run_device
+
+__all__ = ["DeviceConfig", "DeviceParams", "DeviceResult", "run_device"]

@@ -1,0 +1,5 @@
+"""Dynamic-neighbourhood graph communication proxy (Vite, Lesson 5)."""
+
+from .vite import GraphConfig, GraphResult, partition_graph, run_graph
+
+__all__ = ["GraphConfig", "GraphResult", "partition_graph", "run_graph"]

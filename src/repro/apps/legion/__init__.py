@@ -1,0 +1,7 @@
+"""Legion-style event runtime proxy (Fig 5, Fig 1c)."""
+
+from .circuit import CircuitConfig, CircuitResult, run_circuit
+from .runtime import LegionConfig, LegionResult, run_legion
+
+__all__ = ["CircuitConfig", "CircuitResult", "LegionConfig", "LegionResult",
+           "run_circuit", "run_legion"]

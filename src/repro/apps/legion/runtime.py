@@ -1,0 +1,304 @@
+"""Event-based runtime proxy (Legion/Realm pattern, Fig 5 and Fig 1c).
+
+Legion's runtime keeps one *polling thread* per node that processes
+incoming active messages from the task threads of other nodes. The task
+threads' communication is irregular: any thread may message any node at
+any time, and the polling thread relies on wildcard receives.
+
+Mechanism mapping (Fig 5):
+
+- ``communicators`` — each task thread sends on its own duplicated
+  communicator; the polling thread cannot know which communicator traffic
+  will arrive on, so it must *iterate over all of them*, paying one probe
+  per communicator per cycle. (The paper measured Legion's polling thread
+  to be 1.63x slower this way.)
+- ``endpoints`` — the polling thread owns one endpoint and posts a single
+  wildcard receive; task threads each drive their own endpoint. Matching
+  requirements and parallelism are decoupled (Lesson 11).
+- ``original`` — everything on COMM_WORLD (one VCI): the baseline
+  MPI_THREAD_MULTIPLE behaviour of Fig 1(c).
+
+Partitioned communication is *not* offered here: the polling thread
+depends on wildcards and the communication targets change dynamically, so
+partitioned ops cannot express this pattern (Lesson 15) — the scope gap is
+itself one of the paper's findings and is asserted by
+``repro.analysis.scope``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from ...errors import MpiUsageError
+from ...mpi import ANY_SOURCE, ANY_TAG
+from ...mpi.endpoints import comm_create_endpoints
+from ...mpi.request import waitall
+from ...netsim.config import NetworkConfig
+from ...runtime.world import MpiProcess, World
+
+__all__ = ["LegionConfig", "LegionResult", "run_legion"]
+
+MECHANISMS = ("original", "communicators", "endpoints")
+
+
+@dataclass
+class LegionConfig:
+    """Parameters of one event-runtime experiment."""
+
+    num_nodes: int = 4
+    task_threads: int = 8
+    #: Messages each task thread sends to each remote node.
+    msgs_per_thread: int = 16
+    #: Payload elements (float64) per active message.
+    payload: int = 8
+    mechanism: str = "endpoints"
+    #: Simulated handler cost per processed event.
+    handler_cost: float = 200e-9
+    #: Simulated task work between sends. The default keeps the polling
+    #: thread non-saturated (the regime the paper measured; under heavy
+    #: oversaturation receiver-side queue growth dominates instead).
+    task_work: float = 10e-6
+    #: Send window: task threads wait for completions every this many sends.
+    window: int = 8
+
+    def __post_init__(self):
+        if self.mechanism not in MECHANISMS:
+            raise MpiUsageError(
+                f"unknown mechanism {self.mechanism!r} (partitioned cannot "
+                "express wildcard polling — Lesson 15)")
+        if self.num_nodes < 2:
+            raise MpiUsageError("need at least 2 nodes")
+
+    @property
+    def events_per_node(self) -> int:
+        return (self.num_nodes - 1) * self.task_threads * self.msgs_per_thread
+
+
+@dataclass
+class LegionResult:
+    cfg: LegionConfig
+    #: Simulated wall time of the whole run (slowest node).
+    wall_time: float
+    #: Events processed per second by the slowest polling thread.
+    polling_rate: float
+    #: Mean busy time the polling thread spent per event (the Fig 5
+    #: metric: probe iteration makes this grow with the communicator count).
+    polling_cost_per_event: float
+    #: Probe calls issued per processed event (1.0 is ideal).
+    probes_per_event: float
+    correct: bool
+
+    def __str__(self) -> str:
+        return (f"{self.cfg.mechanism:14s} wall={self.wall_time * 1e6:9.1f}us "
+                f"rate={self.polling_rate / 1e6:6.2f}M/s "
+                f"cost/evt={self.polling_cost_per_event * 1e9:7.1f}ns "
+                f"probes/evt={self.probes_per_event:5.2f}")
+
+
+class _LegionProcess:
+    """Per-node runtime state."""
+
+    def __init__(self, proc: MpiProcess, cfg: LegionConfig):
+        self.proc = proc
+        self.cfg = cfg
+        self.task_comms = []       # communicators mode
+        self.eps = None            # endpoints mode
+        self.events_seen = 0
+        self.checksum = 0.0
+        self.probes = 0
+        self.poll_busy = 0.0
+        self.poll_start = None
+        self.poll_end = None
+
+    # ------------------------------------------------------------- setup
+    def setup(self) -> Generator:
+        cfg = self.cfg
+        if cfg.mechanism == "communicators":
+            for tid in range(cfg.task_threads):
+                comm = yield from self.proc.comm_world.Dup(
+                    name=f"task{tid}")
+                self.task_comms.append(comm)
+        elif cfg.mechanism == "endpoints":
+            # task_threads endpoints + 1 polling endpoint per process
+            self.eps = yield from comm_create_endpoints(
+                self.proc.comm_world, cfg.task_threads + 1)
+
+    # ------------------------------------------------------------- tasks
+    def task_thread(self, tid: int) -> Generator:
+        cfg = self.cfg
+        proc = self.proc
+        me = proc.rank
+        payload = np.full(cfg.payload, float(me * 1000 + tid))
+        pending = []
+        for target in range(cfg.num_nodes):
+            if target == me:
+                continue
+            for k in range(cfg.msgs_per_thread):
+                yield proc.compute(cfg.task_work)
+                tag = tid  # application-level stream id
+                if cfg.mechanism == "communicators":
+                    req = yield from self.task_comms[tid].Isend(
+                        payload, target, tag)
+                elif cfg.mechanism == "endpoints":
+                    my_ep = self.eps[tid]
+                    # address the *polling endpoint* of the target node
+                    target_poll_ep = target * (cfg.task_threads + 1) \
+                        + cfg.task_threads
+                    req = yield from my_ep.Isend(payload, target_poll_ep, tag)
+                else:  # original
+                    req = yield from proc.comm_world.Isend(payload, target, tag)
+                pending.append(req)
+                if len(pending) >= cfg.window:
+                    yield from waitall(pending)
+                    pending = []
+        yield from waitall(pending)
+
+    # ------------------------------------------------------------- polling
+    def polling_thread(self) -> Generator:
+        """Process incoming events with pre-posted wildcard receives, as
+        Legion's Realm backend does.
+
+        - ``endpoints``/``original``: a FIFO window of wildcard Irecvs on
+          one channel; each event costs roughly one MPI_Test.
+        - ``communicators``: one wildcard Irecv *per task communicator*;
+          every polling sweep must test all of them (Fig 5's iteration) —
+          the per-event cost grows with the communicator count.
+        """
+        cfg = self.cfg
+        proc = self.proc
+        expected = cfg.events_per_node
+        self.poll_start = proc.sim.now
+        if cfg.mechanism == "communicators":
+            yield from self._poll_multi_channel(expected, self.task_comms)
+        elif cfg.mechanism == "endpoints":
+            yield from self._poll_window(expected,
+                                         self.eps[cfg.task_threads])
+        else:
+            yield from self._poll_window(expected, proc.comm_world)
+        self.poll_end = proc.sim.now
+
+    #: Pre-posted wildcard receives per channel in window mode.
+    POLL_WINDOW = 4
+
+    def _handle(self, buf: np.ndarray) -> Generator:
+        self.events_seen += 1
+        self.checksum += float(buf[0])
+        t0 = self.proc.sim.now
+        yield self.proc.compute(self.cfg.handler_cost)
+        self.poll_busy += self.proc.sim.now - t0
+
+    def _test(self, comm, req) -> Generator:
+        """One MPI_Test: charged (incl. channel-lock contention), counted,
+        and measured as poll work."""
+        proc = self.proc
+        t0 = proc.sim.now
+        self.probes += 1
+        status = yield from comm.Test(req)
+        self.poll_busy += proc.sim.now - t0
+        return status
+
+    def _repost(self, comm) -> Generator:
+        buf = np.zeros(self.cfg.payload)
+        t0 = self.proc.sim.now
+        req = yield from comm.Irecv(buf, ANY_SOURCE, ANY_TAG)
+        self.poll_busy += self.proc.sim.now - t0
+        return (req, buf)
+
+    def _poll_window(self, expected: int, comm) -> Generator:
+        """Fig 5 right: a FIFO window of wildcard receives on one channel.
+
+        Wildcard receives match in posted order, so completions are FIFO
+        and testing the head is enough.
+        """
+        proc = self.proc
+        window = []
+        for _ in range(min(self.POLL_WINDOW, expected)):
+            window.append((yield from self._repost(comm)))
+        while self.events_seen < expected:
+            req, buf = window[0]
+            status = yield from self._test(comm, req)
+            if status is None:
+                yield proc.compute(100e-9)  # idle backoff
+                continue
+            window.pop(0)
+            yield from self._handle(buf)
+            remaining = expected - self.events_seen - len(window)
+            if remaining > 0:
+                window.append((yield from self._repost(comm)))
+
+    def _poll_multi_channel(self, expected: int, comms) -> Generator:
+        """Fig 5 left: the polling thread is 'forced to iterate over the
+        communicators to process all incoming messages'."""
+        proc = self.proc
+        slots = []
+        for comm in comms:
+            req, buf = yield from self._repost(comm)
+            slots.append([comm, req, buf])
+        while self.events_seen < expected:
+            progressed = False
+            for slot in slots:
+                comm, req, buf = slot
+                status = yield from self._test(comm, req)
+                if status is None:
+                    continue
+                yield from self._handle(buf)
+                req, buf = yield from self._repost(comm)
+                slot[1], slot[2] = req, buf
+                progressed = True
+                if self.events_seen >= expected:
+                    break
+            if not progressed:
+                yield proc.compute(100e-9)
+
+
+def run_legion(cfg: LegionConfig,
+               net: Optional[NetworkConfig] = None,
+               max_vcis_per_proc: int = 64) -> LegionResult:
+    """Run one event-runtime experiment end to end."""
+    world = World(num_nodes=cfg.num_nodes, procs_per_node=1,
+                  threads_per_proc=cfg.task_threads + 1,
+                  cfg=net or NetworkConfig(),
+                  max_vcis_per_proc=max_vcis_per_proc)
+    states: dict[int, _LegionProcess] = {}
+
+    def proc_main(proc):
+        st = _LegionProcess(proc, cfg)
+        states[proc.rank] = st
+        yield from st.setup()
+        threads = [proc.spawn(st.task_thread(tid))
+                   for tid in range(cfg.task_threads)]
+        threads.append(proc.spawn(st.polling_thread()))
+        yield proc.sim.all_of(threads)
+        return proc.sim.now
+
+    tasks = [world.procs[r].spawn(proc_main(world.procs[r]))
+             for r in range(cfg.num_nodes)]
+    ends = world.run_all(tasks, max_steps=None)
+
+    expected = cfg.events_per_node
+    correct = all(st.events_seen == expected for st in states.values())
+    # checksum: each node receives msgs_per_thread copies from every
+    # (remote node, tid) pair
+    for rank, st in states.items():
+        want = sum(cfg.msgs_per_thread * (n * 1000 + tid)
+                   for n in range(cfg.num_nodes) if n != rank
+                   for tid in range(cfg.task_threads))
+        if abs(st.checksum - want) > 1e-6:
+            correct = False
+
+    slowest = max(states.values(),
+                  key=lambda s: (s.poll_end or 0) - (s.poll_start or 0))
+    span = (slowest.poll_end - slowest.poll_start) or 1e-30
+    return LegionResult(
+        cfg=cfg,
+        wall_time=max(ends),
+        polling_rate=expected / span,
+        polling_cost_per_event=max(
+            s.poll_busy / max(1, s.events_seen) for s in states.values()),
+        probes_per_event=max(
+            s.probes / max(1, s.events_seen) for s in states.values()),
+        correct=correct,
+    )

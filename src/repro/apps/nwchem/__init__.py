@@ -1,0 +1,5 @@
+"""NWChem get-compute-update RMA proxy (Fig 6, Lesson 16)."""
+
+from .blocksparse import NwchemConfig, NwchemResult, run_nwchem
+
+__all__ = ["NwchemConfig", "NwchemResult", "run_nwchem"]

@@ -1,0 +1,455 @@
+"""Stencil halo-exchange drivers — one per mechanism the paper compares.
+
+Every driver runs the same computation (Jacobi iterations over one patch
+per thread) and differs only in *how the communication parallelism is
+exposed*:
+
+- :class:`TagBasedRun` covers both "MPI+threads (Original)" (thread ids in
+  tags on one plain communicator — everything lands on one VCI) and the
+  "tags with hints" mechanism of Listing 2 (same code plus an Info bundle);
+- :class:`CommunicatorRun` uses a communicator map from
+  :mod:`repro.mapping.communicators` (Listing 1 generalized);
+- :class:`EndpointRun` uses user-visible endpoints (Listing 3);
+- :class:`PartitionedRun` uses partitioned operations per process face
+  (Listing 4), including the shared-request synchronization and the
+  ``omp single``-style Waitall+restart step.
+
+In-process neighbours exchange through shared memory in all mechanisms
+(the ``need_mpi_op`` branch of the paper's listings).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from ...errors import MpiUsageError
+from ...mapping.communicators import (
+    CommMap,
+    Coord,
+    CornerOptimizedCommMap,
+    MirroredCommMap,
+    NaiveCommMap,
+    StencilGeometry,
+)
+from ...mapping.endpoints import EndpointAddressing
+from ...mapping.partitioned import PartitionPlan
+from ...mapping.tags import TagSchema, listing2_info
+from ...mpi.endpoints import comm_create_endpoints
+from ...mpi.partitioned import precv_init, psend_init, startall, waitall_partitioned
+from ...mpi.request import waitall
+from ...runtime.world import MpiProcess
+from ...sim.sync import Barrier
+from .field import DIR_TAGS, Patch, halo_slices, jacobi5, jacobi9, make_patches
+
+__all__ = ["StencilConfig", "StencilProcessRun", "TagBasedRun",
+           "CommunicatorRun", "EndpointRun", "PartitionedRun",
+           "make_run", "MECHANISMS"]
+
+MECHANISMS = ("original", "tags", "communicators", "endpoints", "partitioned")
+
+
+@dataclass
+class StencilConfig:
+    """Parameters of one stencil experiment.
+
+    2D stencils (5/9 points) use ``(px, py)`` grids; 3D stencils (7/27
+    points — the hypre shape of Lesson 3) use ``(px, py, pz)`` grids plus
+    ``pnz``.
+    """
+
+    proc_grid: tuple = (2, 2)
+    thread_grid: tuple = (3, 3)
+    pnx: int = 8
+    pny: int = 8
+    pnz: int = 4
+    stencil_points: int = 5          # 5 or 9 (2D); 7 or 27 (3D)
+    iters: int = 4
+    mechanism: str = "tags"
+    #: For mechanism == "communicators": naive | mirrored | corner.
+    comm_map: str = "mirrored"
+    #: Simulated compute cost per interior cell per iteration.
+    compute_cost_per_cell: float = 1e-9
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.stencil_points not in (5, 9, 7, 27):
+            raise MpiUsageError("stencil_points must be 5/9 (2D) or "
+                                "7/27 (3D)")
+        if len(self.proc_grid) != self.dim or len(self.thread_grid) != self.dim:
+            raise MpiUsageError(
+                f"{self.stencil_points}-pt stencils need "
+                f"{self.dim}-dimensional process/thread grids")
+        if self.mechanism not in MECHANISMS:
+            raise MpiUsageError(f"unknown mechanism {self.mechanism!r}; "
+                                f"choose from {MECHANISMS}")
+        if self.mechanism == "partitioned" and self.stencil_points not in (5, 7):
+            raise MpiUsageError(
+                "partitioned stencils support face exchanges only "
+                "(Lesson 15): use stencil_points=5 or 7")
+
+    @property
+    def dim(self) -> int:
+        return 2 if self.stencil_points in (5, 9) else 3
+
+    @property
+    def stencil(self):
+        from ...mapping.communicators import (
+            STENCIL_2D_5PT,
+            STENCIL_2D_9PT,
+            STENCIL_3D_7PT,
+            STENCIL_3D_27PT,
+        )
+        return {5: STENCIL_2D_5PT, 9: STENCIL_2D_9PT,
+                7: STENCIL_3D_7PT, 27: STENCIL_3D_27PT}[self.stencil_points]
+
+    @property
+    def nthreads(self) -> int:
+        n = 1
+        for c in self.thread_grid:
+            n *= c
+        return n
+
+    @property
+    def patch_cells(self) -> int:
+        return self.pnx * self.pny * (self.pnz if self.dim == 3 else 1)
+
+    def geometry(self) -> StencilGeometry:
+        return StencilGeometry(self.proc_grid, self.thread_grid, self.stencil)
+
+
+class StencilProcessRun:
+    """Per-process state and the mechanism-independent iteration skeleton."""
+
+    def __init__(self, proc: MpiProcess, pcoord: Coord, cfg: StencilConfig):
+        self.proc = proc
+        self.p = pcoord
+        self.cfg = cfg
+        self.geom = cfg.geometry()
+        if cfg.dim == 2:
+            from .field import DIR_TAGS as _tags
+            self.patches = make_patches(self.geom, pcoord, cfg.pnx, cfg.pny,
+                                        cfg.seed)
+            self.kernel = jacobi5 if cfg.stencil_points == 5 else jacobi9
+            self.dir_tags = _tags
+        else:
+            from .field3d import (
+                DIR_TAGS_3D,
+                jacobi7,
+                jacobi27,
+                make_patches_3d,
+            )
+            self.patches = make_patches_3d(self.geom, pcoord, cfg.pnx,
+                                           cfg.pny, cfg.pnz, cfg.seed)
+            self.kernel = jacobi7 if cfg.stencil_points == 7 else jacobi27
+            self.dir_tags = DIR_TAGS_3D
+        self.barrier = Barrier(proc.sim, cfg.nthreads,
+                               per_entry_cost=proc.world.cfg.cpu.lock_acquire)
+        self.halo_time = 0.0      # max over threads, accumulated per thread
+        self._thread_halo: dict[Coord, float] = {}
+        #: Mechanism-specific resource count (comms/endpoints/part-ops).
+        self.resources_created = 0
+
+    def _halo_slices(self, d: Coord):
+        if self.cfg.dim == 2:
+            return halo_slices(self.cfg.pnx, self.cfg.pny, d)
+        from .field3d import halo_slices_3d
+        return halo_slices_3d(self.cfg.pnx, self.cfg.pny, self.cfg.pnz, d)
+
+    # -- hooks --------------------------------------------------------------
+    def setup(self) -> Generator:
+        """Collective setup (communicator/endpoint/op creation)."""
+        return
+        yield
+
+    def exchange(self, t: Coord) -> Generator:
+        """Fill thread ``t``'s halos (remote via MPI, local via shm)."""
+        raise NotImplementedError
+
+    # -- shared pieces --------------------------------------------------------
+    def shm_neighbors(self, t: Coord) -> Generator:
+        """Copy halos from same-process neighbour patches."""
+        geom, cfg = self.geom, self.cfg
+        me = self.patches[t]
+        for d in geom.stencil:
+            g = tuple(pi * ti + ci for pi, ti, ci in
+                      zip(self.p, geom.thread_grid, t))
+            g2 = tuple(a + b for a, b in zip(g, d))
+            if not geom.in_domain(g2) or geom.proc_of(g2) != self.p:
+                continue
+            nbr = self.patches[geom.thread_of(g2)]
+            nd = tuple(-c for c in d)
+            send_sl, _ = self._halo_slices(nd)
+            _, recv_sl = self._halo_slices(d)
+            strip = nbr.data[send_sl]
+            yield self.proc.shm_exchange(strip.nbytes)
+            me.data[recv_sl] = strip
+
+    def remote_dirs(self, t: Coord) -> list[Coord]:
+        """Directions in which thread ``t`` has an off-process neighbour."""
+        geom = self.geom
+        out = []
+        g = tuple(pi * ti + ci for pi, ti, ci in
+                  zip(self.p, geom.thread_grid, t))
+        for d in geom.stencil:
+            g2 = tuple(a + b for a, b in zip(g, d))
+            if geom.in_domain(g2) and geom.proc_of(g2) != self.p:
+                out.append(d)
+        return out
+
+    def pack(self, t: Coord, d: Coord) -> np.ndarray:
+        send_sl, _ = self._halo_slices(d)
+        return np.ascontiguousarray(self.patches[t].data[send_sl]).reshape(-1)
+
+    def unpack(self, t: Coord, d: Coord, buf: np.ndarray) -> None:
+        _, recv_sl = self._halo_slices(d)
+        target = self.patches[t].data[recv_sl]
+        target[:] = buf.reshape(target.shape)
+
+    def recv_shape_len(self, d: Coord) -> int:
+        _, recv_sl = self._halo_slices(d)
+        dummy = self.patches[next(iter(self.patches))].data[recv_sl]
+        return dummy.size
+
+    # -- the iteration skeleton ------------------------------------------------
+    def thread_body(self, t: Coord) -> Generator:
+        cfg = self.cfg
+        shape = (cfg.pny, cfg.pnx) if cfg.dim == 2 \
+            else (cfg.pnz, cfg.pny, cfg.pnx)
+        temp = np.empty(shape)
+        self._thread_halo[t] = 0.0
+        for _ in range(cfg.iters):
+            t0 = self.proc.sim.now
+            yield from self.exchange(t)
+            yield from self.barrier.wait()
+            self._thread_halo[t] += self.proc.sim.now - t0
+            # compute + commit (reads own data, writes own interior)
+            patch = self.patches[t]
+            self.kernel(patch, temp)
+            yield self.proc.compute(
+                cfg.compute_cost_per_cell * cfg.patch_cells)
+            patch.interior[:] = temp
+            yield from self.barrier.wait()
+        self.halo_time = max(self._thread_halo.values())
+
+
+class TagBasedRun(StencilProcessRun):
+    """Original (no hints) and tags-with-hints (Listing 2) drivers."""
+
+    def __init__(self, proc, pcoord, cfg, hinted: bool):
+        super().__init__(proc, pcoord, cfg)
+        self.hinted = hinted
+        bits = max(1, math.ceil(math.log2(max(2, cfg.nthreads))))
+        app_bits = 4 if cfg.dim == 2 else 5   # 8 vs 26 directions
+        self.schema = TagSchema(num_tid_bits=bits, num_app_bits=app_bits)
+        self.comm = None
+
+    def setup(self) -> Generator:
+        if self.hinted:
+            bits = self.schema.num_tid_bits
+            info = listing2_info(self.cfg.nthreads, bits)
+            self.comm = yield from self.proc.comm_world.Dup(
+                info, name="tag_par_app_comm")
+        else:
+            self.comm = self.proc.comm_world
+        self.resources_created = 1
+
+    def exchange(self, t: Coord) -> Generator:
+        geom, cfg = self.geom, self.cfg
+        my_tid = geom.linear_tid(t)
+        addr = EndpointAddressing(geom)
+        reqs = []
+        bufs = []
+        for d in self.remote_dirs(t):
+            g = tuple(pi * ti + ci for pi, ti, ci in
+                      zip(self.p, geom.thread_grid, t))
+            g2 = tuple(a + b for a, b in zip(g, d))
+            nbr_proc = geom.proc_of(g2)
+            nbr_t = geom.thread_of(g2)
+            nbr_rank = addr.linear_proc(nbr_proc)
+            nbr_tid = geom.linear_tid(nbr_t)
+            nd = tuple(-c for c in d)
+            # receive the neighbour's strip (it sends in direction -d)
+            rbuf = np.empty(self.recv_shape_len(d))
+            rtag = self.schema.encode(nbr_tid, my_tid, self.dir_tags[nd])
+            rreq = yield from self.comm.Irecv(rbuf, nbr_rank, rtag)
+            reqs.append(rreq)
+            bufs.append((d, rbuf))
+            # send my strip in direction d
+            stag = self.schema.encode(my_tid, nbr_tid, self.dir_tags[d])
+            sreq = yield from self.comm.Isend(self.pack(t, d), nbr_rank, stag)
+            reqs.append(sreq)
+        yield from self.shm_neighbors(t)
+        yield from waitall(reqs)
+        for d, rbuf in bufs:
+            self.unpack(t, d, rbuf)
+
+
+class CommunicatorRun(StencilProcessRun):
+    """Communicator-map driver (Listing 1 generalized)."""
+
+    MAPS = {"naive": NaiveCommMap, "mirrored": MirroredCommMap,
+            "corner": CornerOptimizedCommMap}
+
+    def __init__(self, proc, pcoord, cfg):
+        super().__init__(proc, pcoord, cfg)
+        try:
+            map_cls = self.MAPS[cfg.comm_map]
+        except KeyError:
+            raise MpiUsageError(f"unknown comm map {cfg.comm_map!r}") from None
+        self.cmap: CommMap = map_cls(self.geom)
+        self.handles: dict[Any, Any] = {}
+
+    def setup(self) -> Generator:
+        """Dup one communicator per map label — every process must create
+        every label's communicator, in the same global order (Comm_dup is
+        collective): the global resource footprint of Lesson 3."""
+        labels = sorted(self.cmap.all_labels(), key=repr)
+        for label in labels:
+            self.handles[label] = yield from self.proc.comm_world.Dup(
+                name=f"stencil{label!r}")
+        self.resources_created = len(labels)
+
+    def exchange(self, t: Coord) -> Generator:
+        from ...mapping.communicators import Exchange
+        geom = self.geom
+        addr = EndpointAddressing(geom)
+        reqs = []
+        bufs = []
+        for d in self.remote_dirs(t):
+            g = tuple(pi * ti + ci for pi, ti, ci in
+                      zip(self.p, geom.thread_grid, t))
+            g2 = tuple(a + b for a, b in zip(g, d))
+            nbr_rank = addr.linear_proc(geom.proc_of(g2))
+            nd = tuple(-c for c in d)
+            # recv: the neighbour's message is the exchange g2 -> g
+            rlabel = self.cmap.label(Exchange(g2, g))
+            rbuf = np.empty(self.recv_shape_len(d))
+            rreq = yield from self.handles[rlabel].Irecv(
+                rbuf, nbr_rank, self.dir_tags[nd])
+            reqs.append(rreq)
+            bufs.append((d, rbuf))
+            # send: the exchange g -> g2
+            slabel = self.cmap.label(Exchange(g, g2))
+            sreq = yield from self.handles[slabel].Isend(
+                self.pack(t, d), nbr_rank, self.dir_tags[d])
+            reqs.append(sreq)
+        yield from self.shm_neighbors(t)
+        yield from waitall(reqs)
+        for d, rbuf in bufs:
+            self.unpack(t, d, rbuf)
+
+
+class EndpointRun(StencilProcessRun):
+    """User-visible endpoints driver (Listing 3)."""
+
+    def __init__(self, proc, pcoord, cfg):
+        super().__init__(proc, pcoord, cfg)
+        self.addr = EndpointAddressing(self.geom)
+        self.eps = None
+
+    def setup(self) -> Generator:
+        self.eps = yield from comm_create_endpoints(
+            self.proc.comm_world, self.cfg.nthreads)
+        self.resources_created = len(self.eps)
+
+    def exchange(self, t: Coord) -> Generator:
+        geom = self.geom
+        ep = self.eps[geom.linear_tid(t)]
+        reqs = []
+        bufs = []
+        for d in self.remote_dirs(t):
+            nd = tuple(-c for c in d)
+            partner = self.addr.partner_ep(self.p, t, d)
+            rbuf = np.empty(self.recv_shape_len(d))
+            rreq = yield from ep.Irecv(rbuf, partner, self.dir_tags[nd])
+            reqs.append(rreq)
+            bufs.append((d, rbuf))
+            sreq = yield from ep.Isend(self.pack(t, d), partner,
+                                       self.dir_tags[d])
+            reqs.append(sreq)
+        yield from self.shm_neighbors(t)
+        yield from waitall(reqs)
+        for d, rbuf in bufs:
+            self.unpack(t, d, rbuf)
+
+
+class PartitionedRun(StencilProcessRun):
+    """Partitioned-communication driver (Listing 4): one persistent
+    partitioned send+recv per process face; threads drive partitions."""
+
+    def __init__(self, proc, pcoord, cfg):
+        super().__init__(proc, pcoord, cfg)
+        self.plan = PartitionPlan(self.geom)
+        self.ops: dict[Coord, dict] = {}
+
+    def setup(self) -> Generator:
+        addr = EndpointAddressing(self.geom)
+        comm = self.proc.comm_world
+        all_reqs = []
+        for f in self.plan.faces(self.p):
+            count = self.recv_shape_len(f.direction)
+            nbr_rank = addr.linear_proc(f.neighbor_proc)
+            nd = tuple(-c for c in f.direction)
+            send_buf = np.zeros(f.partitions * count)
+            recv_buf = np.zeros(f.partitions * count)
+            psend = psend_init(comm, send_buf, f.partitions, count,
+                               dest=nbr_rank,
+                               tag=self.dir_tags[f.direction])
+            precv = precv_init(comm, recv_buf, f.partitions, count,
+                               source=nbr_rank, tag=self.dir_tags[nd])
+            self.ops[f.direction] = {
+                "face": f, "count": count, "send_buf": send_buf,
+                "recv_buf": recv_buf, "psend": psend, "precv": precv,
+            }
+            all_reqs.extend([psend, precv])
+        yield from startall(all_reqs)
+        self.resources_created = len(all_reqs)
+
+    def exchange(self, t: Coord) -> Generator:
+        cfg = self.cfg
+        # 1. pack my strips and mark partitions ready
+        my_faces = [(d, op) for d, op in self.ops.items()
+                    if t in op["face"].partition_of]
+        for d, op in my_faces:
+            i = op["face"].partition_of[t]
+            count = op["count"]
+            op["send_buf"][i * count:(i + 1) * count] = self.pack(t, d)
+            yield from op["psend"].pready(i)
+        # 2. shared-memory neighbours while remote partitions fly
+        yield from self.shm_neighbors(t)
+        # 3. poll my incoming partitions (Listing 4's test_recv_from loop)
+        for d, op in my_faces:
+            i = op["face"].partition_of[t]
+            while not (yield from op["precv"].parrived(i)):
+                yield self.proc.compute(50e-9)
+            count = op["count"]
+            self.unpack(t, d, op["recv_buf"][i * count:(i + 1) * count])
+        # 4. "omp single": one thread completes and restarts the requests,
+        #    everyone else waits at the implicit barrier (Lesson 14's
+        #    synchronization requirement, lines 37-40 of Listing 4)
+        yield from self.barrier.wait()
+        if self.geom.linear_tid(t) == 0:
+            reqs = [op[k] for op in self.ops.values()
+                    for k in ("psend", "precv")]
+            yield from waitall_partitioned(reqs)
+            yield from startall(reqs)
+
+
+def make_run(proc: MpiProcess, pcoord: Coord,
+             cfg: StencilConfig) -> StencilProcessRun:
+    """Instantiate the right driver for ``cfg.mechanism``."""
+    if cfg.mechanism == "original":
+        return TagBasedRun(proc, pcoord, cfg, hinted=False)
+    if cfg.mechanism == "tags":
+        return TagBasedRun(proc, pcoord, cfg, hinted=True)
+    if cfg.mechanism == "communicators":
+        return CommunicatorRun(proc, pcoord, cfg)
+    if cfg.mechanism == "endpoints":
+        return EndpointRun(proc, pcoord, cfg)
+    if cfg.mechanism == "partitioned":
+        return PartitionedRun(proc, pcoord, cfg)
+    raise MpiUsageError(f"unknown mechanism {cfg.mechanism!r}")

@@ -1,0 +1,148 @@
+"""Patch-based 2D fields for stencil halo exchange.
+
+Each thread owns one patch (the paper's decomposition: "each thread has 1
+patch", Fig 4). A patch stores its interior plus a one-cell halo ring;
+halo exchange fills the ring from neighbouring patches (via MPI across
+processes, via shared memory within one).
+
+The Jacobi kernels are real numpy computations, so the stencil runs are
+checked for *data correctness* against a sequential reference — the halo
+traffic is not just timed, it must also be right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ...errors import MpiUsageError
+from ...mapping.communicators import Coord, StencilGeometry
+
+__all__ = ["Patch", "halo_slices", "jacobi5", "jacobi9",
+           "reference_jacobi", "assemble_global", "make_patches",
+           "DIR_TAGS"]
+
+#: Stable small integer per direction, used as the application tag bits.
+DIR_TAGS = {
+    (0, 1): 0, (0, -1): 1, (1, 0): 2, (-1, 0): 3,
+    (1, 1): 4, (-1, -1): 5, (1, -1): 6, (-1, 1): 7,
+}
+
+
+@dataclass
+class Patch:
+    """One thread's patch: interior ``(pny, pnx)`` plus halo ring.
+
+    Array layout is ``data[y, x]`` with the interior at
+    ``data[1:pny+1, 1:pnx+1]``; +y is "north".
+    """
+
+    data: np.ndarray
+    pnx: int
+    pny: int
+
+    @property
+    def interior(self) -> np.ndarray:
+        return self.data[1:self.pny + 1, 1:self.pnx + 1]
+
+
+def halo_slices(pnx: int, pny: int, direction: Coord
+                ) -> tuple[tuple[slice, slice], tuple[slice, slice]]:
+    """``(send, recv)`` index pairs for one direction.
+
+    ``send`` selects the interior cells adjacent to the ``direction`` face
+    (what we ship to the neighbour); ``recv`` selects our halo cells on
+    that side (where the neighbour's strip lands).
+    """
+    dx, dy = direction
+    if (dx, dy) not in DIR_TAGS:
+        raise MpiUsageError(f"not a 9-point direction: {direction}")
+
+    def axis(d, n):
+        # returns (send_slice, recv_slice) along one axis
+        if d == 0:
+            return slice(1, n + 1), slice(1, n + 1)
+        if d > 0:
+            return slice(n, n + 1), slice(n + 1, n + 2)
+        return slice(1, 2), slice(0, 1)
+
+    sx, rx = axis(dx, pnx)
+    sy, ry = axis(dy, pny)
+    return (sy, sx), (ry, rx)
+
+
+def jacobi5(patch: Patch, out: np.ndarray) -> None:
+    """5-point Jacobi step into ``out`` (interior shape)."""
+    d = patch.data
+    ny, nx = patch.pny, patch.pnx
+    out[:] = 0.25 * (d[2:ny + 2, 1:nx + 1] + d[0:ny, 1:nx + 1]
+                     + d[1:ny + 1, 2:nx + 2] + d[1:ny + 1, 0:nx])
+
+
+def jacobi9(patch: Patch, out: np.ndarray) -> None:
+    """9-point Jacobi step (average of the 8 neighbours)."""
+    d = patch.data
+    ny, nx = patch.pny, patch.pnx
+    out[:] = (d[2:ny + 2, 1:nx + 1] + d[0:ny, 1:nx + 1]
+              + d[1:ny + 1, 2:nx + 2] + d[1:ny + 1, 0:nx]
+              + d[2:ny + 2, 2:nx + 2] + d[2:ny + 2, 0:nx]
+              + d[0:ny, 2:nx + 2] + d[0:ny, 0:nx]) / 8.0
+
+
+def make_patches(geom: StencilGeometry, p: Coord, pnx: int, pny: int,
+                 seed: int = 0) -> dict[Coord, Patch]:
+    """Allocate and deterministically initialize process ``p``'s patches.
+
+    The initial value of each interior cell depends only on its *global*
+    cell coordinates, so every decomposition of the same global field
+    starts identically (and can be checked against the reference).
+    """
+    patches: dict[Coord, Patch] = {}
+    for t in geom.threads():
+        gx0 = (p[0] * geom.thread_grid[0] + t[0]) * pnx
+        gy0 = (p[1] * geom.thread_grid[1] + t[1]) * pny
+        data = np.zeros((pny + 2, pnx + 2))
+        ys, xs = np.meshgrid(np.arange(gy0, gy0 + pny),
+                             np.arange(gx0, gx0 + pnx), indexing="ij")
+        # Cheap deterministic pseudo-random init from coordinates.
+        data[1:pny + 1, 1:pnx + 1] = np.sin(0.37 * xs + 1.13 * ys + seed)
+        patches[t] = Patch(data=data, pnx=pnx, pny=pny)
+    return patches
+
+
+def assemble_global(geom: StencilGeometry, all_patches: dict[Coord, dict[Coord, Patch]],
+                    pnx: int, pny: int) -> np.ndarray:
+    """Stitch every process's patches into the global interior array."""
+    gx = geom.global_grid[0] * pnx
+    gy = geom.global_grid[1] * pny
+    out = np.zeros((gy, gx))
+    for p, patches in all_patches.items():
+        for t, patch in patches.items():
+            x0 = (p[0] * geom.thread_grid[0] + t[0]) * pnx
+            y0 = (p[1] * geom.thread_grid[1] + t[1]) * pny
+            out[y0:y0 + pny, x0:x0 + pnx] = patch.interior
+    return out
+
+
+def reference_jacobi(geom: StencilGeometry, pnx: int, pny: int,
+                     iters: int, stencil_points: int, seed: int = 0
+                     ) -> np.ndarray:
+    """Sequential reference: the same field iterated globally with numpy.
+
+    Domain boundary cells see zero halos, matching the distributed runs
+    (halo rings outside the domain are never written).
+    """
+    gx = geom.global_grid[0] * pnx
+    gy = geom.global_grid[1] * pny
+    ys, xs = np.meshgrid(np.arange(gy), np.arange(gx), indexing="ij")
+    field = np.zeros((gy + 2, gx + 2))
+    field[1:-1, 1:-1] = np.sin(0.37 * xs + 1.13 * ys + seed)
+    patch = Patch(data=field, pnx=gx, pny=gy)
+    out = np.empty((gy, gx))
+    kernel = jacobi5 if stencil_points == 5 else jacobi9
+    for _ in range(iters):
+        kernel(patch, out)
+        patch.interior[:] = out
+    return patch.interior.copy()

@@ -1,0 +1,145 @@
+"""3D patch fields for the 7-point / 27-point stencils (the hypre shape).
+
+The paper's Lesson 3 arithmetic is about 3D 27-pt stencils ("the
+communication pattern of real-world stencil applications, e.g. hypre");
+this module provides the 3D counterpart of :mod:`.field`: patches with a
+one-cell halo shell, direction tags for up to 26 neighbours, Jacobi
+kernels, and a sequential reference for data-correctness checks.
+
+Array layout is ``data[z, y, x]``; directions are ``(dx, dy, dz)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import MpiUsageError
+from ...mapping.communicators import Coord, StencilGeometry
+
+__all__ = ["Patch3D", "DIR_TAGS_3D", "halo_slices_3d", "jacobi7",
+           "jacobi27", "make_patches_3d", "assemble_global_3d",
+           "reference_jacobi_3d"]
+
+#: Stable small integer per 3D direction (26 neighbours).
+DIR_TAGS_3D = {
+    d: i for i, d in enumerate(sorted(
+        d for d in itertools.product((-1, 0, 1), repeat=3)
+        if any(c != 0 for c in d)))
+}
+
+
+@dataclass
+class Patch3D:
+    """One thread's 3D patch: interior ``(pnz, pny, pnx)`` + halo shell."""
+
+    data: np.ndarray
+    pnx: int
+    pny: int
+    pnz: int
+
+    @property
+    def interior(self) -> np.ndarray:
+        return self.data[1:self.pnz + 1, 1:self.pny + 1, 1:self.pnx + 1]
+
+
+def _axis_slices(d: int, n: int) -> tuple[slice, slice]:
+    if d == 0:
+        return slice(1, n + 1), slice(1, n + 1)
+    if d > 0:
+        return slice(n, n + 1), slice(n + 1, n + 2)
+    return slice(1, 2), slice(0, 1)
+
+
+def halo_slices_3d(pnx: int, pny: int, pnz: int, direction: Coord
+                   ) -> tuple[tuple, tuple]:
+    """``(send, recv)`` index triples for one 3D direction."""
+    if direction not in DIR_TAGS_3D:
+        raise MpiUsageError(f"not a 27-point direction: {direction}")
+    dx, dy, dz = direction
+    sx, rx = _axis_slices(dx, pnx)
+    sy, ry = _axis_slices(dy, pny)
+    sz, rz = _axis_slices(dz, pnz)
+    return (sz, sy, sx), (rz, ry, rx)
+
+
+def jacobi7(patch: Patch3D, out: np.ndarray) -> None:
+    """7-point Jacobi step (face neighbours) into ``out``."""
+    d = patch.data
+    nz, ny, nx = patch.pnz, patch.pny, patch.pnx
+    c = (slice(1, ny + 1), slice(1, nx + 1))
+    out[:] = (d[2:nz + 2, c[0], c[1]] + d[0:nz, c[0], c[1]]
+              + d[1:nz + 1, 2:ny + 2, 1:nx + 1]
+              + d[1:nz + 1, 0:ny, 1:nx + 1]
+              + d[1:nz + 1, 1:ny + 1, 2:nx + 2]
+              + d[1:nz + 1, 1:ny + 1, 0:nx]) / 6.0
+
+
+def jacobi27(patch: Patch3D, out: np.ndarray) -> None:
+    """27-point Jacobi step (average of the 26 neighbours)."""
+    d = patch.data
+    nz, ny, nx = patch.pnz, patch.pny, patch.pnx
+    acc = np.zeros_like(out)
+    for dz, dy, dx in DIR_TAGS_3D:
+        acc += d[1 + dz:nz + 1 + dz, 1 + dy:ny + 1 + dy,
+                 1 + dx:nx + 1 + dx]
+    out[:] = acc / 26.0
+
+
+def _init_value(xs, ys, zs, seed):
+    return np.sin(0.37 * xs + 1.13 * ys + 0.71 * zs + seed)
+
+
+def make_patches_3d(geom: StencilGeometry, p: Coord, pnx: int, pny: int,
+                    pnz: int, seed: int = 0) -> dict[Coord, Patch3D]:
+    """Allocate process ``p``'s patches, initialized from global coords."""
+    patches: dict[Coord, Patch3D] = {}
+    for t in geom.threads():
+        gx0 = (p[0] * geom.thread_grid[0] + t[0]) * pnx
+        gy0 = (p[1] * geom.thread_grid[1] + t[1]) * pny
+        gz0 = (p[2] * geom.thread_grid[2] + t[2]) * pnz
+        data = np.zeros((pnz + 2, pny + 2, pnx + 2))
+        zs, ys, xs = np.meshgrid(np.arange(gz0, gz0 + pnz),
+                                 np.arange(gy0, gy0 + pny),
+                                 np.arange(gx0, gx0 + pnx), indexing="ij")
+        data[1:pnz + 1, 1:pny + 1, 1:pnx + 1] = _init_value(xs, ys, zs, seed)
+        patches[t] = Patch3D(data=data, pnx=pnx, pny=pny, pnz=pnz)
+    return patches
+
+
+def assemble_global_3d(geom: StencilGeometry,
+                       all_patches: dict[Coord, dict[Coord, Patch3D]],
+                       pnx: int, pny: int, pnz: int) -> np.ndarray:
+    gx = geom.global_grid[0] * pnx
+    gy = geom.global_grid[1] * pny
+    gz = geom.global_grid[2] * pnz
+    out = np.zeros((gz, gy, gx))
+    for p, patches in all_patches.items():
+        for t, patch in patches.items():
+            x0 = (p[0] * geom.thread_grid[0] + t[0]) * pnx
+            y0 = (p[1] * geom.thread_grid[1] + t[1]) * pny
+            z0 = (p[2] * geom.thread_grid[2] + t[2]) * pnz
+            out[z0:z0 + pnz, y0:y0 + pny, x0:x0 + pnx] = patch.interior
+    return out
+
+
+def reference_jacobi_3d(geom: StencilGeometry, pnx: int, pny: int, pnz: int,
+                        iters: int, stencil_points: int, seed: int = 0
+                        ) -> np.ndarray:
+    """Sequential reference with zero halos outside the domain."""
+    gx = geom.global_grid[0] * pnx
+    gy = geom.global_grid[1] * pny
+    gz = geom.global_grid[2] * pnz
+    zs, ys, xs = np.meshgrid(np.arange(gz), np.arange(gy), np.arange(gx),
+                             indexing="ij")
+    field = np.zeros((gz + 2, gy + 2, gx + 2))
+    field[1:-1, 1:-1, 1:-1] = _init_value(xs, ys, zs, seed)
+    patch = Patch3D(data=field, pnx=gx, pny=gy, pnz=gz)
+    out = np.empty((gz, gy, gx))
+    kernel = jacobi7 if stencil_points == 7 else jacobi27
+    for _ in range(iters):
+        kernel(patch, out)
+        patch.interior[:] = out
+    return patch.interior.copy()

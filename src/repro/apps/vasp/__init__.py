@@ -1,0 +1,5 @@
+"""VASP-style multithreaded collectives proxy (Fig 7, Lessons 18-19)."""
+
+from .allreduce import VaspConfig, VaspResult, run_vasp
+
+__all__ = ["VaspConfig", "VaspResult", "run_vasp"]

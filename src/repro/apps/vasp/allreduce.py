@@ -1,0 +1,199 @@
+"""Multithreaded allreduce proxy (Fig 7, Lessons 18-19, VASP [64]).
+
+Setting: every thread of every process holds a private contribution buffer
+of ``elems`` doubles; the program needs the elementwise sum over *all*
+threads of *all* processes, available to every thread.
+
+Strategies (Fig 7):
+
+- ``funneled`` — the classic hierarchical baseline: a user-driven
+  intranode tree reduction into thread 0, one single-threaded internode
+  ``Allreduce`` of the whole buffer, then threads read the shared result.
+- ``existing`` — existing mechanisms, multithreaded: the user still
+  performs the intranode reduction by hand (Lesson 18), then the threads
+  drive *segments* of the internode allreduce in parallel on distinct
+  duplicated communicators (the VASP approach that gained >2x [64]).
+  One result buffer per node — no duplication (Lesson 19).
+- ``endpoints`` — one-step: every thread's endpoint joins a single
+  allreduce over ``P*T`` endpoint ranks; the library handles intranode
+  and internode parts. Each endpoint receives a full copy of the result:
+  ``T`` duplicated buffers per node (Lesson 19's memory cost).
+- ``partitioned`` — the prospective MPI-4.x partitioned collective
+  (Table I: "Partitioned collective APIs (TBD)"): threads contribute
+  partitions of one shared buffer; the library runs the intranode
+  reduction and a segmented internode allreduce, producing a single
+  result buffer. Modelled here as a library-level composition (there is
+  no standardized API yet — this is the paper's "TBD" row made concrete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+import numpy as np
+
+from ...errors import MpiUsageError
+from ...mpi.coll import SUM, ThreadTeamBcast, ThreadTeamReduce
+from ...mpi.endpoints import comm_create_endpoints
+from ...netsim.config import NetworkConfig
+from ...runtime.world import MpiProcess, World
+from ...sim.sync import Barrier
+
+__all__ = ["VaspConfig", "VaspResult", "run_vasp"]
+
+MECHANISMS = ("funneled", "existing", "endpoints", "partitioned")
+
+
+@dataclass
+class VaspConfig:
+    num_nodes: int = 4
+    threads_per_proc: int = 8
+    #: Elements (float64) in each thread's contribution.
+    elems: int = 1 << 14
+    #: Back-to-back allreduces (VASP performs many per SCF step).
+    repeats: int = 2
+    mechanism: str = "existing"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.mechanism not in MECHANISMS:
+            raise MpiUsageError(f"unknown mechanism {self.mechanism!r}")
+        if self.elems % max(1, self.threads_per_proc):
+            raise MpiUsageError("elems must divide by threads_per_proc")
+
+
+@dataclass
+class VaspResult:
+    cfg: VaspConfig
+    wall_time: float
+    time_per_allreduce: float
+    #: Result-buffer bytes allocated per node (Lesson 19's duplication).
+    result_bytes_per_node: int
+    correct: bool
+
+    def __str__(self) -> str:
+        return (f"{self.cfg.mechanism:12s} "
+                f"t/allreduce={self.time_per_allreduce * 1e6:9.2f}us "
+                f"result_buf={self.result_bytes_per_node / 1024:8.1f}KiB")
+
+
+def _contribution(cfg: VaspConfig, rank: int, tid: int) -> np.ndarray:
+    """Deterministic per-thread contribution (verifiable)."""
+    idx = np.arange(cfg.elems, dtype=np.float64)
+    return idx * 1e-6 + (rank * cfg.threads_per_proc + tid + 1)
+
+
+def _expected(cfg: VaspConfig) -> np.ndarray:
+    total = cfg.num_nodes * cfg.threads_per_proc
+    idx = np.arange(cfg.elems, dtype=np.float64)
+    return total * idx * 1e-6 + total * (total + 1) / 2
+
+
+def run_vasp(cfg: VaspConfig,
+             net: Optional[NetworkConfig] = None,
+             max_vcis_per_proc: int = 64) -> VaspResult:
+    world = World(num_nodes=cfg.num_nodes, procs_per_node=1,
+                  threads_per_proc=cfg.threads_per_proc,
+                  cfg=net or NetworkConfig(),
+                  max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed)
+    T = cfg.threads_per_proc
+    seg = cfg.elems // T
+    results: dict[int, np.ndarray] = {}
+    buf_bytes: dict[int, int] = {}
+
+    def proc_main(proc):
+        contribs = [_contribution(cfg, proc.rank, tid) for tid in range(T)]
+        team_reduce = ThreadTeamReduce(proc, T, SUM)
+        team_bcast = ThreadTeamBcast(proc, T, copy=False)
+        barrier = Barrier(proc.sim, T)
+
+        if cfg.mechanism == "existing":
+            comms = []
+            for tid in range(T):
+                comms.append(
+                    (yield from proc.comm_world.Dup(name=f"seg{tid}")))
+        elif cfg.mechanism == "endpoints":
+            eps = yield from comm_create_endpoints(proc.comm_world, T)
+            # Lesson 19: every endpoint needs its own full result buffer.
+            ep_results = [np.zeros(cfg.elems) for _ in range(T)]
+            buf_bytes[proc.rank] = sum(b.nbytes for b in ep_results)
+        if cfg.mechanism in ("funneled", "existing", "partitioned"):
+            buf_bytes[proc.rank] = contribs[0].nbytes  # single shared copy
+
+        def thread(tid):
+            mine = contribs[tid]
+            for _ in range(cfg.repeats):
+                work = mine.copy()
+                if cfg.mechanism == "funneled":
+                    # user intranode reduce -> single-thread internode
+                    yield from team_reduce.reduce(tid, work)
+                    if tid == 0:
+                        out = np.zeros(cfg.elems)
+                        yield from proc.comm_world.Allreduce(work, out)
+                        contribs_shared[0][:] = out
+                    yield from team_bcast.bcast(tid, work)
+                elif cfg.mechanism == "existing":
+                    # Lesson 18: intranode portion is the user's problem...
+                    yield from team_reduce.reduce(tid, work)
+                    if tid == 0:
+                        shared[:] = work
+                    yield from barrier.wait()
+                    # ...then threads drive internode segments in parallel
+                    # on their own communicators.
+                    out_seg = np.zeros(seg)
+                    yield from comms[tid].Allreduce(
+                        np.ascontiguousarray(shared[tid * seg:(tid + 1) * seg]),
+                        out_seg)
+                    shared[tid * seg:(tid + 1) * seg] = out_seg
+                    yield from barrier.wait()
+                    contribs_shared[0][:] = shared
+                elif cfg.mechanism == "endpoints":
+                    # one-step: the library does intranode + internode
+                    yield from eps[tid].Allreduce(work, ep_results[tid])
+                    contribs_shared[0][:] = ep_results[tid]
+                else:  # partitioned (prospective)
+                    # library-side: intranode reduce of the partitions...
+                    yield from team_reduce.reduce(tid, work)
+                    if tid == 0:
+                        shared[:] = work
+                    yield from barrier.wait()
+                    # ...and a segmented internode allreduce over the
+                    # communicator's VCIs, one partition per thread. We
+                    # model it with the library's own channels rather than
+                    # user-visible comms (no new user objects).
+                    out_seg = np.zeros(seg)
+                    yield from lib_comms[tid].Allreduce(
+                        np.ascontiguousarray(shared[tid * seg:(tid + 1) * seg]),
+                        out_seg)
+                    shared[tid * seg:(tid + 1) * seg] = out_seg
+                    yield from barrier.wait()
+                    contribs_shared[0][:] = shared
+
+        shared = np.zeros(cfg.elems)
+        contribs_shared = [np.zeros(cfg.elems)]
+        lib_comms = []
+        if cfg.mechanism == "partitioned":
+            for tid in range(T):
+                lib_comms.append(
+                    (yield from proc.comm_world.Dup(name=f"libseg{tid}")))
+        threads = [proc.spawn(thread(tid)) for tid in range(T)]
+        yield proc.sim.all_of(threads)
+        results[proc.rank] = contribs_shared[0]
+        return proc.sim.now
+
+    tasks = [world.procs[r].spawn(proc_main(world.procs[r]))
+             for r in range(cfg.num_nodes)]
+    ends = world.run_all(tasks, max_steps=None)
+
+    expected = _expected(cfg)
+    correct = all(np.allclose(results[r], expected)
+                  for r in range(cfg.num_nodes))
+    wall = max(ends)
+    return VaspResult(
+        cfg=cfg,
+        wall_time=wall,
+        time_per_allreduce=wall / cfg.repeats,
+        result_bytes_per_node=buf_bytes[0],
+        correct=correct,
+    )

@@ -1,0 +1,54 @@
+"""Plain-text result tables for the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+__all__ = ["Table", "write_results"]
+
+
+class Table:
+    """A fixed-width ASCII table accumulated row by row."""
+
+    def __init__(self, title: str, headers: list[str],
+                 widths: Optional[list[int]] = None):
+        self.title = title
+        self.headers = headers
+        self.widths = widths or [max(14, len(h) + 2) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} cells")
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(c) -> str:
+        if isinstance(c, float):
+            return f"{c:.3g}"
+        return str(c)
+
+    def render(self) -> str:
+        fmt = "  ".join(f"{{:>{w}}}" for w in self.widths)
+        lines = [f"== {self.title} ==", fmt.format(*self.headers)]
+        lines.append("-" * (sum(self.widths) + 2 * (len(self.widths) - 1)))
+        for row in self.rows:
+            lines.append(fmt.format(*row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def write_results(name: str, text: str, directory: Optional[str] = None) -> str:
+    """Write a result table under ``benchmarks/results/`` (created on
+    demand); returns the path."""
+    base = directory or os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+        "benchmarks", "results")
+    os.makedirs(base, exist_ok=True)
+    path = os.path.join(base, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return path

@@ -1,0 +1,273 @@
+"""Command-line experiment runner.
+
+Reproduce any of the paper's experiments without pytest::
+
+    python -m repro msgrate --modes everywhere threads-original --cores 1 8
+    python -m repro stencil --mechanisms original endpoints --points 9
+    python -m repro legion --threads 8
+    python -m repro circuit
+    python -m repro graph --churn 0.5
+    python -m repro nwchem
+    python -m repro vasp --elems 32768
+    python -m repro device
+    python -m repro scope
+    python -m repro resources --grid 4 4 4
+
+Every command prints a plain-text table; add ``--seed`` where supported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bench.msgrate import MODES, MsgRateConfig, run_msgrate
+from .bench.report import Table
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_msgrate(args) -> int:
+    table = Table("message rate (M msg/s)", ["mode", "cores", "rate"],
+                  widths=[20, 6, 10])
+    for mode in args.modes:
+        for cores in args.cores:
+            r = run_msgrate(MsgRateConfig(mode=mode, cores=cores,
+                                          msgs_per_core=args.messages))
+            table.add(mode, cores, f"{r.rate / 1e6:.2f}")
+    print(table.render())
+    return 0
+
+
+def _cmd_stencil(args) -> int:
+    from .apps.stencil import StencilConfig, run_stencil
+    dim = 2 if args.points in (5, 9) else 3
+    if len(args.procs) != dim or len(args.threads) != dim:
+        print(f"error: {args.points}-pt stencils need {dim}-D --procs/"
+              f"--threads (e.g. {'2 2' if dim == 2 else '2 2 2'})",
+              file=sys.stderr)
+        return 2
+    table = Table("stencil halo exchange",
+                  ["mechanism", "wall(us)", "halo(us)", "resources",
+                   "vcis", "correct"],
+                  widths=[14, 9, 9, 10, 5, 8])
+    for mech in args.mechanisms:
+        cfg = StencilConfig(proc_grid=tuple(args.procs),
+                            thread_grid=tuple(args.threads),
+                            pnx=args.patch, pny=args.patch, pnz=args.patch,
+                            stencil_points=args.points, iters=args.iters,
+                            mechanism=mech, seed=args.seed)
+        r = run_stencil(cfg)
+        table.add(mech, f"{r.wall_time * 1e6:.1f}",
+                  f"{r.halo_time * 1e6:.1f}", r.resources_created,
+                  r.vcis_used, r.correct)
+    print(table.render())
+    return 0
+
+
+def _cmd_legion(args) -> int:
+    from .apps.legion import LegionConfig, run_legion
+    table = Table("event-runtime polling",
+                  ["mechanism", "rate(M/s)", "cost/evt(ns)", "probes/evt"],
+                  widths=[14, 10, 13, 11])
+    for mech in ("original", "communicators", "endpoints"):
+        r = run_legion(LegionConfig(num_nodes=args.nodes,
+                                    task_threads=args.threads,
+                                    msgs_per_thread=args.messages,
+                                    mechanism=mech))
+        table.add(mech, f"{r.polling_rate / 1e6:.2f}",
+                  f"{r.polling_cost_per_event * 1e9:.0f}",
+                  f"{r.probes_per_event:.1f}")
+    print(table.render())
+    return 0
+
+
+def _cmd_circuit(args) -> int:
+    from .apps.legion import CircuitConfig, run_circuit
+    table = Table("Legion circuit proxy", ["mechanism", "time/step(us)"],
+                  widths=[14, 14])
+    for mech in ("original", "communicators", "endpoints"):
+        r = run_circuit(CircuitConfig(num_nodes=args.nodes,
+                                      task_threads=args.threads,
+                                      timesteps=args.steps,
+                                      wires_per_thread=args.wires,
+                                      mechanism=mech))
+        table.add(mech, f"{r.time_per_step * 1e6:.1f}")
+    print(table.render())
+    return 0
+
+
+def _cmd_graph(args) -> int:
+    from .apps.graph import GraphConfig, run_graph
+    table = Table("dynamic graph communication (Vite proxy)",
+                  ["mechanism", "exchange(us)", "messages", "conflicts"],
+                  widths=[14, 13, 9, 10])
+    for mech in ("original", "tags", "communicators", "endpoints"):
+        r = run_graph(GraphConfig(num_nodes=args.nodes,
+                                  threads_per_proc=args.threads,
+                                  graph_vertices=args.vertices,
+                                  iters=args.iters, churn=args.churn,
+                                  mechanism=mech, seed=args.seed))
+        table.add(mech, f"{r.exchange_time * 1e6:.1f}", r.remote_messages,
+                  r.comm_conflicts)
+    print(table.render())
+    return 0
+
+
+def _cmd_nwchem(args) -> int:
+    from .apps.nwchem import NwchemConfig, run_nwchem
+    table = Table("get-compute-update over RMA",
+                  ["mechanism", "wall(us)", "channels", "imbalance"],
+                  widths=[15, 9, 9, 10])
+    for mech in ("window", "window-relaxed", "endpoints"):
+        r = run_nwchem(NwchemConfig(num_nodes=args.nodes,
+                                    threads_per_proc=args.threads,
+                                    tasks_per_thread=args.tasks,
+                                    mechanism=mech, seed=args.seed))
+        table.add(mech, f"{r.wall_time * 1e6:.1f}", r.channels_used,
+                  f"{r.channel_imbalance:.2f}")
+    print(table.render())
+    return 0
+
+
+def _cmd_vasp(args) -> int:
+    from .apps.vasp import VaspConfig, run_vasp
+    table = Table("multithreaded allreduce",
+                  ["mechanism", "t/allreduce(us)", "result KiB/node"],
+                  widths=[13, 16, 16])
+    for mech in ("funneled", "existing", "endpoints", "partitioned"):
+        r = run_vasp(VaspConfig(num_nodes=args.nodes,
+                                threads_per_proc=args.threads,
+                                elems=args.elems, repeats=args.repeats,
+                                mechanism=mech))
+        table.add(mech, f"{r.time_per_allreduce * 1e6:.1f}",
+                  r.result_bytes_per_node // 1024)
+    print(table.render())
+    return 0
+
+
+def _cmd_device(args) -> int:
+    from .apps.device import DeviceConfig, run_device
+    table = Table("device-initiated communication (Lesson 20)",
+                  ["mechanism", "time/step(us)", "kernel launches"],
+                  widths=[19, 14, 16])
+    for mech in ("host-driven", "device-partitioned", "device-mpi"):
+        r = run_device(DeviceConfig(mechanism=mech, blocks=args.blocks,
+                                    timesteps=args.steps))
+        table.add(mech, f"{r.time_per_step * 1e6:.2f}", r.kernel_launches)
+    print(table.render())
+    return 0
+
+
+def _cmd_scope(args) -> int:
+    from .analysis import render_table, render_usability, stencil_usability
+    from .mapping import STENCIL_2D_5PT, StencilGeometry
+    print(render_table())
+    print()
+    geom = StencilGeometry((3, 3), tuple(args.threads), STENCIL_2D_5PT)
+    print(render_usability(stencil_usability(geom)))
+    return 0
+
+
+def _cmd_resources(args) -> int:
+    from .mapping import (
+        communicator_overhead_ratio_3d27,
+        communicators_required_3d27,
+        min_channels_3d27,
+    )
+    x, y, z = args.grid
+    print(f"3D 27-pt stencil, [{x},{y},{z}] threads per process:")
+    print(f"  communicators required : {communicators_required_3d27(x, y, z)}")
+    print(f"  channels needed        : {min_channels_3d27(x, y, z)}")
+    print(f"  overhead               : "
+          f"{communicator_overhead_ratio_3d27(x, y, z):.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from 'Lessons Learned on "
+                    "MPI+Threads Communication' (SC 2022)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    mr = sub.add_parser("msgrate", help="Fig 1(a) message-rate sweep")
+    mr.add_argument("--modes", nargs="+", default=list(MODES[:5]),
+                    choices=MODES)
+    mr.add_argument("--cores", nargs="+", type=int, default=[1, 4, 8])
+    mr.add_argument("--messages", type=int, default=64)
+    mr.set_defaults(fn=_cmd_msgrate)
+
+    stn = sub.add_parser("stencil", help="halo exchange (Fig 1b, Lessons 1-3)")
+    stn.add_argument("--mechanisms", nargs="+",
+                     default=["original", "tags", "communicators",
+                              "endpoints"])
+    stn.add_argument("--procs", nargs="+", type=int, default=[2, 2])
+    stn.add_argument("--threads", nargs="+", type=int, default=[3, 3])
+    stn.add_argument("--points", type=int, default=9,
+                     choices=(5, 9, 7, 27))
+    stn.add_argument("--patch", type=int, default=6)
+    stn.add_argument("--iters", type=int, default=4)
+    stn.add_argument("--seed", type=int, default=0)
+    stn.set_defaults(fn=_cmd_stencil)
+
+    lg = sub.add_parser("legion", help="event-runtime polling (Fig 5)")
+    lg.add_argument("--nodes", type=int, default=3)
+    lg.add_argument("--threads", type=int, default=8)
+    lg.add_argument("--messages", type=int, default=12)
+    lg.set_defaults(fn=_cmd_legion)
+
+    cc = sub.add_parser("circuit", help="Legion circuit proxy (Fig 1c)")
+    cc.add_argument("--nodes", type=int, default=3)
+    cc.add_argument("--threads", type=int, default=8)
+    cc.add_argument("--steps", type=int, default=5)
+    cc.add_argument("--wires", type=int, default=16)
+    cc.set_defaults(fn=_cmd_circuit)
+
+    gr = sub.add_parser("graph", help="dynamic graph proxy (Lesson 5)")
+    gr.add_argument("--nodes", type=int, default=3)
+    gr.add_argument("--threads", type=int, default=4)
+    gr.add_argument("--vertices", type=int, default=120)
+    gr.add_argument("--iters", type=int, default=3)
+    gr.add_argument("--churn", type=float, default=0.3)
+    gr.add_argument("--seed", type=int, default=0)
+    gr.set_defaults(fn=_cmd_graph)
+
+    nw = sub.add_parser("nwchem", help="RMA get-compute-update (Fig 6)")
+    nw.add_argument("--nodes", type=int, default=3)
+    nw.add_argument("--threads", type=int, default=8)
+    nw.add_argument("--tasks", type=int, default=6)
+    nw.add_argument("--seed", type=int, default=0)
+    nw.set_defaults(fn=_cmd_nwchem)
+
+    vs = sub.add_parser("vasp", help="multithreaded allreduce (Fig 7)")
+    vs.add_argument("--nodes", type=int, default=4)
+    vs.add_argument("--threads", type=int, default=8)
+    vs.add_argument("--elems", type=int, default=1 << 14)
+    vs.add_argument("--repeats", type=int, default=2)
+    vs.set_defaults(fn=_cmd_vasp)
+
+    dv = sub.add_parser("device", help="device-initiated comm (Lesson 20)")
+    dv.add_argument("--blocks", type=int, default=8)
+    dv.add_argument("--steps", type=int, default=6)
+    dv.set_defaults(fn=_cmd_device)
+
+    sc = sub.add_parser("scope", help="Table I + usability accounting")
+    sc.add_argument("--threads", nargs=2, type=int, default=[3, 3])
+    sc.set_defaults(fn=_cmd_scope)
+
+    rs = sub.add_parser("resources", help="Lesson 3 closed-form counts")
+    rs.add_argument("--grid", nargs=3, type=int, default=[4, 4, 4])
+    rs.set_defaults(fn=_cmd_resources)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

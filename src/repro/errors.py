@@ -1,0 +1,53 @@
+"""Exception hierarchy for the simulated MPI library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MpiError",
+    "MpiUsageError",
+    "TruncationError",
+    "TagOverflowError",
+    "InvalidHintError",
+    "HintViolationError",
+    "RmaSemanticsError",
+]
+
+
+class MpiError(Exception):
+    """Base class for all simulated-MPI errors."""
+
+
+class MpiUsageError(MpiError):
+    """API misuse: wrong arguments, wrong state, wrong call ordering.
+
+    Examples: issuing two concurrent collectives on one communicator
+    (MPI requires them to be serial), waiting on an inactive request.
+    """
+
+
+class TruncationError(MpiError):
+    """A received message is larger than the posted receive buffer."""
+
+
+class TagOverflowError(MpiError):
+    """A tag does not fit in the configured tag space.
+
+    The paper's Lesson 9: encoding parallelism information into tags
+    exacerbates tag overflow, already reported for SNAP, Smilei, MITgcm.
+    """
+
+
+class InvalidHintError(MpiError):
+    """An Info hint has an invalid value or an inconsistent combination."""
+
+
+class HintViolationError(MpiError):
+    """The application violated a semantics-relaxing hint it asserted.
+
+    E.g. posting an ``ANY_TAG`` receive on a communicator created with
+    ``mpi_assert_no_any_tag=true``.
+    """
+
+
+class RmaSemanticsError(MpiError):
+    """Violation of RMA window semantics (bounds, epochs, atomic misuse)."""

@@ -1,0 +1,49 @@
+"""Mechanism-mapping helpers — the paper's core subject.
+
+How each of the three designs exposes a stencil's (and other patterns')
+communication parallelism:
+
+- :mod:`repro.mapping.communicators` — communicator maps with mirroring
+  (Lessons 1-5, Fig 4) and their analysis;
+- :mod:`repro.mapping.tags` — tag encoding + MPI-4.0/MPICH hint bundles
+  (Lessons 6-9, Listing 2);
+- :mod:`repro.mapping.endpoints` — endpoint-rank addressing (Lessons
+  10-12, Listing 3);
+- :mod:`repro.mapping.partitioned` — partition plans (Lessons 13-15,
+  Listing 4);
+- :mod:`repro.mapping.resources` — Lesson 3's closed-form resource counts.
+"""
+
+from .communicators import (
+    STENCIL_2D_5PT,
+    STENCIL_2D_9PT,
+    STENCIL_3D_7PT,
+    STENCIL_3D_27PT,
+    CommMap,
+    CornerOptimizedCommMap,
+    Exchange,
+    MapReport,
+    MirroredCommMap,
+    NaiveCommMap,
+    StencilGeometry,
+    analyze_map,
+)
+from .endpoints import EndpointAddressing
+from .partitioned import FacePlan, PartitionPlan
+from .resources import (
+    communicator_overhead_ratio_3d27,
+    communicators_required_3d27,
+    min_channels_2d9,
+    min_channels_3d27,
+)
+from .tags import TagSchema, listing2_info, overtaking_only_info
+
+__all__ = [
+    "STENCIL_2D_5PT", "STENCIL_2D_9PT", "STENCIL_3D_7PT", "STENCIL_3D_27PT",
+    "CommMap", "CornerOptimizedCommMap", "EndpointAddressing", "Exchange",
+    "FacePlan", "MapReport", "MirroredCommMap", "NaiveCommMap",
+    "PartitionPlan", "StencilGeometry", "TagSchema", "analyze_map",
+    "communicator_overhead_ratio_3d27", "communicators_required_3d27",
+    "listing2_info", "min_channels_2d9", "min_channels_3d27",
+    "overtaking_only_info",
+]

@@ -1,0 +1,66 @@
+"""Endpoint addressing for stencils (Lesson 10, Listing 3).
+
+With user-visible endpoints, each thread drives its own endpoint and
+addresses the partner *thread* directly by its global endpoint rank —
+"MPI-everywhere-like addressing". The helpers here compute those ranks for
+a :class:`~repro.mapping.communicators.StencilGeometry` exactly as Listing
+3 does for 2D (``n_ep = n_rank*N_THREADS + tx*(ty-1) + tid_x`` etc.),
+generalized to any dimensionality and stencil.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import MpiUsageError
+from .communicators import Coord, StencilGeometry
+
+__all__ = ["EndpointAddressing"]
+
+
+class EndpointAddressing:
+    """Maps (process, thread) to endpoint ranks and partner endpoints."""
+
+    def __init__(self, geom: StencilGeometry):
+        self.geom = geom
+        self.threads_per_proc = 1
+        for n in geom.thread_grid:
+            self.threads_per_proc *= n
+
+    def linear_proc(self, p: Coord) -> int:
+        rank = 0
+        for c, n in zip(p, self.geom.proc_grid):
+            rank = rank * n + c
+        return rank
+
+    def ep_rank(self, p: Coord, t: Coord) -> int:
+        """Endpoint rank of thread ``t`` on process ``p`` (Listing 3
+        layout: process rank * N_THREADS + linear tid)."""
+        return self.linear_proc(p) * self.threads_per_proc \
+            + self.geom.linear_tid(t)
+
+    def partner_ep(self, p: Coord, t: Coord, direction: Coord
+                   ) -> Optional[int]:
+        """Endpoint rank of the partner patch in ``direction``.
+
+        Returns None when the neighbour is outside the domain, and the
+        partner endpoint rank otherwise — including in-process partners
+        (the caller decides whether to use shared memory for those, as the
+        paper's listings do).
+        """
+        if direction not in self.geom.stencil:
+            raise MpiUsageError(f"direction {direction} not in the stencil")
+        g = tuple(pi * ti + ci for pi, ti, ci in
+                  zip(p, self.geom.thread_grid, t))
+        g2 = tuple(a + b for a, b in zip(g, direction))
+        if not self.geom.in_domain(g2):
+            return None
+        return self.ep_rank(self.geom.proc_of(g2), self.geom.thread_of(g2))
+
+    def is_remote(self, p: Coord, t: Coord, direction: Coord) -> bool:
+        """True when the partner in ``direction`` lives on another process
+        (i.e. the exchange needs MPI, not shared memory)."""
+        g = tuple(pi * ti + ci for pi, ti, ci in
+                  zip(p, self.geom.thread_grid, t))
+        g2 = tuple(a + b for a, b in zip(g, direction))
+        return self.geom.in_domain(g2) and self.geom.proc_of(g2) != p

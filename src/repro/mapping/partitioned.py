@@ -1,0 +1,86 @@
+"""Partition planning for stencils (Lessons 13-15, Listing 4).
+
+With partitioned communication, a process defines one persistent
+partitioned send/receive *per neighbour process face*; the threads on that
+face each drive one partition (Listing 4: ``MPI_Psend_init`` to ``n_rank``
+with ``tx`` partitions, thread ``tid_x`` driving partition ``tid_x``).
+
+Partitioned operations are persistent and wildcard-free, so the plan is
+computed once, for *face* directions only: diagonal exchanges do not map
+naturally onto partitions (Lesson 15) — callers fall back to another
+mechanism (or fold diagonal data into face messages) for stencils with
+diagonals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import MpiUsageError
+from .communicators import Coord, StencilGeometry
+
+__all__ = ["FacePlan", "PartitionPlan"]
+
+
+@dataclass(frozen=True)
+class FacePlan:
+    """One partitioned operation: all of a process's traffic through one
+    face toward one neighbour process."""
+
+    direction: Coord
+    neighbor_proc: Coord
+    #: Number of partitions = threads on the face.
+    partitions: int
+    #: Face-local partition index per participating thread.
+    partition_of: dict[Coord, int]
+
+    @property
+    def threads(self) -> list[Coord]:
+        return sorted(self.partition_of)
+
+
+class PartitionPlan:
+    """Per-process partitioned-operation plan for a stencil's faces."""
+
+    def __init__(self, geom: StencilGeometry):
+        for d in geom.stencil:
+            if sum(abs(c) for c in d) != 1:
+                raise MpiUsageError(
+                    "partitioned plans support face (non-diagonal) stencils "
+                    "only — diagonal exchanges do not map onto partitions "
+                    "(Lesson 15); use a 5-point/7-point stencil or another "
+                    "mechanism")
+        self.geom = geom
+
+    def faces(self, p: Coord) -> list[FacePlan]:
+        """The partitioned operations process ``p`` participates in."""
+        geom = self.geom
+        plans = []
+        for d in sorted(geom.stencil):
+            axis = next(i for i, c in enumerate(d) if c != 0)
+            neighbor = tuple(pi + di for pi, di in zip(p, d))
+            if not all(0 <= ni < gi for ni, gi in
+                       zip(neighbor, geom.proc_grid)):
+                continue
+            # Threads on the face: extreme layer along `axis`.
+            layer = geom.thread_grid[axis] - 1 if d[axis] > 0 else 0
+            part_of: dict[Coord, int] = {}
+            for t in geom.threads():
+                if t[axis] != layer:
+                    continue
+                # Face-local linear index over the remaining axes.
+                idx = 0
+                for i, (c, n) in enumerate(zip(t, geom.thread_grid)):
+                    if i == axis:
+                        continue
+                    idx = idx * n + c
+                part_of[t] = idx
+            plans.append(FacePlan(direction=d, neighbor_proc=neighbor,
+                                  partitions=len(part_of),
+                                  partition_of=part_of))
+        return plans
+
+    def total_operations(self, p: Coord) -> int:
+        """Partitioned send+recv pairs the process needs (2 per face)."""
+        return 2 * len(self.faces(p))

@@ -1,0 +1,47 @@
+"""The simulated MPI library (MPICH-flavoured, VCI-enabled).
+
+Implements the three designs the paper compares:
+
+- existing mechanisms: communicators (:class:`~repro.mpi.comm.Communicator`
+  with Dup), tags + Info hints (:mod:`repro.mpi.info`), RMA windows
+  (:mod:`repro.mpi.rma`);
+- user-visible endpoints (:mod:`repro.mpi.endpoints`);
+- partitioned communication (:mod:`repro.mpi.partitioned`).
+"""
+
+from .comm import Communicator, MatchedMessage
+from .datatypes import (
+    BYTE,
+    COMPLEX,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    Datatype,
+    VectorType,
+)
+from .info import CommHints, Info, WindowHints, parse_comm_hints, parse_window_hints
+from .library import MpiLibrary
+from .matching import ANY_SOURCE, ANY_TAG, MatchingEngine, PostedRecv
+from .persistent import PersistentRequest, recv_init, send_init
+from .request import Request, Status, testall, testany, waitall, waitany
+from .vci import (
+    TAG_BITS,
+    TAG_UB,
+    EndpointVciMap,
+    SingleVciMap,
+    TagBitsVciMap,
+    Vci,
+    VciPool,
+    mix_hash,
+)
+
+__all__ = [
+    "ANY_SOURCE", "ANY_TAG", "BYTE", "COMPLEX", "CommHints", "Communicator",
+    "DOUBLE", "Datatype", "EndpointVciMap", "FLOAT", "INT", "Info", "LONG",
+    "MatchedMessage", "MatchingEngine", "MpiLibrary", "PersistentRequest",
+    "PostedRecv", "Request", "SingleVciMap", "Status", "TAG_BITS", "TAG_UB",
+    "TagBitsVciMap", "Vci", "VciPool", "VectorType", "WindowHints",
+    "mix_hash", "parse_comm_hints", "parse_window_hints", "recv_init",
+    "send_init", "testall", "testany", "waitall", "waitany",
+]

@@ -1,0 +1,29 @@
+"""Collective communication: algorithms, operators, and the user-driven
+intranode helpers of Lesson 18."""
+
+from .algorithms import (
+    allgather_ring,
+    allgatherv_ring,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    alltoall_pairwise,
+    barrier_dissemination,
+    bcast_binomial,
+    gather_binomial,
+    gatherv_linear,
+    reduce_binomial,
+    reduce_scatter_block,
+    scan_linear,
+    scatter_binomial,
+)
+from .hierarchical import ThreadTeamBcast, ThreadTeamReduce
+from .ops import BAND, BOR, LAND, LOR, MAX, MIN, PROD, SUM, Op
+
+__all__ = [
+    "BAND", "BOR", "LAND", "LOR", "MAX", "MIN", "PROD", "SUM", "Op",
+    "ThreadTeamBcast", "ThreadTeamReduce", "allgather_ring",
+    "allgatherv_ring", "allreduce_recursive_doubling", "allreduce_ring",
+    "alltoall_pairwise", "barrier_dissemination", "bcast_binomial",
+    "gather_binomial", "gatherv_linear", "reduce_binomial",
+    "reduce_scatter_block", "scan_linear", "scatter_binomial",
+]

@@ -1,0 +1,35 @@
+"""Reduction operators for collectives (MPI_Op equivalents)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Op", "SUM", "PROD", "MAX", "MIN", "LOR", "LAND", "BOR", "BAND"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """A commutative, associative elementwise reduction operator."""
+
+    name: str
+    ufunc: Callable
+
+    def apply(self, acc: np.ndarray, operand: np.ndarray) -> None:
+        """In-place ``acc = acc (op) operand``."""
+        self.ufunc(acc, operand, out=acc)
+
+    def __repr__(self) -> str:
+        return f"MPI.{self.name}"
+
+
+SUM = Op("SUM", np.add)
+PROD = Op("PROD", np.multiply)
+MAX = Op("MAX", np.maximum)
+MIN = Op("MIN", np.minimum)
+LOR = Op("LOR", np.logical_or)
+LAND = Op("LAND", np.logical_and)
+BOR = Op("BOR", np.bitwise_or)
+BAND = Op("BAND", np.bitwise_and)

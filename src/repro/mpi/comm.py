@@ -1,0 +1,654 @@
+"""Communicators: the user-facing handle for point-to-point and collective
+communication.
+
+API style follows mpi4py's upper-case buffer convention (``Isend``,
+``Irecv``, ``Allreduce``...), except that every potentially time-consuming
+call is a *generator* to be driven with ``yield from`` inside a simulated
+thread::
+
+    req = yield from comm.Isend(buf, dest=1, tag=7)
+    status = yield from req.wait()
+
+A communicator's traffic is mapped to VCIs by its ``vci_map`` (see
+:mod:`repro.mpi.vci`): by default everything lands on one VCI chosen by
+hashing the context id — so *duplicating* communicators is what spreads
+traffic over channels, exactly the communicator mechanism the paper
+analyzes in Lessons 1–5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+import numpy as np
+
+from ..errors import HintViolationError, MpiUsageError, TagOverflowError
+from ..netsim.message import MessageKind, WireMessage
+from ..sim.core import Event
+from .datatypes import check_buffer
+from .info import CommHints, Info, parse_comm_hints
+from .matching import ANY_SOURCE, ANY_TAG, PostedRecv
+from .request import Request
+from .vci import TAG_UB, SingleVciMap, TagBitsVciMap, VciMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .library import MpiLibrary
+
+__all__ = ["Communicator", "MatchedMessage"]
+
+
+class MatchedMessage:
+    """A message claimed by a matched probe, awaiting its Mrecv."""
+
+    __slots__ = ("comm", "vci", "msg", "consumed")
+
+    def __init__(self, comm, vci, msg):
+        self.comm = comm
+        self.vci = vci
+        self.msg = msg
+        self.consumed = False
+
+    @property
+    def source(self) -> int:
+        return self.msg.meta.get("src_addr", self.msg.src_rank)
+
+    @property
+    def tag(self) -> int:
+        return self.msg.tag
+
+    @property
+    def size(self) -> int:
+        return self.msg.meta.get("total_size", self.msg.size)
+
+
+class Communicator:
+    """A communicator handle owned by one process.
+
+    ``group[i]`` is the world rank of the process owning communicator rank
+    ``i``; for ordinary communicators addressing and matching both use
+    these communicator ranks.
+    """
+
+    def __init__(self, lib: "MpiLibrary", group: list[int], rank: int,
+                 context_id: int, hints: Optional[CommHints] = None,
+                 vci_map: Optional[VciMap] = None, name: str = "comm"):
+        self.lib = lib
+        self.group = group
+        self.rank = rank
+        self.context_id = context_id
+        self.hints = hints or CommHints()
+        if vci_map is None:
+            vci_map = SingleVciMap(lib.vci_pool.vci_index_for_context(context_id))
+        self.vci_map = vci_map
+        # Network resources are committed at communicator creation, as in
+        # MPICH: the library cannot know whether a communicator is for
+        # grouping or for parallelism (Lesson 4), so every communicator
+        # claims its VCI(s) — this is what makes the communicator
+        # mechanism resource-hungry (Lesson 3).
+        if isinstance(vci_map, SingleVciMap):
+            lib.vci_pool.get(vci_map.index)
+        elif isinstance(vci_map, TagBitsVciMap):
+            for i in range(vci_map.n):
+                lib.vci_pool.get(vci_map.base + i)
+        self.name = name
+        self.freed = False
+        #: Per-handle counter so repeated Dup calls agree on meeting keys.
+        self._create_seq = itertools.count()
+        #: MPI requires collectives on a communicator to be issued
+        #: serially; this flag detects (and rejects) violations.
+        self._collective_active: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    @property
+    def coll_context_id(self) -> int:
+        """Context id of the communicator's internal collective stream.
+
+        Context ids are allocated in pairs (even = point-to-point, odd =
+        collectives, as in MPICH), so collective traffic can never match
+        user receives — including wildcard receives — on the same
+        communicator.
+        """
+        return self.context_id + 1
+
+    @property
+    def sim(self):
+        return self.lib.sim
+
+    def world_rank_of(self, comm_rank: int) -> int:
+        return self.group[comm_rank]
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (f"<Communicator {self.name!r} rank {self.rank}/{self.size} "
+                f"ctx={self.context_id} map={self.vci_map.describe()}>")
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        if self.freed:
+            raise MpiUsageError(f"operation on freed communicator {self.name!r}")
+
+    def _check_peer(self, peer: int, *, wildcard_ok: bool) -> None:
+        if peer == ANY_SOURCE:
+            if not wildcard_ok:
+                raise MpiUsageError("ANY_SOURCE is invalid for sends")
+            if self.hints.no_any_source:
+                raise HintViolationError(
+                    "ANY_SOURCE used on a communicator asserting "
+                    "mpi_assert_no_any_source")
+            return
+        if not 0 <= peer < self.size:
+            raise MpiUsageError(
+                f"rank {peer} out of range for communicator of size {self.size}")
+
+    def _check_tag(self, tag: int, *, wildcard_ok: bool) -> None:
+        if tag == ANY_TAG:
+            if not wildcard_ok:
+                raise MpiUsageError("ANY_TAG is invalid for sends")
+            if self.hints.no_any_tag:
+                raise HintViolationError(
+                    "ANY_TAG used on a communicator asserting "
+                    "mpi_assert_no_any_tag")
+            return
+        if tag < 0:
+            raise MpiUsageError(f"negative tag: {tag}")
+        if tag > TAG_UB:
+            raise TagOverflowError(
+                f"tag {tag} exceeds TAG_UB={TAG_UB} — the tag space is "
+                "exhausted (cf. Lesson 9: encoding parallelism information "
+                "into tags eats the application's tag bits)")
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def Isend(self, buf: np.ndarray, dest: int, tag: int,
+              count: Optional[int] = None,
+              _context_id: Optional[int] = None
+              ) -> Generator[Event, Any, Request]:
+        """Nonblocking send; returns the send Request."""
+        self._check_alive()
+        self._check_peer(dest, wildcard_ok=False)
+        self._check_tag(tag, wildcard_ok=False)
+        flat = check_buffer(buf, count)
+        n = flat.size if count is None else count
+        size = n * flat.dtype.itemsize
+        lib = self.lib
+        req = Request(lib.sim, "send")
+        yield lib.sim.timeout(lib.cpu.send_post)
+
+        local_vci = lib.vci_pool.get(
+            self.vci_map.send_local(self.rank, dest, tag))
+        req.vci = local_vci
+        remote_vci_idx = self.vci_map.send_remote(self.rank, dest, tag) \
+            % lib.vci_pool.max_vcis
+        dst_world = self.group[dest]
+        dst_proc = lib.world.proc(dst_world)
+        context_id = self.context_id if _context_id is None else _context_id
+        payload = flat[:n].copy()
+        meta = {"src_addr": self.rank, "dst_addr": dest}
+
+        if size <= lib.cfg.fabric.eager_threshold:
+            msg = WireMessage(
+                kind=MessageKind.EAGER,
+                src_node=lib.node.node_id, dst_node=dst_proc.node.node_id,
+                src_rank=lib.rank, dst_rank=dst_world,
+                context_id=context_id, tag=tag, size=size, payload=payload,
+                src_vci=local_vci.index, dst_vci=remote_vci_idx, meta=meta)
+            depart = yield from lib.issue_from_thread(local_vci, msg)
+            lib.complete_at(req, depart, source=dest, tag=tag, count=n)
+        else:
+            meta = dict(meta, rid=req.rid, total_size=size)
+            rts = WireMessage(
+                kind=MessageKind.RNDV_RTS,
+                src_node=lib.node.node_id, dst_node=dst_proc.node.node_id,
+                src_rank=lib.rank, dst_rank=dst_world,
+                context_id=context_id, tag=tag, size=size, payload=None,
+                src_vci=local_vci.index, dst_vci=remote_vci_idx, meta=meta)
+            lib.register_rndv_send(req.rid, {
+                "req": req, "payload": payload, "size": size, "count": n,
+                "tag": tag, "context_id": context_id,
+                "dst_node": dst_proc.node.node_id, "dst_rank": dst_world,
+                "dst_vci": remote_vci_idx,
+                "src_addr": self.rank, "dst_addr": dest,
+            })
+            # The RTS is a header-only control message on the wire.
+            rts.size = 0
+            yield from lib.issue_from_thread(local_vci, rts)
+        return req
+
+    def Irecv(self, buf: np.ndarray, source: int, tag: int,
+              count: Optional[int] = None,
+              _context_id: Optional[int] = None
+              ) -> Generator[Event, Any, Request]:
+        """Nonblocking receive; returns the recv Request."""
+        self._check_alive()
+        self._check_peer(source, wildcard_ok=True)
+        self._check_tag(tag, wildcard_ok=True)
+        flat = check_buffer(buf, count)
+        n = flat.size if count is None else count
+        lib = self.lib
+        req = Request(lib.sim, "recv")
+        lib.recvs_posted += 1
+        yield lib.sim.timeout(lib.cpu.recv_post)
+
+        vci = lib.vci_pool.get(self.vci_map.recv_vci(self.rank, source, tag))
+        req.vci = vci
+        was_contended = vci.lock.locked
+        yield from vci.lock.acquire()
+        context_id = self.context_id if _context_id is None else _context_id
+        # Matching is scan-until-match: a receive that matches the head of
+        # the unexpected queue is O(1) even when the queue is deep.
+        scan = vci.engine.scan_cost_unexpected(context_id, source, tag,
+                                               self.rank)
+        cost = lib.cpu.lock_acquire \
+            + (lib.cpu.lock_handoff if was_contended else 0.0) \
+            + lib.cpu.match_base + lib.cpu.match_per_element * scan
+        yield lib.sim.timeout(cost)
+        entry = PostedRecv(req=req, buf=flat, count=n, context_id=context_id,
+                           source=source, tag=tag, dst_addr=self.rank)
+        msg, _scanned = vci.engine.post_recv(entry)
+        if msg is not None:
+            if msg.kind is MessageKind.EAGER:
+                yield lib.sim.timeout(lib.cpu.request_completion)
+                lib._complete_recv(entry, msg)
+            else:  # unexpected RNDV_RTS: grant it now
+                lib._send_cts(vci, entry, msg)
+        vci.lock.release()
+        return req
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int,
+             count: Optional[int] = None) -> Generator[Event, Any, None]:
+        """Blocking send."""
+        req = yield from self.Isend(buf, dest, tag, count)
+        yield from req.wait()
+
+    def Recv(self, buf: np.ndarray, source: int, tag: int,
+             count: Optional[int] = None) -> Generator[Event, Any, Any]:
+        """Blocking receive; returns the Status."""
+        req = yield from self.Irecv(buf, source, tag, count)
+        status = yield from req.wait()
+        return status
+
+    def Iprobe(self, source: int, tag: int
+               ) -> Generator[Event, Any, Optional[tuple[int, int, int]]]:
+        """Nonblocking probe of the unexpected queue.
+
+        Returns ``(source, tag, size_bytes)`` of the earliest matching
+        unexpected message, or None. This is the building block of
+        Legion-style polling threads (Fig 5): with communicators, the
+        polling thread pays one such probe *per communicator* per cycle.
+        """
+        self._check_alive()
+        self._check_peer(source, wildcard_ok=True)
+        self._check_tag(tag, wildcard_ok=True)
+        lib = self.lib
+        yield lib.sim.timeout(lib.cpu.probe)
+        vci = lib.vci_pool.get(self.vci_map.recv_vci(self.rank, source, tag))
+        was_contended = vci.lock.locked
+        yield from vci.lock.acquire()
+        cost = lib.cpu.lock_acquire \
+            + (lib.cpu.lock_handoff if was_contended else 0.0)
+        msg, scanned = vci.engine.probe(self.context_id, source, tag, self.rank)
+        cost += lib.cpu.match_base + lib.cpu.match_per_element * scanned
+        yield lib.sim.timeout(cost)
+        vci.lock.release()
+        if msg is None:
+            return None
+        return (msg.meta.get("src_addr", msg.src_rank), msg.tag,
+                msg.meta.get("total_size", msg.size))
+
+    def Test(self, req: Request
+             ) -> Generator[Event, Any, Optional[Any]]:
+        """Nonblocking completion check (MPI_Test) with realistic costs.
+
+        A real MPI_Test drives progress on the request's channel, which
+        means taking that channel's lock: on a shared channel ("original"
+        MPI_THREAD_MULTIPLE) the polling thread's tests serialize against
+        every sender — one of the reasons logically parallel communication
+        speeds up event-driven runtimes (Fig 1c, Fig 5).
+        """
+        self._check_alive()
+        lib = self.lib
+        vci = req.vci
+        if vci is not None:
+            was_contended = vci.lock.locked
+            yield from vci.lock.acquire()
+            cost = lib.cpu.probe + lib.cpu.lock_acquire \
+                + (lib.cpu.lock_handoff if was_contended else 0.0)
+            yield lib.sim.timeout(cost)
+            vci.lock.release()
+        else:
+            yield lib.sim.timeout(lib.cpu.probe)
+        return req.test()
+
+    def Improbe(self, source: int, tag: int
+                ) -> Generator[Event, Any, Optional["MatchedMessage"]]:
+        """Matched probe (MPI_Improbe): atomically claim a matching
+        unexpected message.
+
+        ``Iprobe`` + ``Recv`` is racy with threads — another thread can
+        steal the probed message between the two calls. MPI 3's matched
+        probe removes the message from the matching queues and hands back
+        a :class:`MatchedMessage` that only :meth:`Mrecv` can complete.
+        """
+        self._check_alive()
+        self._check_peer(source, wildcard_ok=True)
+        self._check_tag(tag, wildcard_ok=True)
+        lib = self.lib
+        yield lib.sim.timeout(lib.cpu.probe)
+        vci = lib.vci_pool.get(self.vci_map.recv_vci(self.rank, source, tag))
+        was_contended = vci.lock.locked
+        yield from vci.lock.acquire()
+        cost = lib.cpu.lock_acquire \
+            + (lib.cpu.lock_handoff if was_contended else 0.0)
+        # claim = a removing scan of the unexpected queue
+        probe_entry = PostedRecv(req=None, buf=None, count=0,
+                                 context_id=self.context_id, source=source,
+                                 tag=tag, dst_addr=self.rank)
+        found = None
+        scanned = 0
+        for i, msg in enumerate(vci.engine.unexpected):
+            scanned += 1
+            if probe_entry.matches(msg):
+                del vci.engine.unexpected[i]
+                found = msg
+                break
+        vci.engine.total_scans += scanned
+        cost += lib.cpu.match_base + lib.cpu.match_per_element * scanned
+        yield lib.sim.timeout(cost)
+        vci.lock.release()
+        if found is None:
+            return None
+        return MatchedMessage(self, vci, found)
+
+    def Mrecv(self, buf: np.ndarray, matched: "MatchedMessage",
+              count: Optional[int] = None
+              ) -> Generator[Event, Any, Any]:
+        """Receive a message claimed by :meth:`Improbe`; returns the
+        Status."""
+        self._check_alive()
+        if matched.consumed:
+            raise MpiUsageError("MatchedMessage already received")
+        matched.consumed = True
+        flat = check_buffer(buf, count)
+        n = flat.size if count is None else count
+        lib = self.lib
+        req = Request(lib.sim, "mrecv")
+        req.vci = matched.vci
+        yield lib.sim.timeout(lib.cpu.recv_post)
+        msg = matched.msg
+        if msg.kind is MessageKind.EAGER:
+            yield lib.sim.timeout(lib.cpu.request_completion)
+            entry = PostedRecv(req=req, buf=flat, count=n,
+                               context_id=msg.context_id,
+                               source=msg.meta.get("src_addr", msg.src_rank),
+                               tag=msg.tag, dst_addr=self.rank)
+            lib._complete_recv(entry, msg)
+        else:  # a rendezvous RTS: grant it now
+            entry = PostedRecv(req=req, buf=flat, count=n,
+                               context_id=msg.context_id,
+                               source=msg.meta.get("src_addr", msg.src_rank),
+                               tag=msg.tag, dst_addr=self.rank)
+            lib._send_cts(matched.vci, entry, msg)
+        status = yield from req.wait()
+        return status
+
+    def Probe(self, source: int, tag: int
+              ) -> Generator[Event, Any, tuple[int, int, int]]:
+        """Blocking probe: poll until a matching message is unexpected.
+
+        Returns ``(source, tag, size_bytes)``.
+        """
+        while True:
+            hit = yield from self.Iprobe(source, tag)
+            if hit is not None:
+                return hit
+            yield self.lib.sim.timeout(self.lib.cpu.progress_poll)
+
+    def Sendrecv(self, sendbuf: np.ndarray, dest: int, sendtag: int,
+                 recvbuf: np.ndarray, source: int, recvtag: int,
+                 sendcount: Optional[int] = None,
+                 recvcount: Optional[int] = None
+                 ) -> Generator[Event, Any, Any]:
+        """Combined send+receive (MPI_Sendrecv); deadlock-free by
+        construction since both operations are posted nonblocking."""
+        from .request import waitall
+        rreq = yield from self.Irecv(recvbuf, source, recvtag, recvcount)
+        sreq = yield from self.Isend(sendbuf, dest, sendtag, sendcount)
+        statuses = yield from waitall([rreq, sreq])
+        return statuses[0]
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+    def Split(self, color: Optional[int], key: int = 0,
+              name: Optional[str] = None
+              ) -> Generator[Event, Any, Optional["Communicator"]]:
+        """Collective split (MPI_Comm_split).
+
+        Ranks with the same ``color`` form a new communicator, ordered by
+        ``(key, old rank)``. ``color=None`` (MPI_UNDEFINED) yields None.
+        Like Dup, every new communicator claims a VCI by context hash —
+        splitting for *grouping* spends the same network resources as
+        splitting for parallelism (Lesson 4).
+        """
+        self._check_alive()
+        seq = next(self._create_seq)
+        key_id = ("comm_split", self.context_id, seq)
+        world = self.lib.world
+
+        def finalize(meeting):
+            colors = sorted({c for c, _k in meeting.contributions.values()
+                             if c is not None})
+            meeting.shared["ctx_by_color"] = {
+                c: world.alloc_context_id() for c in colors}
+
+        meeting = yield from world.meet(
+            key_id, nmembers=self.size, rank=self.rank,
+            contribution=(color, key), finalize=finalize)
+        if color is None:
+            return None
+        members = sorted(
+            (r for r in range(self.size)
+             if meeting.contributions[r][0] == color),
+            key=lambda r: (meeting.contributions[r][1], r))
+        new_group = [self.group[r] for r in members]
+        new_rank = members.index(self.rank)
+        context_id = meeting.shared["ctx_by_color"][color]
+        return Communicator(self.lib, new_group, new_rank, context_id,
+                            hints=self.hints,
+                            name=name or f"{self.name}.split{color}")
+
+    def Dup(self, info: Optional[Info] = None,
+            name: Optional[str] = None) -> Generator[Event, Any, "Communicator"]:
+        """Collective duplicate (MPI_Comm_dup / MPI_Comm_dup_with_info).
+
+        All members of the communicator must call Dup in the same order.
+        The duplicate gets a fresh context id and therefore (by the
+        context-hash policy) generally a different VCI — this is how the
+        communicator mechanism exposes parallelism.
+        """
+        self._check_alive()
+        seq = next(self._create_seq)
+        key = ("comm_dup", self.context_id, seq)
+        world = self.lib.world
+        meeting = yield from world.meet(
+            key, nmembers=self.size, rank=self.rank,
+            alloc=lambda: {"context_id": world.alloc_context_id()})
+        context_id = meeting.shared["context_id"]
+        hints = parse_comm_hints(info)
+        pool = self.lib.vci_pool
+        base = pool.vci_index_for_context(context_id)
+        if hints.num_vcis > 1:
+            vci_map: VciMap = TagBitsVciMap(hints, base, pool.max_vcis)
+        else:
+            vci_map = SingleVciMap(base)
+        return Communicator(self.lib, list(self.group), self.rank,
+                            context_id, hints=hints, vci_map=vci_map,
+                            name=name or f"{self.name}.dup{seq}")
+
+    def Free(self) -> None:
+        """Release the communicator handle (local bookkeeping only)."""
+        self._check_alive()
+        self.freed = True
+
+    # ------------------------------------------------------------------
+    # collectives (implementations in repro.mpi.coll)
+    # ------------------------------------------------------------------
+    def _collective(self, opname: str):
+        """Context guard enforcing MPI's serial-collective rule."""
+        comm = self
+
+        class _Guard:
+            def __enter__(self):
+                comm._check_alive()
+                if comm._collective_active is not None:
+                    raise MpiUsageError(
+                        f"collective {opname!r} issued on communicator "
+                        f"{comm.name!r} while {comm._collective_active!r} is "
+                        "in flight: MPI requires collectives on a "
+                        "communicator to be issued serially (use distinct "
+                        "communicators, endpoints, or partitioned "
+                        "collectives to parallelize — Section II-A)")
+                comm._collective_active = opname
+                return self
+
+            def __exit__(self, *exc):
+                comm._collective_active = None
+                return False
+
+        return _Guard()
+
+    def Barrier(self) -> Generator[Event, Any, None]:
+        from .coll.algorithms import barrier_dissemination
+        with self._collective("Barrier"):
+            yield from barrier_dissemination(self)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0,
+              count: Optional[int] = None) -> Generator[Event, Any, None]:
+        from .coll.algorithms import bcast_binomial
+        with self._collective("Bcast"):
+            yield from bcast_binomial(self, buf, root, count)
+
+    def Reduce(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
+               op=None, root: int = 0) -> Generator[Event, Any, None]:
+        from .coll.algorithms import reduce_binomial
+        from .coll.ops import SUM
+        with self._collective("Reduce"):
+            yield from reduce_binomial(self, sendbuf, recvbuf, op or SUM, root)
+
+    #: Allreduce switches from recursive doubling (latency-optimal) to a
+    #: ring (bandwidth-optimal) beyond this payload size, as real MPI
+    #: libraries do.
+    ALLREDUCE_RING_THRESHOLD = 64 * 1024
+
+    def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                  op=None) -> Generator[Event, Any, None]:
+        from .coll.algorithms import (
+            allreduce_recursive_doubling,
+            allreduce_ring,
+        )
+        from .coll.ops import SUM
+        from .datatypes import check_buffer
+        with self._collective("Allreduce"):
+            nbytes = check_buffer(sendbuf).nbytes
+            if self.size > 2 and nbytes >= self.ALLREDUCE_RING_THRESHOLD:
+                yield from allreduce_ring(self, sendbuf, recvbuf, op or SUM)
+            else:
+                yield from allreduce_recursive_doubling(self, sendbuf,
+                                                        recvbuf, op or SUM)
+
+    def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray
+                  ) -> Generator[Event, Any, None]:
+        from .coll.algorithms import allgather_ring
+        with self._collective("Allgather"):
+            yield from allgather_ring(self, sendbuf, recvbuf)
+
+    def Alltoall(self, sendbuf: np.ndarray, recvbuf: np.ndarray
+                 ) -> Generator[Event, Any, None]:
+        from .coll.algorithms import alltoall_pairwise
+        with self._collective("Alltoall"):
+            yield from alltoall_pairwise(self, sendbuf, recvbuf)
+
+    def Gather(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
+               root: int = 0) -> Generator[Event, Any, None]:
+        from .coll.algorithms import gather_binomial
+        with self._collective("Gather"):
+            yield from gather_binomial(self, sendbuf, recvbuf, root)
+
+    def Scatter(self, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray,
+                root: int = 0) -> Generator[Event, Any, None]:
+        from .coll.algorithms import scatter_binomial
+        with self._collective("Scatter"):
+            yield from scatter_binomial(self, sendbuf, recvbuf, root)
+
+    def Scan(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
+             op=None) -> Generator[Event, Any, None]:
+        from .coll.algorithms import scan_linear
+        from .coll.ops import SUM
+        with self._collective("Scan"):
+            yield from scan_linear(self, sendbuf, recvbuf, op or SUM)
+
+    def Reduce_scatter_block(self, sendbuf: np.ndarray,
+                             recvbuf: np.ndarray, op=None
+                             ) -> Generator[Event, Any, None]:
+        from .coll.algorithms import reduce_scatter_block
+        from .coll.ops import SUM
+        with self._collective("Reduce_scatter_block"):
+            yield from reduce_scatter_block(self, sendbuf, recvbuf,
+                                            op or SUM)
+
+    def Gatherv(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
+                counts: Optional[list] = None, root: int = 0
+                ) -> Generator[Event, Any, None]:
+        from .coll.algorithms import gatherv_linear
+        with self._collective("Gatherv"):
+            yield from gatherv_linear(self, sendbuf, recvbuf, counts, root)
+
+    def Allgatherv(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                   counts: list) -> Generator[Event, Any, None]:
+        from .coll.algorithms import allgatherv_ring
+        with self._collective("Allgatherv"):
+            yield from allgatherv_ring(self, sendbuf, recvbuf, counts)
+
+    # ------------------------------------------------------------------
+    # nonblocking collectives (MPI-3 I... variants)
+    # ------------------------------------------------------------------
+    def Ibarrier(self) -> Generator[Event, Any, Request]:
+        from .coll.algorithms import barrier_dissemination
+        from .coll.nonblocking import start_nonblocking_collective
+        req = yield from start_nonblocking_collective(
+            self, "Ibarrier", barrier_dissemination(self))
+        return req
+
+    def Ibcast(self, buf: np.ndarray, root: int = 0,
+               count: Optional[int] = None
+               ) -> Generator[Event, Any, Request]:
+        from .coll.algorithms import bcast_binomial
+        from .coll.nonblocking import start_nonblocking_collective
+        req = yield from start_nonblocking_collective(
+            self, "Ibcast", bcast_binomial(self, buf, root, count))
+        return req
+
+    def Iallreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                   op=None) -> Generator[Event, Any, Request]:
+        from .coll.algorithms import allreduce_recursive_doubling
+        from .coll.nonblocking import start_nonblocking_collective
+        from .coll.ops import SUM
+        req = yield from start_nonblocking_collective(
+            self, "Iallreduce",
+            allreduce_recursive_doubling(self, sendbuf, recvbuf, op or SUM))
+        return req

@@ -1,0 +1,171 @@
+"""MPI datatypes and buffer handling.
+
+Buffers are numpy arrays; a :class:`Datatype` pairs a numpy dtype with its
+wire size. Payloads are *actually copied* through the simulated network so
+tests can assert data correctness, mirroring mpi4py's buffer-protocol
+convention (upper-case communication methods take array buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MpiUsageError
+
+__all__ = [
+    "Datatype",
+    "VectorType",
+    "BYTE",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "COMPLEX",
+    "from_numpy",
+    "check_buffer",
+    "nbytes",
+]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI basic datatype."""
+
+    name: str
+    np_dtype: np.dtype
+
+    @property
+    def size(self) -> int:
+        """Size in bytes of one element."""
+        return self.np_dtype.itemsize
+
+    def empty(self, count: int) -> np.ndarray:
+        return np.empty(count, dtype=self.np_dtype)
+
+    def zeros(self, count: int) -> np.ndarray:
+        return np.zeros(count, dtype=self.np_dtype)
+
+    def __repr__(self) -> str:
+        return f"MPI.{self.name}"
+
+
+BYTE = Datatype("BYTE", np.dtype(np.uint8))
+INT = Datatype("INT", np.dtype(np.int32))
+LONG = Datatype("LONG", np.dtype(np.int64))
+FLOAT = Datatype("FLOAT", np.dtype(np.float32))
+DOUBLE = Datatype("DOUBLE", np.dtype(np.float64))
+COMPLEX = Datatype("COMPLEX", np.dtype(np.complex128))
+
+_BY_NP = {d.np_dtype: d for d in (BYTE, INT, LONG, FLOAT, DOUBLE, COMPLEX)}
+
+
+def from_numpy(dtype: np.dtype) -> Datatype:
+    """Map a numpy dtype to the corresponding MPI datatype."""
+    dtype = np.dtype(dtype)
+    try:
+        return _BY_NP[dtype]
+    except KeyError:
+        raise MpiUsageError(f"no MPI datatype for numpy dtype {dtype}") from None
+
+
+def check_buffer(buf, count: int | None = None) -> np.ndarray:
+    """Validate a communication buffer and return it as a 1-D ndarray view.
+
+    Accepts any C-contiguous numpy array; ``count`` (elements) must not
+    exceed the buffer length.
+    """
+    if not isinstance(buf, np.ndarray):
+        raise MpiUsageError(
+            f"communication buffers must be numpy arrays, got {type(buf).__name__}")
+    if not buf.flags.c_contiguous:
+        raise MpiUsageError("communication buffers must be C-contiguous")
+    flat = buf.reshape(-1)
+    if count is not None:
+        if count < 0:
+            raise MpiUsageError(f"negative element count: {count}")
+        if count > flat.size:
+            raise MpiUsageError(
+                f"count {count} exceeds buffer length {flat.size}")
+    return flat
+
+
+def nbytes(buf: np.ndarray, count: int | None = None) -> int:
+    """Wire size in bytes of ``count`` elements of ``buf`` (all if None)."""
+    flat = check_buffer(buf, count)
+    n = flat.size if count is None else count
+    return n * flat.dtype.itemsize
+
+
+@dataclass(frozen=True)
+class VectorType:
+    """A strided derived datatype (MPI_Type_vector).
+
+    ``count`` blocks of ``blocklength`` elements, with consecutive block
+    starts ``stride`` elements apart — the classic layout of a non-unit
+    stencil halo (e.g. a column of a row-major 2D patch). ``pack`` gathers
+    the described elements into a contiguous buffer for the wire;
+    ``unpack`` scatters a received buffer back.
+    """
+
+    count: int
+    blocklength: int
+    stride: int
+    base: Datatype = DOUBLE
+
+    def __post_init__(self):
+        if self.count < 0 or self.blocklength < 0:
+            raise MpiUsageError("vector count/blocklength must be >= 0")
+        if self.stride < self.blocklength:
+            raise MpiUsageError(
+                f"vector stride {self.stride} overlaps blocks of length "
+                f"{self.blocklength}")
+
+    @property
+    def elements(self) -> int:
+        """Elements transferred per instance of the type."""
+        return self.count * self.blocklength
+
+    @property
+    def extent(self) -> int:
+        """Elements spanned in the origin buffer (incl. gaps)."""
+        if self.count == 0:
+            return 0
+        return (self.count - 1) * self.stride + self.blocklength
+
+    @property
+    def size(self) -> int:
+        """Wire bytes per instance."""
+        return self.elements * self.base.size
+
+    def _index(self, offset: int) -> np.ndarray:
+        starts = offset + self.stride * np.arange(self.count)
+        return (starts[:, None] + np.arange(self.blocklength)).reshape(-1)
+
+    def pack(self, buf: np.ndarray, offset: int = 0) -> np.ndarray:
+        """Gather the described elements into a fresh contiguous array."""
+        flat = check_buffer(buf)
+        if offset < 0 or offset + self.extent > flat.size:
+            raise MpiUsageError(
+                f"vector extent [{offset}, {offset + self.extent}) exceeds "
+                f"buffer of {flat.size} elements")
+        if self.count == 0:
+            return flat[:0].copy()
+        return flat[self._index(offset)].copy()
+
+    def unpack(self, buf: np.ndarray, data: np.ndarray,
+               offset: int = 0) -> None:
+        """Scatter ``data`` (contiguous) into the described layout."""
+        flat = check_buffer(buf)
+        src = check_buffer(data)
+        if src.size != self.elements:
+            raise MpiUsageError(
+                f"vector unpack needs {self.elements} elements, "
+                f"got {src.size}")
+        if offset < 0 or offset + self.extent > flat.size:
+            raise MpiUsageError(
+                f"vector extent [{offset}, {offset + self.extent}) exceeds "
+                f"buffer of {flat.size} elements")
+        if self.count:
+            flat[self._index(offset)] = src

@@ -1,0 +1,248 @@
+"""The per-process MPI library instance.
+
+One :class:`MpiLibrary` exists per simulated MPI process. It owns the
+process's VCI pool, routes arriving wire messages to protocol handlers
+(point-to-point eager/rendezvous, partitioned, RMA), and provides the
+serialized *issue path* that models how a thread pushes a message through a
+VCI onto a NIC hardware context.
+
+Timing model of the issue path (per message, charged to the calling
+thread/task):
+
+1. software posting cost — outside any lock (``cpu.send_post`` etc. is
+   charged by the caller);
+2. VCI lock acquire — FIFO contention with other threads on the same VCI
+   (+``cpu.lock_acquire``, +``cpu.lock_handoff`` when contended);
+3. doorbell critical section on the hardware context — serialized among
+   the VCIs sharing that context (+``nic.doorbell``; when the context is
+   shared, +``nic.shared_post_penalty``, the Lesson 3 penalty);
+4. injection — the hardware context's FIFO injector enforces the
+   per-message gap; the fabric then applies node egress/ingress limits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+import numpy as np
+
+from ..errors import MpiUsageError, TruncationError
+from ..netsim.config import NetworkConfig
+from ..netsim.message import MessageKind, WireMessage
+from ..sim.core import Event, Simulator
+from .matching import MatchingEngine, PostedRecv
+from .request import Request
+from .vci import Vci, VciPool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.world import World
+    from .comm import Communicator
+
+__all__ = ["MpiLibrary"]
+
+
+class MpiLibrary:
+    """MPI library state of one simulated process."""
+
+    def __init__(self, sim: Simulator, world: "World", rank: int,
+                 node, cfg: NetworkConfig, max_vcis: int):
+        self.sim = sim
+        self.world = world
+        self.rank = rank
+        self.node = node
+        self.cfg = cfg
+        self.cpu = cfg.cpu
+        self.vci_pool = VciPool(sim, node.nic, cfg.cpu, max_vcis=max_vcis)
+        #: Rendezvous sends awaiting CTS, by send-request id.
+        self._rndv_sends: dict[int, dict] = {}
+        #: Rendezvous receives awaiting DATA, by send-request id.
+        self._rndv_recvs: dict[int, PostedRecv] = {}
+        #: Protocol handlers installed by subsystems (partitioned, RMA).
+        self.handlers: dict[MessageKind, Callable[[WireMessage], None]] = {
+            MessageKind.EAGER: self._on_pt2pt_arrival,
+            MessageKind.RNDV_RTS: self._on_pt2pt_arrival,
+            MessageKind.RNDV_CTS: self._on_rndv_cts,
+            MessageKind.RNDV_DATA: self._on_rndv_data,
+        }
+        #: Next VCI index to hand to a newly created endpoint.
+        self._next_ep_vci = 0
+        # -- counters --------------------------------------------------
+        self.sends_posted = 0
+        self.recvs_posted = 0
+        self.recvs_completed = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # issue paths
+    # ------------------------------------------------------------------
+    def issue_from_thread(self, vci: Vci, msg: WireMessage
+                          ) -> Generator[Event, Any, float]:
+        """Serialized thread-side message issue; returns the departure time
+        (absolute simulated seconds) of the message from its NIC context."""
+        cpu, nicp = self.cpu, self.node.nic.params
+        was_contended = vci.lock.locked
+        yield from vci.lock.acquire()
+        cost = cpu.lock_acquire + (cpu.lock_handoff if was_contended else 0.0)
+        ctx = vci.hw_context
+        db_contended = ctx.doorbell_lock.locked
+        yield from ctx.doorbell_lock.acquire()
+        cost += nicp.doorbell
+        if ctx.is_shared:
+            cost += nicp.shared_post_penalty
+        if db_contended:
+            cost += cpu.lock_handoff
+        yield self.sim.timeout(cost)
+        depart = ctx.issue(msg.wire_bytes)
+        vci.sends += 1
+        self._transmit(msg, depart)
+        ctx.doorbell_lock.release()
+        vci.lock.release()
+        self.sends_posted += 1
+        self.bytes_sent += msg.size
+        return depart
+
+    def issue_async(self, vci: Vci, msg: WireMessage) -> float:
+        """Library-internal issue from a callback context (protocol
+        responses: CTS, acks, rendezvous data). Models asynchronous
+        progress: charged to the NIC, not to any thread."""
+        depart = vci.hw_context.issue(msg.wire_bytes)
+        vci.sends += 1
+        self._transmit(msg, depart)
+        return depart
+
+    def _transmit(self, msg: WireMessage, depart: float) -> None:
+        if msg.dst_node == self.node.node_id:
+            # Intra-node transport bypasses the fabric: shared-memory copy.
+            delay = max(0.0, depart - self.sim.now) \
+                + self.cpu.shm_copy_base + msg.size / self.cpu.shm_bandwidth
+            event = Event(self.sim)
+            event._triggered = True
+            event._value = msg
+            self.sim._enqueue(event, delay, priority=1)
+            event.add_callback(
+                lambda e: self.world.proc(msg.dst_rank).lib.deliver(e._value))
+        else:
+            self.world.fabric.transmit(msg, depart)
+
+    # ------------------------------------------------------------------
+    # delivery / protocol handlers
+    # ------------------------------------------------------------------
+    def deliver(self, msg: WireMessage) -> None:
+        """Entry point for every wire message addressed to this process."""
+        handler = self.handlers.get(msg.kind)
+        if handler is None:
+            raise MpiUsageError(f"no handler for message kind {msg.kind}")
+        handler(msg)
+
+    def _on_pt2pt_arrival(self, msg: WireMessage) -> None:
+        """EAGER or RNDV_RTS arrival: serialized matching on the dst VCI.
+
+        Matching work is scan-until-match over the posted queue; a miss
+        scans the whole queue (and parks the message as unexpected).
+        """
+        vci = self.vci_pool.get(msg.dst_vci)
+        service = (self.cpu.match_base
+                   + self.cpu.match_per_element
+                   * vci.engine.scan_cost_posted(msg))
+        done = vci.match_server.submit(service)
+        done.add_callback(lambda e: self._match_incoming(vci, msg))
+
+    def _match_incoming(self, vci: Vci, msg: WireMessage) -> None:
+        entry, _scanned = vci.engine.incoming(msg)
+        if entry is None:
+            return  # parked in the unexpected queue
+        if msg.kind is MessageKind.EAGER:
+            self._complete_recv(entry, msg)
+        else:  # RNDV_RTS matched by a pre-posted receive
+            self._send_cts(vci, entry, msg)
+
+    def _complete_recv(self, entry: PostedRecv, msg: WireMessage) -> None:
+        """Copy an eager/rendezvous-data payload and complete the recv."""
+        payload = msg.payload
+        recv_bytes = entry.count * entry.buf.dtype.itemsize
+        if msg.size > recv_bytes:
+            entry.req.complete_with_error(TruncationError(
+                f"message of {msg.size} bytes truncates receive buffer of "
+                f"{recv_bytes} bytes (tag={msg.tag})"))
+            return
+        if payload is not None:
+            n = len(payload)
+            entry.buf[:n] = payload
+            count = n
+        else:
+            count = 0
+        vci = self.vci_pool.get(msg.dst_vci)
+        vci.recvs += 1
+        self.recvs_completed += 1
+        entry.req.complete(source=msg.meta.get("src_addr", msg.src_rank),
+                           tag=msg.tag, count=count)
+
+    # -- rendezvous ------------------------------------------------------
+    def _send_cts(self, vci: Vci, entry: PostedRecv, rts: WireMessage) -> None:
+        """Receiver side: a RTS met a posted receive — grant the send."""
+        rid = rts.meta["rid"]
+        self._rndv_recvs[rid] = entry
+        cts = WireMessage(
+            kind=MessageKind.RNDV_CTS,
+            src_node=self.node.node_id, dst_node=rts.src_node,
+            src_rank=self.rank, dst_rank=rts.src_rank,
+            context_id=rts.context_id, tag=rts.tag, size=0,
+            src_vci=rts.dst_vci, dst_vci=rts.src_vci,
+            meta={"rid": rid},
+        )
+        self.issue_async(vci, cts)
+
+    def register_rndv_send(self, rid: int, state: dict) -> None:
+        self._rndv_sends[rid] = state
+
+    def _on_rndv_cts(self, msg: WireMessage) -> None:
+        """Sender side: CTS arrived — stream the payload."""
+        state = self._rndv_sends.pop(msg.meta["rid"])
+        vci = self.vci_pool.get(msg.dst_vci)
+        data = WireMessage(
+            kind=MessageKind.RNDV_DATA,
+            src_node=self.node.node_id, dst_node=state["dst_node"],
+            src_rank=self.rank, dst_rank=state["dst_rank"],
+            context_id=state["context_id"], tag=state["tag"],
+            size=state["size"], payload=state["payload"],
+            src_vci=vci.index, dst_vci=state["dst_vci"],
+            meta={"rid": msg.meta["rid"],
+                  "src_addr": state["src_addr"],
+                  "dst_addr": state["dst_addr"]},
+        )
+        depart = self.issue_async(vci, data)
+        # The send request completes locally once the payload has left.
+        req: Request = state["req"]
+        done = Event(self.sim)
+        done._triggered = True
+        self.sim._enqueue(done, depart - self.sim.now, priority=1)
+        done.add_callback(lambda e: req.complete(
+            source=state["dst_addr"], tag=state["tag"], count=state["count"]))
+
+    def _on_rndv_data(self, msg: WireMessage) -> None:
+        """Receiver side: rendezvous payload arrived — no matching needed."""
+        entry = self._rndv_recvs.pop(msg.meta["rid"])
+        self._complete_recv(entry, msg)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def alloc_endpoint_vci(self) -> int:
+        """Hand out the next VCI index for a new endpoint (round-robin
+        through the pool, like MPICH's endpoint-to-VCI assignment)."""
+        idx = self._next_ep_vci % self.vci_pool.max_vcis
+        self._next_ep_vci += 1
+        return idx
+
+    def progress(self) -> Generator[Event, Any, None]:
+        """Charge one progress-engine poll to the calling thread."""
+        yield self.sim.timeout(self.cpu.progress_poll)
+
+    def complete_at(self, req: Request, when: float, *, source: int,
+                    tag: int, count: int) -> None:
+        """Complete ``req`` at absolute time ``when`` (>= now)."""
+        done = Event(self.sim)
+        done._triggered = True
+        self.sim._enqueue(done, max(0.0, when - self.sim.now), priority=1)
+        done.add_callback(lambda e: req.complete(source=source, tag=tag,
+                                                 count=count))

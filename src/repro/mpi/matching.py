@@ -1,0 +1,179 @@
+"""The message-matching engine.
+
+Each VCI owns one matching engine (a posted-receive queue and an
+unexpected-message queue); this per-channel separation is exactly what
+gives the new MPI libraries their parallel matching ("a distinct matching
+engine per communication channel", Section II-C of the paper) and what
+makes matching on a *shared* channel an O(n) serial bottleneck.
+
+Matching predicate: a receive posted with ``(context, source, tag,
+dst_addr)`` matches an incoming message when the context ids and the
+destination addresses are equal, the source matches (or the receive used
+``ANY_SOURCE``), and the tag matches (or ``ANY_TAG``). ``dst_addr`` is the
+receiver's address *within the communicator* — for ordinary communicators
+this is simply the process's rank; for endpoints communicators it is the
+endpoint rank, which is how endpoints separate matching between threads
+that share a process (Lesson 11).
+
+Queues are FIFO: an incoming message matches the earliest matching posted
+receive and a new receive matches the earliest matching unexpected message,
+which implements MPI's non-overtaking matching order. The
+``allow_overtaking`` relaxation does not change the scan itself — it
+changes which *channels* operations may be spread over (see
+:mod:`repro.mpi.vci`), because once traffic is spread over independent
+channels arrival order between them is unconstrained.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..netsim.message import WireMessage
+from .request import Request
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "PostedRecv", "MatchingEngine"]
+
+#: Wildcards (MPI_ANY_SOURCE / MPI_ANY_TAG).
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_post_seq = itertools.count()
+
+
+@dataclass
+class PostedRecv:
+    """One posted receive awaiting a message."""
+
+    req: Request
+    buf: np.ndarray
+    count: int
+    context_id: int
+    source: int
+    tag: int
+    dst_addr: int
+    seq: int = field(default_factory=lambda: next(_post_seq))
+
+    def matches(self, msg: WireMessage) -> bool:
+        return (msg.context_id == self.context_id
+                and msg.meta.get("dst_addr", msg.dst_rank) == self.dst_addr
+                and (self.source == ANY_SOURCE
+                     or self.source == msg.meta.get("src_addr", msg.src_rank))
+                and (self.tag == ANY_TAG or self.tag == msg.tag))
+
+
+class MatchingEngine:
+    """Posted-receive and unexpected-message queues for one channel."""
+
+    __slots__ = ("posted", "unexpected", "max_posted_depth",
+                 "max_unexpected_depth", "total_scans")
+
+    def __init__(self):
+        self.posted: deque[PostedRecv] = deque()
+        self.unexpected: deque[WireMessage] = deque()
+        self.max_posted_depth = 0
+        self.max_unexpected_depth = 0
+        #: Total queue elements scanned over the engine's lifetime — the
+        #: O(n) matching-work metric.
+        self.total_scans = 0
+
+    # -- receive side ------------------------------------------------------
+    def post_recv(self, entry: PostedRecv) -> tuple[Optional[WireMessage], int]:
+        """Try to match ``entry`` against the unexpected queue.
+
+        Returns ``(message, scanned)``: the matched (and removed) message
+        or None — in which case the receive has been appended to the posted
+        queue — plus the number of queue elements scanned (for the cost
+        model).
+        """
+        scanned = 0
+        for i, msg in enumerate(self.unexpected):
+            scanned += 1
+            if entry.matches(msg):
+                del self.unexpected[i]
+                self.total_scans += scanned
+                return msg, scanned
+        self.posted.append(entry)
+        self.max_posted_depth = max(self.max_posted_depth, len(self.posted))
+        self.total_scans += scanned
+        return None, scanned
+
+    def probe(self, context_id: int, source: int, tag: int,
+              dst_addr: int) -> tuple[Optional[WireMessage], int]:
+        """Non-destructive unexpected-queue search (MPI_Iprobe)."""
+        probe_entry = PostedRecv(req=None, buf=None, count=0,
+                                 context_id=context_id, source=source,
+                                 tag=tag, dst_addr=dst_addr)
+        scanned = 0
+        for msg in self.unexpected:
+            scanned += 1
+            if probe_entry.matches(msg):
+                self.total_scans += scanned
+                return msg, scanned
+        self.total_scans += scanned
+        return None, scanned
+
+    def scan_cost_unexpected(self, context_id: int, source: int, tag: int,
+                             dst_addr: int) -> int:
+        """Elements a matching scan of the unexpected queue would visit
+        (scan-until-match, or the whole queue on a miss) — used by the
+        cost model without mutating the queues."""
+        probe_entry = PostedRecv(req=None, buf=None, count=0,
+                                 context_id=context_id, source=source,
+                                 tag=tag, dst_addr=dst_addr)
+        scanned = 0
+        for msg in self.unexpected:
+            scanned += 1
+            if probe_entry.matches(msg):
+                return scanned
+        return scanned
+
+    def scan_cost_posted(self, msg: WireMessage) -> int:
+        """Elements a matching scan of the posted queue would visit."""
+        scanned = 0
+        for entry in self.posted:
+            scanned += 1
+            if entry.matches(msg):
+                return scanned
+        return scanned
+
+    # -- arrival side --------------------------------------------------------
+    def incoming(self, msg: WireMessage) -> tuple[Optional[PostedRecv], int]:
+        """Try to match an arriving message against the posted queue.
+
+        Returns ``(posted_recv, scanned)``; when no receive matches, the
+        message has been appended to the unexpected queue.
+        """
+        scanned = 0
+        for i, entry in enumerate(self.posted):
+            scanned += 1
+            if entry.matches(msg):
+                del self.posted[i]
+                self.total_scans += scanned
+                return entry, scanned
+        self.unexpected.append(msg)
+        self.max_unexpected_depth = max(self.max_unexpected_depth,
+                                        len(self.unexpected))
+        self.total_scans += scanned
+        return None, scanned
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def posted_depth(self) -> int:
+        return len(self.posted)
+
+    @property
+    def unexpected_depth(self) -> int:
+        return len(self.unexpected)
+
+    def cancel_posted(self, req: Request) -> bool:
+        """Remove a posted receive by request (MPI_Cancel, simplified)."""
+        for i, entry in enumerate(self.posted):
+            if entry.req is req:
+                del self.posted[i]
+                return True
+        return False

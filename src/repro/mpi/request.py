@@ -1,0 +1,140 @@
+"""Requests and statuses for nonblocking operations."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..errors import MpiUsageError
+from ..sim.core import Event, Simulator
+
+__all__ = ["Status", "Request", "waitall", "testall", "waitany",
+           "testany"]
+
+_req_ids = itertools.count()
+
+
+@dataclass
+class Status:
+    """Completion status of one operation (MPI_Status)."""
+
+    source: int = -1
+    tag: int = -1
+    count: int = 0
+    error: Optional[BaseException] = None
+    cancelled: bool = False
+
+
+class Request:
+    """Handle for a nonblocking operation.
+
+    A request is created *active* and is completed exactly once by the
+    library (locally for sends, on matching+delivery for receives). Waiting
+    is done with ``status = yield from req.wait()``.
+    """
+
+    __slots__ = ("sim", "kind", "rid", "_done", "status", "_completed",
+                 "user_data", "vci")
+
+    def __init__(self, sim: Simulator, kind: str = "generic"):
+        self.sim = sim
+        self.kind = kind
+        self.rid = next(_req_ids)
+        self._done: Event = sim.event()
+        self.status = Status()
+        self._completed = False
+        #: Scratch slot for library internals (e.g. matching bookkeeping).
+        self.user_data: Any = None
+        #: The VCI the operation was posted on (set by the posting path);
+        #: MPI_Test on the request serializes on this channel's lock.
+        self.vci = None
+
+    # -- library side ------------------------------------------------------
+    def complete(self, source: int = -1, tag: int = -1, count: int = 0) -> None:
+        """Mark the request complete (library-internal)."""
+        if self._completed:
+            raise MpiUsageError(f"request {self.rid} completed twice")
+        self._completed = True
+        self.status.source = source
+        self.status.tag = tag
+        self.status.count = count
+        self._done.succeed(self.status)
+
+    def complete_with_error(self, exc: BaseException) -> None:
+        if self._completed:
+            raise MpiUsageError(f"request {self.rid} completed twice")
+        self._completed = True
+        self.status.error = exc
+        self._done.fail(exc)
+
+    # -- user side ----------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._completed
+
+    @property
+    def done_event(self) -> Event:
+        return self._done
+
+    def test(self) -> Optional[Status]:
+        """Nonblocking completion check (MPI_Test): Status or None."""
+        if self._completed:
+            if self.status.error is not None:
+                raise self.status.error
+            return self.status
+        return None
+
+    def wait(self) -> Generator[Event, Any, Status]:
+        """Block (in simulated time) until complete; returns the Status."""
+        if not self._completed:
+            yield self._done
+        if self.status.error is not None:
+            raise self.status.error
+        return self.status
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._completed else "active"
+        return f"<Request #{self.rid} {self.kind} {state}>"
+
+
+def waitall(requests: list[Request]) -> Generator[Event, Any, list[Status]]:
+    """Wait for all requests; returns their statuses in order."""
+    statuses = []
+    for req in requests:
+        statuses.append((yield from req.wait()))
+    return statuses
+
+
+def testall(requests: list[Request]) -> Optional[list[Status]]:
+    """If every request is complete, return all statuses, else None."""
+    if all(r.done for r in requests):
+        return [r.test() for r in requests]
+    return None
+
+
+def waitany(requests: list[Request]
+            ) -> Generator[Event, Any, tuple[int, Status]]:
+    """Wait until any request completes (MPI_Waitany).
+
+    Returns ``(index, status)`` of the first completion. Already-complete
+    requests win immediately, lowest index first.
+    """
+    if not requests:
+        raise MpiUsageError("waitany needs at least one request")
+    for i, r in enumerate(requests):
+        if r.done:
+            return i, r.test()
+    sim = requests[0].sim
+    any_of = sim.any_of([r.done_event for r in requests])
+    index, _value = yield any_of
+    status = requests[index].test()
+    return index, status
+
+
+def testany(requests: list[Request]) -> Optional[tuple[int, Status]]:
+    """If any request is complete, return ``(index, status)`` else None."""
+    for i, r in enumerate(requests):
+        if r.done:
+            return i, r.test()
+    return None

@@ -1,0 +1,5 @@
+"""One-sided (RMA) communication: windows, Put/Get/Accumulate, flush."""
+
+from .window import HASH_BLOCK_ELEMS, Window, win_create
+
+__all__ = ["HASH_BLOCK_ELEMS", "Window", "win_create"]

@@ -1,0 +1,451 @@
+"""RMA windows: Put / Get / Accumulate / Fetch_and_op with flush-based
+completion (Section III-B of the paper).
+
+Channel-mapping semantics (Lesson 16):
+
+- **nonatomic** operations (Put/Get) are unordered by MPI's default
+  semantics, so with ``mpich_rma_num_vcis > 1`` the library spreads them
+  over VCIs by hashing ``(target, offset-block)``;
+- **atomic** operations (Accumulate/Fetch_and_op) are ordered per
+  (origin, target, location) by default. The library cannot prove two
+  atomics independent, so with default ordering they all ride the window's
+  single base VCI. Setting ``accumulate_ordering=none`` lets the library
+  hash-spread them — but "any hashing policy is prone to collisions";
+- a window created over an **endpoints** communicator routes each
+  endpoint's operations through that endpoint's dedicated VCI: parallelism
+  *and* atomicity, the paper's argument for endpoints in RMA.
+
+Remote completion: every operation is acknowledged by the target; ``Flush``
+blocks until all outstanding operations to the target are acknowledged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+import numpy as np
+
+from ...errors import MpiUsageError, RmaSemanticsError
+from ...netsim.message import MessageKind, WireMessage
+from ...sim.core import Event
+from ..coll.ops import Op, SUM
+from ..datatypes import check_buffer
+from ..info import Info, WindowHints, parse_window_hints
+from ..request import Request
+from ..vci import EndpointVciMap, mix_hash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..comm import Communicator
+    from ..library import MpiLibrary
+
+__all__ = ["Window", "win_create"]
+
+#: Elements per hash block for channel spreading of RMA operations.
+HASH_BLOCK_ELEMS = 256
+
+
+def _ensure_handlers(lib: "MpiLibrary") -> None:
+    if MessageKind.RMA_PUT in lib.handlers:
+        return
+    if not hasattr(lib, "rma_windows"):
+        lib.rma_windows = {}
+    lib.handlers[MessageKind.RMA_PUT] = lambda m: _on_put(lib, m)
+    lib.handlers[MessageKind.RMA_GET_REQ] = lambda m: _on_get_req(lib, m)
+    lib.handlers[MessageKind.RMA_GET_RESP] = lambda m: _on_get_resp(lib, m)
+    lib.handlers[MessageKind.RMA_ACC] = lambda m: _on_acc(lib, m)
+    lib.handlers[MessageKind.RMA_FETCH_OP] = lambda m: _on_fetch_op(lib, m)
+    lib.handlers[MessageKind.RMA_ACK] = lambda m: _on_ack(lib, m)
+
+
+class Window:
+    """One process's (or endpoint's) handle on an RMA window."""
+
+    def __init__(self, comm: "Communicator", memory: np.ndarray,
+                 win_id: int, sizes: list[int], hints: WindowHints):
+        self.comm = comm
+        self.lib = comm.lib
+        self.sim = comm.sim
+        self.memory = check_buffer(memory)
+        self.win_id = win_id
+        #: ``sizes[target]`` = element count exposed by each window rank.
+        self.sizes = sizes
+        self.hints = hints
+        self.base_vci = self.lib.vci_pool.vci_index_for_context(win_id)
+        #: Outstanding (unacknowledged) operations per target rank.
+        self._outstanding: dict[int, int] = {}
+        self._flush_waiters: list[tuple[Optional[int], Event]] = []
+        # -- counters ---------------------------------------------------
+        self.puts = self.gets = self.accs = self.fetch_ops = 0
+
+    # ------------------------------------------------------------------
+    # channel selection
+    # ------------------------------------------------------------------
+    def _vci_index(self, target: int, disp: int, atomic: bool) -> int:
+        vm = self.comm.vci_map
+        if isinstance(vm, EndpointVciMap):
+            # Endpoints: each endpoint is an independent origin — its own
+            # channel is always legal, even for atomics (Lesson 16).
+            return vm.my_vci
+        if atomic and not self.hints.atomics_may_spread:
+            return self.base_vci
+        if self.hints.num_vcis > 1:
+            block = disp // HASH_BLOCK_ELEMS
+            h = mix_hash((target << 24) ^ block)
+            return (self.base_vci + h % self.hints.num_vcis) \
+                % self.lib.vci_pool.max_vcis
+        return self.base_vci
+
+    def _remote_vci_index(self, target: int, disp: int, atomic: bool) -> int:
+        vm = self.comm.vci_map
+        if isinstance(vm, EndpointVciMap):
+            return vm.table[target]
+        return self._vci_index(target, disp, atomic)
+
+    # ------------------------------------------------------------------
+    # origin-side helpers
+    # ------------------------------------------------------------------
+    def _check_target(self, target: int, disp: int, count: int) -> None:
+        if not 0 <= target < self.comm.size:
+            raise MpiUsageError(f"window target {target} out of range")
+        if disp < 0 or count < 0:
+            raise RmaSemanticsError(f"negative displacement/count")
+        if disp + count > self.sizes[target]:
+            raise RmaSemanticsError(
+                f"access [{disp}, {disp + count}) exceeds window size "
+                f"{self.sizes[target]} at target {target}")
+
+    def _build(self, kind: MessageKind, target: int, disp: int,
+               size: int, payload, atomic: bool, extra: dict) -> tuple:
+        lib = self.lib
+        local_idx = self._vci_index(target, disp, atomic)
+        remote_idx = self._remote_vci_index(target, disp, atomic)
+        dst_world = self.comm.group[target]
+        dst_proc = lib.world.proc(dst_world)
+        meta = {"win": self.win_id, "dst_addr": target,
+                "src_addr": self.comm.rank, "disp": disp,
+                "origin_node": lib.node.node_id, "origin_rank": lib.rank,
+                "origin_vci": local_idx}
+        meta.update(extra)
+        msg = WireMessage(
+            kind=kind, src_node=lib.node.node_id,
+            dst_node=dst_proc.node.node_id, src_rank=lib.rank,
+            dst_rank=dst_world, context_id=self.win_id, tag=0, size=size,
+            payload=payload, src_vci=local_idx, dst_vci=remote_idx,
+            meta=meta)
+        return lib.vci_pool.get(local_idx), msg
+
+    def _track(self, target: int) -> None:
+        self._outstanding[target] = self._outstanding.get(target, 0) + 1
+
+    def _acked(self, target: int) -> None:
+        self._outstanding[target] -= 1
+        if self._outstanding[target] == 0:
+            still = [w for w in self._flush_waiters]
+            self._flush_waiters = []
+            for tgt, ev in still:
+                if tgt is None and any(self._outstanding.values()):
+                    self._flush_waiters.append((tgt, ev))
+                elif tgt is not None and self._outstanding.get(tgt, 0):
+                    self._flush_waiters.append((tgt, ev))
+                else:
+                    ev.succeed()
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def Put(self, origin: np.ndarray, target: int, disp: int,
+            count: Optional[int] = None) -> Generator[Event, Any, None]:
+        """Nonblocking put; completes remotely at the next Flush."""
+        flat = check_buffer(origin, count)
+        n = flat.size if count is None else count
+        self._check_target(target, disp, n)
+        lib = self.lib
+        yield lib.sim.timeout(lib.cpu.send_post)
+        vci, msg = self._build(MessageKind.RMA_PUT, target, disp,
+                               n * flat.dtype.itemsize, flat[:n].copy(),
+                               atomic=False, extra={})
+        self._track(target)
+        self.puts += 1
+        yield from lib.issue_from_thread(vci, msg)
+
+    def Get(self, origin: np.ndarray, target: int, disp: int,
+            count: Optional[int] = None) -> Generator[Event, Any, Request]:
+        """Nonblocking get; the returned request completes when the data
+        lands in ``origin``."""
+        flat = check_buffer(origin, count)
+        n = flat.size if count is None else count
+        self._check_target(target, disp, n)
+        lib = self.lib
+        req = Request(lib.sim, "rma-get")
+        req.user_data = flat[:n]
+        yield lib.sim.timeout(lib.cpu.send_post)
+        if not hasattr(lib, "rma_get_pending"):
+            lib.rma_get_pending = {}
+        lib.rma_get_pending[req.rid] = (req, self)
+        vci, msg = self._build(MessageKind.RMA_GET_REQ, target, disp, 0,
+                               None, atomic=False,
+                               extra={"rid": req.rid, "count": n})
+        self._track(target)
+        self.gets += 1
+        yield from lib.issue_from_thread(vci, msg)
+        return req
+
+    def Accumulate(self, origin: np.ndarray, target: int, disp: int,
+                   op: Op = SUM, count: Optional[int] = None
+                   ) -> Generator[Event, Any, None]:
+        """Atomic elementwise update of target memory (MPI_Accumulate)."""
+        flat = check_buffer(origin, count)
+        n = flat.size if count is None else count
+        self._check_target(target, disp, n)
+        lib = self.lib
+        yield lib.sim.timeout(lib.cpu.send_post)
+        vci, msg = self._build(MessageKind.RMA_ACC, target, disp,
+                               n * flat.dtype.itemsize, flat[:n].copy(),
+                               atomic=True, extra={"op": op.name})
+        self._track(target)
+        self.accs += 1
+        yield from lib.issue_from_thread(vci, msg)
+
+    def Fetch_and_op(self, value: np.ndarray, result: np.ndarray,
+                     target: int, disp: int, op: Op = SUM
+                     ) -> Generator[Event, Any, Request]:
+        """Atomic fetch-and-op on a single element."""
+        val = check_buffer(value, 1)
+        res = check_buffer(result, 1)
+        self._check_target(target, disp, 1)
+        lib = self.lib
+        req = Request(lib.sim, "rma-fop")
+        req.user_data = res
+        yield lib.sim.timeout(lib.cpu.send_post)
+        if not hasattr(lib, "rma_get_pending"):
+            lib.rma_get_pending = {}
+        lib.rma_get_pending[req.rid] = (req, self)
+        vci, msg = self._build(MessageKind.RMA_FETCH_OP, target, disp,
+                               val.dtype.itemsize, val[:1].copy(),
+                               atomic=True, extra={"rid": req.rid,
+                                                   "op": op.name})
+        self._track(target)
+        self.fetch_ops += 1
+        yield from lib.issue_from_thread(vci, msg)
+        return req
+
+    def Get_accumulate(self, origin: np.ndarray, result: np.ndarray,
+                       target: int, disp: int, op: Op = SUM,
+                       count: Optional[int] = None
+                       ) -> Generator[Event, Any, Request]:
+        """Atomic read-modify-write: fetch the old target values into
+        ``result`` and apply ``origin`` with ``op`` (MPI_Get_accumulate)."""
+        flat = check_buffer(origin, count)
+        n = flat.size if count is None else count
+        res = check_buffer(result, n)
+        self._check_target(target, disp, n)
+        lib = self.lib
+        req = Request(lib.sim, "rma-getacc")
+        req.user_data = res[:n]
+        yield lib.sim.timeout(lib.cpu.send_post)
+        if not hasattr(lib, "rma_get_pending"):
+            lib.rma_get_pending = {}
+        lib.rma_get_pending[req.rid] = (req, self)
+        vci, msg = self._build(MessageKind.RMA_FETCH_OP, target, disp,
+                               n * flat.dtype.itemsize, flat[:n].copy(),
+                               atomic=True,
+                               extra={"rid": req.rid, "op": op.name,
+                                      "count": n})
+        self._track(target)
+        self.fetch_ops += 1
+        yield from lib.issue_from_thread(vci, msg)
+        return req
+
+    def Compare_and_swap(self, compare: np.ndarray, origin: np.ndarray,
+                         result: np.ndarray, target: int, disp: int
+                         ) -> Generator[Event, Any, Request]:
+        """Atomic compare-and-swap on one element (MPI_Compare_and_swap).
+
+        ``result`` receives the old target value; the swap happens only if
+        the target equalled ``compare``.
+        """
+        cmp_ = check_buffer(compare, 1)
+        org = check_buffer(origin, 1)
+        res = check_buffer(result, 1)
+        self._check_target(target, disp, 1)
+        lib = self.lib
+        req = Request(lib.sim, "rma-cas")
+        req.user_data = res[:1]
+        yield lib.sim.timeout(lib.cpu.send_post)
+        if not hasattr(lib, "rma_get_pending"):
+            lib.rma_get_pending = {}
+        lib.rma_get_pending[req.rid] = (req, self)
+        vci, msg = self._build(MessageKind.RMA_FETCH_OP, target, disp,
+                               org.dtype.itemsize, org[:1].copy(),
+                               atomic=True,
+                               extra={"rid": req.rid, "op": "CAS",
+                                      "compare": float(cmp_[0])})
+        self._track(target)
+        self.fetch_ops += 1
+        yield from lib.issue_from_thread(vci, msg)
+        return req
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def Flush(self, target: int) -> Generator[Event, Any, None]:
+        """Block until all operations this handle issued to ``target``
+        have completed at the target."""
+        yield self.sim.timeout(self.lib.cpu.progress_poll)
+        if self._outstanding.get(target, 0):
+            ev = self.sim.event()
+            self._flush_waiters.append((target, ev))
+            yield ev
+
+    def Flush_all(self) -> Generator[Event, Any, None]:
+        yield self.sim.timeout(self.lib.cpu.progress_poll)
+        if any(self._outstanding.values()):
+            ev = self.sim.event()
+            self._flush_waiters.append((None, ev))
+            yield ev
+
+    def Fence(self) -> Generator[Event, Any, None]:
+        """Active-target synchronization: flush + barrier (collective)."""
+        yield from self.Flush_all()
+        yield from self.comm.Barrier()
+
+    def Lock(self, target: int) -> Generator[Event, Any, None]:
+        """Passive-target lock (modelled as an epoch open: local cost only)."""
+        yield self.sim.timeout(self.lib.cpu.lock_acquire)
+
+    def Unlock(self, target: int) -> Generator[Event, Any, None]:
+        """Close a passive epoch: flush the target."""
+        yield from self.Flush(target)
+
+    def Lock_all(self) -> Generator[Event, Any, None]:
+        """Open a passive epoch to every target (MPI_Win_lock_all)."""
+        yield self.sim.timeout(self.lib.cpu.lock_acquire)
+
+    def Unlock_all(self) -> Generator[Event, Any, None]:
+        """Close the all-target passive epoch: flush everything."""
+        yield from self.Flush_all()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Window id={self.win_id} rank {self.comm.rank}/"
+                f"{self.comm.size} size={self.memory.size}>")
+
+
+# ----------------------------------------------------------------------
+# target-side handlers
+# ----------------------------------------------------------------------
+
+def _window_for(lib: "MpiLibrary", msg: WireMessage) -> Window:
+    return lib.rma_windows[(msg.meta["win"], msg.meta["dst_addr"])]
+
+
+def _send_ack(lib: "MpiLibrary", win: Window, msg: WireMessage) -> None:
+    vci = lib.vci_pool.get(msg.dst_vci)
+    ack = WireMessage(
+        kind=MessageKind.RMA_ACK,
+        src_node=lib.node.node_id, dst_node=msg.meta["origin_node"],
+        src_rank=lib.rank, dst_rank=msg.meta["origin_rank"],
+        context_id=msg.context_id, tag=0, size=0,
+        src_vci=msg.dst_vci, dst_vci=msg.meta["origin_vci"],
+        meta={"win": msg.meta["win"], "dst_addr": msg.meta["src_addr"],
+              "target": msg.meta["dst_addr"]})
+    lib.issue_async(vci, ack)
+
+
+def _on_put(lib: "MpiLibrary", msg: WireMessage) -> None:
+    win = _window_for(lib, msg)
+    disp = msg.meta["disp"]
+    data = msg.payload
+    win.memory[disp:disp + len(data)] = data
+    _send_ack(lib, win, msg)
+
+
+def _on_acc(lib: "MpiLibrary", msg: WireMessage) -> None:
+    from ..coll import ops as _ops
+    win = _window_for(lib, msg)
+    disp = msg.meta["disp"]
+    data = msg.payload
+    op: Op = getattr(_ops, msg.meta["op"])
+    # Applied in one event-loop step: atomic by construction.
+    op.apply(win.memory[disp:disp + len(data)], data)
+    _send_ack(lib, win, msg)
+
+
+def _on_get_req(lib: "MpiLibrary", msg: WireMessage) -> None:
+    win = _window_for(lib, msg)
+    disp, n = msg.meta["disp"], msg.meta["count"]
+    data = win.memory[disp:disp + n].copy()
+    vci = lib.vci_pool.get(msg.dst_vci)
+    resp = WireMessage(
+        kind=MessageKind.RMA_GET_RESP,
+        src_node=lib.node.node_id, dst_node=msg.meta["origin_node"],
+        src_rank=lib.rank, dst_rank=msg.meta["origin_rank"],
+        context_id=msg.context_id, tag=0, size=data.nbytes, payload=data,
+        src_vci=msg.dst_vci, dst_vci=msg.meta["origin_vci"],
+        meta={"rid": msg.meta["rid"], "target": msg.meta["dst_addr"]})
+    lib.issue_async(vci, resp)
+
+
+def _on_fetch_op(lib: "MpiLibrary", msg: WireMessage) -> None:
+    from ..coll import ops as _ops
+    win = _window_for(lib, msg)
+    disp = msg.meta["disp"]
+    n = msg.meta.get("count", 1)
+    old = win.memory[disp:disp + n].copy()
+    if msg.meta["op"] == "CAS":
+        if old[0] == msg.meta["compare"]:
+            win.memory[disp:disp + 1] = msg.payload
+    else:
+        op: Op = getattr(_ops, msg.meta["op"])
+        op.apply(win.memory[disp:disp + n], msg.payload)
+    vci = lib.vci_pool.get(msg.dst_vci)
+    resp = WireMessage(
+        kind=MessageKind.RMA_GET_RESP,
+        src_node=lib.node.node_id, dst_node=msg.meta["origin_node"],
+        src_rank=lib.rank, dst_rank=msg.meta["origin_rank"],
+        context_id=msg.context_id, tag=0, size=old.nbytes, payload=old,
+        src_vci=msg.dst_vci, dst_vci=msg.meta["origin_vci"],
+        meta={"rid": msg.meta["rid"], "target": msg.meta["dst_addr"]})
+    lib.issue_async(vci, resp)
+
+
+def _on_get_resp(lib: "MpiLibrary", msg: WireMessage) -> None:
+    req, win = lib.rma_get_pending.pop(msg.meta["rid"])
+    buf: np.ndarray = req.user_data
+    buf[: len(msg.payload)] = msg.payload
+    win._acked(msg.meta["target"])
+    req.complete(source=msg.meta["target"], tag=0, count=len(msg.payload))
+
+
+def _on_ack(lib: "MpiLibrary", msg: WireMessage) -> None:
+    win = lib.rma_windows[(msg.meta["win"], msg.meta["dst_addr"])]
+    win._acked(msg.meta["target"])
+
+
+# ----------------------------------------------------------------------
+# creation
+# ----------------------------------------------------------------------
+
+def win_create(comm: "Communicator", memory: np.ndarray,
+               info: Optional[Info] = None
+               ) -> Generator[Event, Any, Window]:
+    """``MPI_Win_create``: collective over ``comm``.
+
+    Every rank (or endpoint, when ``comm`` is an endpoints communicator)
+    exposes ``memory``; endpoints of one process may — and for the NWChem
+    pattern should — pass the *same* array, sharing one memory region.
+    """
+    lib = comm.lib
+    _ensure_handlers(lib)
+    world = lib.world
+    flat = check_buffer(memory)
+    hints = parse_window_hints(info)
+    seq = next(comm._create_seq)
+    key = ("win_create", comm.context_id, seq)
+    meeting = yield from world.meet(
+        key, nmembers=comm.size, rank=comm.rank, contribution=flat.size,
+        alloc=lambda: {"win_id": world.alloc_context_id()})
+    win_id = meeting.shared["win_id"]
+    sizes = [meeting.contributions[r] for r in range(comm.size)]
+    win = Window(comm, flat, win_id, sizes, hints)
+    lib.rma_windows[(win_id, comm.rank)] = win
+    return win

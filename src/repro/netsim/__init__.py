@@ -1,0 +1,30 @@
+"""Simulated network substrate: NIC hardware contexts + LogGP fabric.
+
+This package stands in for the Omni-Path hardware the paper measured on.
+See DESIGN.md section 1 for the substitution rationale.
+"""
+
+from .config import (
+    OMNIPATH_CONTEXTS,
+    CpuCosts,
+    FabricParams,
+    NetworkConfig,
+    NicParams,
+)
+from .fabric import Fabric
+from .message import HEADER_BYTES, MessageKind, WireMessage
+from .nic import HardwareContext, Nic
+
+__all__ = [
+    "OMNIPATH_CONTEXTS",
+    "CpuCosts",
+    "Fabric",
+    "FabricParams",
+    "HEADER_BYTES",
+    "HardwareContext",
+    "MessageKind",
+    "NetworkConfig",
+    "Nic",
+    "NicParams",
+    "WireMessage",
+]

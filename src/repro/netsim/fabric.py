@@ -1,0 +1,94 @@
+"""The interconnect: delivers wire messages between nodes.
+
+The fabric implements a LogGP-flavoured timing model: a message that
+departs its NIC context at time ``d`` arrives at the destination node at
+``d + L + wire_bytes / bandwidth`` (plus ingress queueing if the
+destination node's link is saturated). Delivery invokes the handler the
+destination node registered — in this codebase, the MPI library's
+:meth:`~repro.mpi.library.MpiLibrary.deliver`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.core import Event, Simulator
+from ..sim.resources import FIFOServer
+from .config import FabricParams
+from .message import WireMessage
+
+__all__ = ["Fabric"]
+
+DeliveryHandler = Callable[[WireMessage], None]
+
+
+class Fabric:
+    """Connects nodes; schedules message arrivals."""
+
+    def __init__(self, sim: Simulator, params: FabricParams):
+        self.sim = sim
+        self.params = params
+        self._handlers: dict[int, DeliveryHandler] = {}
+        self._ingress: dict[int, FIFOServer] = {}
+        self._egress: dict[int, FIFOServer] = {}
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+
+    def register_node(self, node_id: int, handler: DeliveryHandler) -> None:
+        """Attach a node's message handler to the fabric."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already registered")
+        self._handlers[node_id] = handler
+        self._ingress[node_id] = FIFOServer(self.sim, name=f"node{node_id}.ingress")
+        self._egress[node_id] = FIFOServer(self.sim, name=f"node{node_id}.egress")
+
+    @staticmethod
+    def _serialize(server: FIFOServer, head_time: float,
+                   service: float) -> float:
+        """Occupy ``server`` starting no earlier than ``head_time``.
+
+        FIFOServer's own clock is ``sim.now``; messages here carry future
+        departure times, so the busy-interval bookkeeping is done by hand.
+        Returns the completion time.
+        """
+        busy_until = max(server.free_at, head_time)
+        server._free_at = busy_until + service
+        server.stats.requests += 1
+        server.stats.busy_time += service
+        return busy_until + service
+
+    def transmit(self, msg: WireMessage, depart_time: float) -> None:
+        """Schedule delivery of ``msg`` that departs its NIC hardware
+        context at ``depart_time`` (absolute simulated time, >= now)."""
+        if msg.dst_node not in self._handlers:
+            raise KeyError(f"no node {msg.dst_node} on this fabric "
+                           f"(message {msg!r})")
+        now = self.sim.now
+        depart_time = max(depart_time, now)
+        wire_time = msg.wire_bytes / self.params.bandwidth
+        if self.params.model_egress and msg.src_node in self._egress:
+            # All hardware contexts of a node feed one link: aggregate
+            # message-rate and bandwidth ceiling at the source.
+            service = max(self.params.node_msg_gap, wire_time)
+            depart_time = self._serialize(self._egress[msg.src_node],
+                                          depart_time, service)
+        arrival = depart_time + self.params.latency + wire_time
+        if self.params.model_ingress:
+            head_arrival = depart_time + self.params.latency
+            arrival = self._serialize(self._ingress[msg.dst_node],
+                                      head_arrival, wire_time)
+        event = Event(self.sim)
+        event._triggered = True
+        event._value = msg
+        self.sim._enqueue(event, arrival - now, priority=1)
+        event.add_callback(self._on_arrival)
+
+    def _on_arrival(self, event: Event) -> None:
+        msg: WireMessage = event._value
+        self.messages_delivered += 1
+        self.bytes_delivered += msg.wire_bytes
+        self._handlers[msg.dst_node](msg)
+
+    def latency_for(self, wire_bytes: int) -> float:
+        """Unloaded one-way latency for a message of ``wire_bytes``."""
+        return self.params.latency + wire_bytes / self.params.bandwidth

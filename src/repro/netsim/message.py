@@ -1,0 +1,73 @@
+"""Wire message records exchanged through the simulated fabric."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["MessageKind", "WireMessage"]
+
+_seq_counter = itertools.count()
+
+
+class MessageKind(enum.Enum):
+    """Protocol-level message types."""
+
+    EAGER = "eager"               # pt2pt payload inlined
+    RNDV_RTS = "rndv_rts"         # rendezvous request-to-send (header only)
+    RNDV_CTS = "rndv_cts"         # rendezvous clear-to-send
+    RNDV_DATA = "rndv_data"       # rendezvous bulk payload
+    PARTITION = "partition"       # one partition of a partitioned op
+    PART_INIT = "part_init"       # partitioned-op handshake (matched once)
+    PART_INIT_ACK = "part_init_ack"
+    RMA_PUT = "rma_put"
+    RMA_GET_REQ = "rma_get_req"
+    RMA_GET_RESP = "rma_get_resp"
+    RMA_ACC = "rma_acc"
+    RMA_FETCH_OP = "rma_fetch_op"
+    RMA_ACK = "rma_ack"           # remote completion acknowledgement
+    CTRL = "ctrl"                 # generic control (collectives internals)
+
+
+#: Header bytes added to every wire message (envelope: context id, rank,
+#: tag, seq). Affects bandwidth only for large counts of tiny messages.
+HEADER_BYTES = 48
+
+
+@dataclass
+class WireMessage:
+    """One message on the wire.
+
+    ``payload`` carries the actual data (a numpy array copy or any Python
+    object) so that correctness — not just timing — is simulated; tests
+    assert on received values.
+    """
+
+    kind: MessageKind
+    src_node: int
+    dst_node: int
+    src_rank: int            # global MPI rank of sender process
+    dst_rank: int            # global MPI rank of destination process
+    context_id: int          # communicator context id (matching key)
+    tag: int
+    size: int                # payload bytes (excl. header)
+    payload: Any = None
+    src_vci: int = 0
+    dst_vci: int = 0
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+    #: Sequence number within the sender's (context, dst_rank) ordered
+    #: stream — used to enforce/relax non-overtaking at the receiver.
+    stream_seq: int = 0
+    #: Free-form protocol fields (rendezvous handles, partition ids, RMA
+    #: window/offset, collective phase, ...).
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.size + HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<WireMessage {self.kind.value} {self.src_rank}->{self.dst_rank} "
+                f"ctx={self.context_id} tag={self.tag} size={self.size}>")

@@ -1,0 +1,141 @@
+"""NIC model: hardware contexts with per-message issue gaps.
+
+A :class:`HardwareContext` is the unit of network parallelism — the paper's
+"network hardware context" (work queue + doorbell register). Each context
+injects at most one message per ``issue_gap`` seconds; the doorbell write
+is serialized among the software channels (VCIs) mapped onto it.
+
+A :class:`Nic` owns a fixed pool of contexts. VCIs request contexts through
+:meth:`Nic.allocate_context`; when more VCIs exist than contexts, contexts
+are shared round-robin — the Omni-Path resource-exhaustion effect of
+Lesson 3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Event, Simulator
+from ..sim.resources import FIFOServer
+from ..sim.sync import Lock
+from .config import NicParams
+
+__all__ = ["HardwareContext", "Nic"]
+
+
+class HardwareContext:
+    """One NIC hardware context (work queue + doorbell)."""
+
+    __slots__ = ("sim", "index", "params", "injector", "doorbell_lock",
+                 "messages_issued", "bytes_issued", "sharers", "_jitter_state")
+
+    def __init__(self, sim: Simulator, index: int, params: NicParams):
+        self.sim = sim
+        self.index = index
+        self.params = params
+        self.injector = FIFOServer(sim, name=f"hwctx{index}.inject")
+        #: Serializes doorbell rings from the VCIs sharing this context.
+        self.doorbell_lock = Lock(sim, name=f"hwctx{index}.doorbell")
+        self.messages_issued = 0
+        self.bytes_issued = 0
+        #: Number of VCIs mapped onto this context.
+        self.sharers = 0
+        self._jitter_state = index * 0x9E3779B9 + 1
+
+    def _jitter(self) -> float:
+        """Deterministic per-message timing jitter (failure injection).
+
+        Jitter is applied *inside* the context's FIFO injector, so the
+        per-channel ordering MPI's transport relies on is preserved while
+        arrival order *across* channels becomes irregular — exactly the
+        reordering that logically-parallel communication must tolerate.
+        """
+        if self.params.issue_jitter <= 0.0:
+            return 0.0
+        # xorshift32: cheap, deterministic, seeded by context index
+        x = self._jitter_state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._jitter_state = x
+        return self.params.issue_jitter * (x / 0xFFFFFFFF)
+
+    def issue(self, wire_bytes: int) -> float:
+        """Queue one message for injection; returns its departure time.
+
+        The context is a serial injector: the message departs at
+        ``max(now, previous departure) + gap + bytes * per_byte``.
+        """
+        service = self.params.issue_gap + self._jitter() \
+            + wire_bytes * self.params.issue_per_byte
+        depart = self.injector.occupy(service)
+        self.messages_issued += 1
+        self.bytes_issued += wire_bytes
+        return depart
+
+    def issue_event(self, wire_bytes: int) -> Event:
+        """Like :meth:`issue` but returns the departure event (for waiting
+        on local send completion)."""
+        service = self.params.issue_gap + wire_bytes * self.params.issue_per_byte
+        self.messages_issued += 1
+        self.bytes_issued += wire_bytes
+        return self.injector.submit(service)
+
+    @property
+    def is_shared(self) -> bool:
+        return self.sharers > 1
+
+
+class Nic:
+    """A NIC with a fixed pool of hardware contexts."""
+
+    def __init__(self, sim: Simulator, params: NicParams, node_id: int = 0):
+        if params.num_hardware_contexts < 1:
+            raise ValueError("NIC needs at least one hardware context")
+        self.sim = sim
+        self.params = params
+        self.node_id = node_id
+        self.contexts = [HardwareContext(sim, i, params)
+                         for i in range(params.num_hardware_contexts)]
+        self._next = 0
+
+    def allocate_context(self) -> HardwareContext:
+        """Allocate a context round-robin.
+
+        Within the pool, allocation hands out each context once before any
+        context is handed out twice, so sharing only begins once the pool
+        is exhausted — matching how VCI-enabled MPI libraries create a pool
+        of network resources at init and map logical channels onto them
+        (Section II-B of the paper).
+        """
+        ctx = self.contexts[self._next % len(self.contexts)]
+        self._next += 1
+        ctx.sharers += 1
+        return ctx
+
+    @property
+    def num_allocated(self) -> int:
+        return self._next
+
+    @property
+    def oversubscription(self) -> float:
+        """Mean number of VCIs per *used* hardware context."""
+        used = [c for c in self.contexts if c.sharers > 0]
+        if not used:
+            return 0.0
+        return sum(c.sharers for c in used) / len(used)
+
+    def load_imbalance(self) -> float:
+        """Max/mean of messages issued across used contexts.
+
+        A perfectly balanced mapping gives 1.0. Used by the RMA hashing
+        experiment (Fig 6): hash collisions show up as imbalance > 1.
+        """
+        counts = [c.messages_issued for c in self.contexts if c.messages_issued]
+        if not counts:
+            return 0.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 0.0
+
+    def total_messages(self) -> int:
+        return sum(c.messages_issued for c in self.contexts)

@@ -1,0 +1,5 @@
+"""Cluster runtime: world builder, nodes, processes, execution modes."""
+
+from .world import MpiProcess, Node, World
+
+__all__ = ["MpiProcess", "Node", "World"]

@@ -1,0 +1,218 @@
+"""Cluster construction: nodes, MPI processes, simulated threads.
+
+A :class:`World` assembles the whole simulated machine — simulator, fabric,
+nodes with NICs, one :class:`MpiProcess` (with its
+:class:`~repro.mpi.library.MpiLibrary`) per rank — and hands out
+``COMM_WORLD`` handles. Application code is written as generator functions
+("simulated threads") spawned via :meth:`MpiProcess.spawn`.
+
+Typical use::
+
+    world = World(num_nodes=2, procs_per_node=1, threads_per_proc=4)
+    for proc in world.procs:
+        for tid in range(4):
+            proc.spawn(worker(proc, tid))
+    world.run()
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import MpiUsageError
+from ..mpi.comm import Communicator
+from ..mpi.library import MpiLibrary
+from ..netsim.config import NetworkConfig
+from ..netsim.fabric import Fabric
+from ..netsim.message import WireMessage
+from ..netsim.nic import Nic
+from ..sim.core import Event, Process, Simulator
+from ..sim.random import RandomStreams
+from ..sim.sync import Gate
+
+__all__ = ["Node", "MpiProcess", "World"]
+
+
+class Node:
+    """One compute node: a NIC shared by the node's processes."""
+
+    def __init__(self, sim: Simulator, node_id: int, cfg: NetworkConfig):
+        self.sim = sim
+        self.node_id = node_id
+        self.nic = Nic(sim, cfg.nic, node_id=node_id)
+        self.procs: list["MpiProcess"] = []
+
+    def deliver(self, msg: WireMessage) -> None:
+        """Fabric handler: route an arriving message to its process."""
+        self.procs_by_rank[msg.dst_rank].lib.deliver(msg)
+
+    @property
+    def procs_by_rank(self) -> dict[int, "MpiProcess"]:
+        return {p.rank: p for p in self.procs}
+
+
+class MpiProcess:
+    """One MPI process (rank) with any number of simulated threads."""
+
+    def __init__(self, world: "World", rank: int, node: Node):
+        self.world = world
+        self.rank = rank
+        self.node = node
+        self.lib = MpiLibrary(world.sim, world, rank, node, world.cfg,
+                              max_vcis=world.max_vcis_per_proc)
+        self.comm_world = Communicator(
+            self.lib, list(range(world.num_procs)), rank,
+            context_id=0, name="COMM_WORLD")
+        self.threads: list[Process] = []
+
+    @property
+    def sim(self) -> Simulator:
+        return self.world.sim
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a simulated thread on this process."""
+        proc = self.world.sim.spawn(gen, name or f"rank{self.rank}.thread")
+        self.threads.append(proc)
+        return proc
+
+    def compute(self, seconds: float):
+        """Charge ``seconds`` of local computation (``yield proc.compute(x)``)."""
+        return self.world.sim.timeout(seconds)
+
+    def shm_exchange(self, nbytes: int):
+        """Charge a thread-to-thread shared-memory copy of ``nbytes``
+        (the non-MPI path of the paper's listings: ``else: use shared
+        memory``)."""
+        cpu = self.world.cfg.cpu
+        return self.world.sim.timeout(cpu.shm_copy_base
+                                      + nbytes / cpu.shm_bandwidth)
+
+    def __repr__(self) -> str:
+        return f"<MpiProcess rank={self.rank} node={self.node.node_id}>"
+
+
+@dataclass
+class _Meeting:
+    """Rendezvous state for one collective setup call (dup, win create...)."""
+
+    expected: int
+    gate: Gate
+    contributions: dict[int, Any] = field(default_factory=dict)
+    shared: dict[str, Any] = field(default_factory=dict)
+    arrived: int = 0
+
+
+class World:
+    """The whole simulated machine plus MPI job."""
+
+    def __init__(self, num_nodes: int = 2, procs_per_node: int = 1,
+                 threads_per_proc: int = 1,
+                 cfg: Optional[NetworkConfig] = None,
+                 max_vcis_per_proc: int = 64, seed: int = 0):
+        if num_nodes < 1 or procs_per_node < 1 or threads_per_proc < 1:
+            raise MpiUsageError("world dimensions must be positive")
+        self.sim = Simulator()
+        self.cfg = cfg or NetworkConfig()
+        self.num_nodes = num_nodes
+        self.procs_per_node = procs_per_node
+        self.threads_per_proc = threads_per_proc
+        self.num_procs = num_nodes * procs_per_node
+        self.max_vcis_per_proc = max_vcis_per_proc
+        self.rng = RandomStreams(seed)
+        self.fabric = Fabric(self.sim, self.cfg.fabric)
+
+        self.nodes = [Node(self.sim, i, self.cfg) for i in range(num_nodes)]
+        self.procs: list[MpiProcess] = []
+        for node in self.nodes:
+            self.fabric.register_node(node.node_id, node.deliver)
+        for rank in range(self.num_procs):
+            node = self.nodes[rank // procs_per_node]
+            proc = MpiProcess(self, rank, node)
+            node.procs.append(proc)
+            self.procs.append(proc)
+
+        # Context ids are allocated in strides of four per communicator:
+        # +0 point-to-point, +1 collectives, +2 partitioned, +3 reserved.
+        # COMM_WORLD holds 0..3.
+        self._next_context = itertools.count(4, 4)
+        self._meetings: dict[Any, _Meeting] = {}
+
+    # ------------------------------------------------------------------
+    def proc(self, rank: int) -> MpiProcess:
+        return self.procs[rank]
+
+    def comm_world(self, rank: int) -> Communicator:
+        return self.procs[rank].comm_world
+
+    def alloc_context_id(self) -> int:
+        """Allocate a fresh (even) context id, globally consistent."""
+        return next(self._next_context)
+
+    # ------------------------------------------------------------------
+    def meet(self, key: Any, nmembers: int, rank: int,
+             contribution: Any = None,
+             alloc: Optional[Callable[[], dict]] = None,
+             finalize: Optional[Callable[["_Meeting"], None]] = None
+             ) -> Generator[Event, Any, _Meeting]:
+        """Rendezvous of ``nmembers`` participants under ``key``.
+
+        Used by collective *setup* operations (Comm_dup, endpoint and
+        window creation): every participant blocks until all have arrived,
+        contributions are exchanged, and the first arriver runs ``alloc``
+        to populate the meeting's shared dictionary (e.g. allocate a
+        context id that all members must agree on). ``finalize`` runs once,
+        by the *last* arriver, after all contributions are in — for
+        allocations whose size depends on the contributions (Comm_split's
+        per-color context ids). Setup calls are outside every benchmark's
+        critical path, so the rendezvous itself is time-free by design.
+        """
+        meeting = self._meetings.get(key)
+        if meeting is None:
+            meeting = _Meeting(expected=nmembers, gate=Gate(self.sim))
+            if alloc is not None:
+                meeting.shared.update(alloc())
+            self._meetings[key] = meeting
+        if meeting.expected != nmembers:
+            raise MpiUsageError(
+                f"meeting {key!r} size mismatch: {meeting.expected} vs {nmembers}")
+        if rank in meeting.contributions:
+            raise MpiUsageError(f"rank {rank} joined meeting {key!r} twice")
+        meeting.contributions[rank] = contribution
+        meeting.arrived += 1
+        if meeting.arrived == meeting.expected:
+            del self._meetings[key]
+            if finalize is not None:
+                finalize(meeting)
+            meeting.gate.open()
+        else:
+            yield from meeting.gate.wait()
+        return meeting
+
+    # ------------------------------------------------------------------
+    def launch(self, fn: Callable[[MpiProcess, int], Generator],
+               threads_per_proc: Optional[int] = None) -> list[Process]:
+        """Spawn ``fn(proc, tid)`` on every process for every thread id."""
+        nt = threads_per_proc or self.threads_per_proc
+        tasks = []
+        for proc in self.procs:
+            for tid in range(nt):
+                tasks.append(proc.spawn(fn(proc, tid),
+                                        name=f"rank{proc.rank}.t{tid}"))
+        return tasks
+
+    def run(self, until: Optional[float | Event] = None,
+            max_steps: Optional[int] = None) -> Any:
+        return self.sim.run(until=until, max_steps=max_steps)
+
+    def run_all(self, tasks: Iterable[Process],
+                max_steps: Optional[int] = None) -> list[Any]:
+        """Run until every task in ``tasks`` has finished; returns their
+        values (raises if any failed)."""
+        gather = self.sim.all_of(list(tasks))
+        return self.sim.run(until=gather, max_steps=max_steps)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

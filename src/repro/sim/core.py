@@ -1,0 +1,353 @@
+"""Discrete-event simulation kernel.
+
+This module provides the event loop on which the whole reproduction runs:
+simulated MPI processes, threads, NIC hardware contexts, and the fabric are
+all cooperative tasks scheduled on a :class:`Simulator`.
+
+The design is a deliberately small SimPy-style kernel:
+
+- an :class:`Event` is a one-shot occurrence with a value and callbacks;
+- a :class:`Process` wraps a Python generator; each ``yield`` suspends the
+  task until the yielded event triggers;
+- the :class:`Simulator` owns the clock and a binary heap of scheduled
+  events and executes them in ``(time, priority, sequence)`` order, so runs
+  are fully deterministic.
+
+Simulated time is a ``float`` in **seconds**. Determinism is load-bearing
+for the reproduction: two runs with identical parameters produce identical
+simulated timings, which makes the benchmark shapes stable and the tests
+exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+]
+
+# Priorities for events scheduled at the same timestamp. Urgent is used for
+# event-triggering chains (e.g. a lock handoff) that must run before newly
+# scheduled same-time timeouts.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double trigger, bad yield, ...)."""
+
+
+class Event:
+    """A one-shot simulation event.
+
+    An event goes through three states: *pending* (created), *triggered*
+    (value set and scheduled on the simulator heap), and *processed*
+    (callbacks executed). Once triggered, an event carries either a value
+    (success) or an exception (failure).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        return self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_URGENT) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._enqueue(self, 0.0, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = PRIORITY_URGENT) -> "Event":
+        """Trigger the event as failed with exception ``exc``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.sim._enqueue(self, 0.0, priority)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately.
+        """
+        if self._processed:
+            fn(self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.9f}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._enqueue(self, delay, PRIORITY_NORMAL)
+
+
+class Process(Event):
+    """A cooperative task wrapping a generator.
+
+    The process is itself an event: it triggers with the generator's return
+    value (or its unhandled exception) when the generator finishes, so
+    processes can ``yield`` other processes to join them.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(gen).__name__}; "
+                "did you forget to call the generator function?")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: start the generator at the current simulation time.
+        bootstrap = Event(sim)
+        bootstrap.succeed(priority=PRIORITY_NORMAL)
+        bootstrap.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if trigger._exc is not None:
+                target = self.gen.throw(trigger._exc)
+            else:
+                target = self.gen.send(trigger._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if not self._triggered:
+                self.fail(exc)
+                return
+            raise
+        self.sim._active_process = None
+        if not isinstance(target, Event) or target.sim is not self.sim:
+            self.gen.close()
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances from their own simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers when all given events have triggered successfully.
+
+    Its value is the list of the constituent values, in input order. If any
+    constituent fails, the AllOf fails with that exception (first failure
+    wins).
+    """
+
+    __slots__ = ("_pending", "_results", "_failed")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._results: list[Any] = [None] * len(events)
+        self._pending = len(events)
+        self._failed = False
+        if not events:
+            self.succeed([])
+            return
+        for i, ev in enumerate(events):
+            ev.add_callback(lambda e, i=i: self._on_child(e, i))
+
+    def _on_child(self, ev: Event, index: int) -> None:
+        if self._failed or self._triggered:
+            return
+        if ev._exc is not None:
+            self._failed = True
+            self.fail(ev._exc)
+            return
+        self._results[index] = ev._value
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(list(self._results))
+
+
+class AnyOf(Event):
+    """Triggers when the first of the given events triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise ValueError("AnyOf requires at least one event")
+        for i, ev in enumerate(events):
+            ev.add_callback(lambda e, i=i: self._on_child(e, i))
+
+    def _on_child(self, ev: Event, index: int) -> None:
+        if self._triggered:
+            return
+        if ev._exc is not None:
+            self.fail(ev._exc)
+        else:
+            self.succeed((index, ev._value))
+
+
+class Simulator:
+    """The discrete-event loop: clock + scheduled-event heap."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self.steps = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event construction helpers --------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new cooperative task from a generator."""
+        return Process(self, gen, name)
+
+    # alias matching simpy vocabulary
+    process = spawn
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("time went backwards")
+        self._now = when
+        self.steps += 1
+        event._process()
+
+    def run(self, until: Optional[float | Event] = None,
+            max_steps: Optional[int] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a time (run until the clock passes it), an
+        :class:`Event` (run until it is processed; returns its value), or
+        ``None`` (run until no events remain). ``max_steps`` guards against
+        runaway loops.
+        """
+        start_steps = self.steps
+        if isinstance(until, Event):
+            target = until
+            while not target._processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)")
+                if max_steps is not None and self.steps - start_steps >= max_steps:
+                    raise SimulationError(f"exceeded max_steps={max_steps}")
+                self.step()
+            return target.value
+        if until is None:
+            while self._heap:
+                if max_steps is not None and self.steps - start_steps >= max_steps:
+                    raise SimulationError(f"exceeded max_steps={max_steps}")
+                self.step()
+            return None
+        horizon = float(until)
+        while self._heap and self._heap[0][0] <= horizon:
+            if max_steps is not None and self.steps - start_steps >= max_steps:
+                raise SimulationError(f"exceeded max_steps={max_steps}")
+            self.step()
+        self._now = max(self._now, horizon)
+        return None

@@ -1,0 +1,39 @@
+"""Deterministic random-number streams for simulations.
+
+Every stochastic component (workload generators, graph partitions, jitter)
+draws from a named child stream derived from a single experiment seed, so
+adding a new consumer never perturbs the draws seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A tree of named, independently-seeded numpy Generators."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._root = np.random.SeedSequence(self.seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``.
+
+        The stream depends only on ``(seed, name)``, not on creation order.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy,
+                spawn_key=(hash(name) & 0x7FFFFFFF,),
+            )
+            gen = np.random.default_rng(child)
+            self._streams[name] = gen
+        return gen
+
+    def __getitem__(self, name: str) -> np.random.Generator:
+        return self.stream(name)

@@ -1,0 +1,251 @@
+"""Synchronization primitives with contention accounting.
+
+The paper's central performance argument is about *where threads contend*:
+on a global MPI lock, on a shared VCI, on a partitioned operation's shared
+request, or — ideally — nowhere. These primitives therefore record wait
+statistics so the benchmarks can report both time and contention.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Generator, Optional
+
+from .core import Event, Simulator, SimulationError
+
+__all__ = ["Lock", "Semaphore", "Barrier", "Gate", "Mailbox", "ContentionStats"]
+
+
+@dataclass
+class ContentionStats:
+    """Aggregate wait/hold statistics for a synchronization object."""
+
+    acquisitions: int = 0
+    contended_acquisitions: int = 0
+    total_wait_time: float = 0.0
+    total_hold_time: float = 0.0
+    max_queue_length: int = 0
+
+    @property
+    def contention_ratio(self) -> float:
+        """Fraction of acquisitions that had to wait."""
+        if self.acquisitions == 0:
+            return 0.0
+        return self.contended_acquisitions / self.acquisitions
+
+    @property
+    def mean_wait_time(self) -> float:
+        if self.acquisitions == 0:
+            return 0.0
+        return self.total_wait_time / self.acquisitions
+
+
+class Lock:
+    """FIFO mutual-exclusion lock.
+
+    Usage from a process::
+
+        yield from lock.acquire()
+        try:
+            ...
+        finally:
+            lock.release()
+
+    The lock is not reentrant and does not track ownership by process; the
+    MPI layer uses it to serialize access to shared VCIs, matching queues
+    and NIC doorbells.
+    """
+
+    __slots__ = ("sim", "name", "locked", "_waiters", "stats", "_acquired_at")
+
+    def __init__(self, sim: Simulator, name: str = "lock"):
+        self.sim = sim
+        self.name = name
+        self.locked = False
+        self._waiters: Deque[Event] = deque()
+        self.stats = ContentionStats()
+        self._acquired_at = 0.0
+
+    def acquire(self) -> Generator[Event, Any, None]:
+        """Generator: acquire the lock, waiting FIFO if held."""
+        self.stats.acquisitions += 1
+        if not self.locked:
+            self.locked = True
+            self._acquired_at = self.sim.now
+            return
+        self.stats.contended_acquisitions += 1
+        waiter = self.sim.event()
+        self._waiters.append(waiter)
+        self.stats.max_queue_length = max(self.stats.max_queue_length,
+                                          len(self._waiters))
+        t0 = self.sim.now
+        yield waiter
+        self.stats.total_wait_time += self.sim.now - t0
+        self._acquired_at = self.sim.now
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns True on success."""
+        if self.locked:
+            return False
+        self.stats.acquisitions += 1
+        self.locked = True
+        self._acquired_at = self.sim.now
+        return True
+
+    def release(self) -> None:
+        if not self.locked:
+            raise SimulationError(f"release of unheld lock {self.name!r}")
+        self.stats.total_hold_time += self.sim.now - self._acquired_at
+        if self._waiters:
+            # Hand the lock to the next waiter; it stays locked.
+            self._acquired_at = self.sim.now
+            self._waiters.popleft().succeed()
+        else:
+            self.locked = False
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup."""
+
+    __slots__ = ("sim", "count", "_waiters", "stats")
+
+    def __init__(self, sim: Simulator, initial: int = 0):
+        if initial < 0:
+            raise ValueError("semaphore count must be non-negative")
+        self.sim = sim
+        self.count = initial
+        self._waiters: Deque[Event] = deque()
+        self.stats = ContentionStats()
+
+    def post(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self._waiters:
+                self._waiters.popleft().succeed()
+            else:
+                self.count += 1
+
+    def wait(self) -> Generator[Event, Any, None]:
+        self.stats.acquisitions += 1
+        if self.count > 0:
+            self.count -= 1
+            return
+        self.stats.contended_acquisitions += 1
+        waiter = self.sim.event()
+        self._waiters.append(waiter)
+        t0 = self.sim.now
+        yield waiter
+        self.stats.total_wait_time += self.sim.now - t0
+
+
+class Barrier:
+    """Reusable cyclic barrier for ``parties`` processes.
+
+    Models the implicit thread barrier that e.g. OpenMP ``single`` regions
+    impose (Listing 4 of the paper charges exactly this synchronization to
+    partitioned communication).
+    """
+
+    __slots__ = ("sim", "parties", "_count", "_gate", "generation", "stats",
+                 "per_entry_cost")
+
+    def __init__(self, sim: Simulator, parties: int, per_entry_cost: float = 0.0):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.sim = sim
+        self.parties = parties
+        self.per_entry_cost = per_entry_cost
+        self._count = 0
+        self._gate: Event = sim.event()
+        self.generation = 0
+        self.stats = ContentionStats()
+
+    def wait(self) -> Generator[Event, Any, None]:
+        if self.per_entry_cost:
+            yield self.sim.timeout(self.per_entry_cost)
+        self.stats.acquisitions += 1
+        self._count += 1
+        if self._count == self.parties:
+            gate, self._gate = self._gate, self.sim.event()
+            self._count = 0
+            self.generation += 1
+            gate.succeed()
+            return
+        self.stats.contended_acquisitions += 1
+        t0 = self.sim.now
+        gate = self._gate
+        yield gate
+        self.stats.total_wait_time += self.sim.now - t0
+
+
+class Gate:
+    """A resettable broadcast flag: processes wait until it is opened."""
+
+    __slots__ = ("sim", "_event", "_open")
+
+    def __init__(self, sim: Simulator, open: bool = False):
+        self.sim = sim
+        self._event = sim.event()
+        self._open = open
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self, value: Any = None) -> None:
+        if not self._open:
+            self._open = True
+            self._event.succeed(value)
+
+    def reset(self) -> None:
+        self._open = False
+        if self._event.triggered:
+            self._event = self.sim.event()
+
+    def wait(self) -> Generator[Event, Any, Any]:
+        if self._open:
+            return None
+        value = yield self._event
+        return value
+
+
+class Mailbox:
+    """Unbounded FIFO queue with blocking ``get``.
+
+    Used for NIC work queues and runtime message queues. ``put`` never
+    blocks; ``get`` blocks until an item is available.
+    """
+
+    __slots__ = ("sim", "_items", "_getters", "name")
+
+    def __init__(self, sim: Simulator, name: str = "mailbox"):
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Generator[Event, Any, Any]:
+        if self._items:
+            return self._items.popleft()
+        waiter = self.sim.event()
+        self._getters.append(waiter)
+        item = yield waiter
+        return item
+
+    def try_get(self) -> tuple[bool, Optional[Any]]:
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._items)

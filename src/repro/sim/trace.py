@@ -1,0 +1,71 @@
+"""Lightweight event tracing for simulations.
+
+A :class:`Tracer` collects ``(time, category, payload)`` records. Benchmarks
+use it to derive per-phase timings (e.g. halo-exchange time vs compute
+time) and tests use it to assert ordering properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from .core import Simulator
+
+__all__ = ["TraceRecord", "Tracer", "NullTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    category: str
+    payload: Any
+
+
+class Tracer:
+    """Collects trace records; filterable by category."""
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def emit(self, category: str, payload: Any = None) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(self.sim.now, category, payload))
+
+    def select(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def count(self, category: str) -> int:
+        return sum(1 for r in self.records if r.category == category)
+
+    def spans(self, begin: str, end: str) -> list[tuple[float, float]]:
+        """Pair up begin/end records (FIFO) into (start, stop) spans."""
+        starts: list[float] = []
+        out: list[tuple[float, float]] = []
+        for r in self.records:
+            if r.category == begin:
+                starts.append(r.time)
+            elif r.category == end and starts:
+                out.append((starts.pop(0), r.time))
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything (for hot benchmark runs)."""
+
+    def __init__(self, sim: Optional[Simulator] = None):
+        super().__init__(sim if sim is not None else Simulator(), enabled=False)
+
+    def emit(self, category: str, payload: Any = None) -> None:
+        pass

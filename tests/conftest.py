@@ -1,0 +1,17 @@
+"""Pytest fixtures (helpers live in tests/helpers.py)."""
+
+import pytest
+
+from repro.runtime import World
+
+
+@pytest.fixture
+def world2():
+    """Two single-process nodes with default config."""
+    return World(num_nodes=2, procs_per_node=1)
+
+
+@pytest.fixture
+def world4():
+    """Four single-process nodes."""
+    return World(num_nodes=4, procs_per_node=1)

@@ -1,0 +1,20 @@
+"""Shared test helpers (importable as tests.helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import NetworkConfig
+from repro.runtime import World
+
+
+def run_ranks(world: World, *fns, max_steps=2_000_000):
+    """Spawn ``fns[i]`` (a generator function taking the process) on rank
+    ``i``, run to completion, and return their return values."""
+    tasks = [world.procs[i].spawn(fn(world.procs[i]))
+             for i, fn in enumerate(fns)]
+    return world.run_all(tasks, max_steps=max_steps)
+
+
+def run_same(world: World, fn, max_steps=2_000_000):
+    """Run the same generator function on every rank."""
+    return run_ranks(world, *([fn] * world.num_procs), max_steps=max_steps)

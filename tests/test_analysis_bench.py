@@ -1,0 +1,258 @@
+"""Tests for the analysis package (Table I, usability) and the bench
+utilities (msgrate, reporting)."""
+
+import os
+
+import pytest
+
+from repro.analysis import (
+    MECHANISM_NAMES,
+    OPERATIONS,
+    PATTERNS,
+    render_table,
+    render_usability,
+    scope_matrix,
+    stencil_usability,
+)
+from repro.bench import MODES, MsgRateConfig, Table, run_msgrate, write_results
+from repro.errors import MpiUsageError
+from repro.mapping import STENCIL_2D_5PT, STENCIL_2D_9PT, StencilGeometry
+
+
+# ---------------------------------------------------------------- scope
+
+def test_scope_matrix_complete():
+    m = scope_matrix()
+    for row in OPERATIONS + PATTERNS:
+        for mech in MECHANISM_NAMES:
+            assert (row, mech) in m, (row, mech)
+
+
+def test_scope_matrix_lessons_encoded():
+    m = scope_matrix()
+    # Lesson 15: partitioned can't do wildcards or dynamic patterns.
+    assert not m[("wildcard-polling", "partitioned")].supported
+    assert not m[("irregular-dynamic", "partitioned")].supported
+    # Lesson 18: existing collectives demand user-side work.
+    assert m[("collective", "existing")].user_side_work
+    # Endpoints support everything without user-side work.
+    for row in OPERATIONS + PATTERNS:
+        cap = m[(row, "endpoints")]
+        assert cap.supported and not cap.user_side_work
+
+
+def test_scope_render_mentions_tbd():
+    text = render_table()
+    assert "TBD" in text
+    assert "NO" in text
+    assert "endpoints" in text
+
+
+def test_scope_render_subset():
+    text = render_table(rows=("rma",))
+    assert "rma" in text and "collective" not in text
+
+
+# ---------------------------------------------------------------- usability
+
+def test_usability_reports_ranked_as_paper_argues():
+    geom = StencilGeometry((3, 3), (3, 3), STENCIL_2D_5PT)
+    reports = stencil_usability(geom)
+    # Communicators need by far the most setup objects (Lesson 3).
+    assert reports["communicators"].setup_calls \
+        > 5 * reports["endpoints"].setup_calls
+    # Only the tags mechanism requires implementation-specific hints
+    # (Lesson 8's portability hazard).
+    assert reports["tags"].implementation_specific_hints > 0
+    for name in ("original", "communicators", "endpoints", "partitioned"):
+        assert reports[name].implementation_specific_hints == 0
+    # Only communicators require mirroring math (Lesson 1).
+    assert reports["communicators"].needs_mirroring_logic
+    assert not reports["endpoints"].needs_mirroring_logic
+    # Partitioned introduces the most new concepts and extra sync steps
+    # (Lesson 14).
+    assert reports["partitioned"].new_concepts \
+        > reports["endpoints"].new_concepts
+    assert reports["partitioned"].extra_sync_steps > 0
+
+
+def test_usability_skips_partitioned_for_diagonal_stencils():
+    geom = StencilGeometry((2, 2), (3, 3), STENCIL_2D_9PT)
+    reports = stencil_usability(geom)
+    assert "partitioned" not in reports  # Lesson 15
+    assert "endpoints" in reports
+
+
+def test_usability_render_contains_all_rows():
+    geom = StencilGeometry((2, 2), (2, 2), STENCIL_2D_5PT)
+    text = render_usability(stencil_usability(geom))
+    for name in ("original", "communicators", "tags", "endpoints",
+                 "partitioned"):
+        assert name in text
+
+
+# ---------------------------------------------------------------- bench
+
+def test_msgrate_modes_validated():
+    with pytest.raises(MpiUsageError):
+        MsgRateConfig(mode="warp-drive")
+    with pytest.raises(MpiUsageError):
+        MsgRateConfig(cores=0)
+    assert "everywhere" in MODES
+
+
+def test_msgrate_rate_positive_and_deterministic():
+    cfg = MsgRateConfig(mode="threads-endpoints", cores=4, msgs_per_core=16)
+    a = run_msgrate(cfg)
+    b = run_msgrate(cfg)
+    assert a.rate > 0
+    assert a.rate == b.rate
+    assert a.messages == 4 * 16
+
+
+def test_msgrate_everywhere_scales():
+    r1 = run_msgrate(MsgRateConfig(mode="everywhere", cores=1,
+                                   msgs_per_core=32))
+    r4 = run_msgrate(MsgRateConfig(mode="everywhere", cores=4,
+                                   msgs_per_core=32))
+    assert r4.rate > 3 * r1.rate
+
+
+def test_table_rendering_and_validation():
+    t = Table("demo", ["a", "b"], widths=[4, 6])
+    t.add(1, 2.5)
+    t.add("x", 0.125)
+    text = t.render()
+    assert "demo" in text and "2.5" in text and "0.125" in text
+    with pytest.raises(ValueError):
+        t.add(1)  # wrong arity
+
+
+def test_write_results_creates_file(tmp_path):
+    path = write_results("unit_test_table", "hello", directory=str(tmp_path))
+    assert os.path.exists(path)
+    with open(path) as fh:
+        assert fh.read().strip() == "hello"
+
+
+# ---------------------------------------------------------------- sweep
+
+def test_sweep_points_cartesian():
+    from repro.bench import Sweep
+    s = Sweep("demo", {"a": [1, 2], "b": ["x", "y", "z"]})
+    assert len(s.points) == 6
+    assert {"a": 2, "b": "y"} in s.points
+
+
+def test_sweep_run_and_render():
+    from repro.bench import Sweep
+    s = Sweep("demo", {"n": [1, 2, 3]})
+    rows = s.run(lambda n: {"square": n * n})
+    assert [r.outputs["square"] for r in rows] == [1, 4, 9]
+    text = s.to_table(rows)
+    assert "square" in text and "9" in text
+
+
+def test_sweep_csv(tmp_path):
+    import csv as _csv
+    from repro.bench import Sweep
+    s = Sweep("demo", {"n": [1, 2]})
+    rows = s.run(lambda n: {"double": 2 * n})
+    path = s.to_csv(rows, str(tmp_path / "out.csv"))
+    with open(path) as fh:
+        got = list(_csv.DictReader(fh))
+    assert got[1] == {"n": "2", "double": "4"}
+
+
+def test_sweep_pivot():
+    from repro.bench import Sweep
+    s = Sweep("demo", {"mode": ["a", "b"], "cores": [1, 2]})
+    rows = s.run(lambda mode, cores: {"v": f"{mode}{cores}"})
+    text = s.pivot(rows, index="mode", column="cores", value="v").render()
+    assert "a1" in text and "b2" in text
+
+
+def test_sweep_validation():
+    from repro.bench import Sweep
+    with pytest.raises(ValueError):
+        Sweep("demo", {})
+    with pytest.raises(ValueError):
+        Sweep("demo", {"a": []})
+    s = Sweep("demo", {"a": [1]})
+    with pytest.raises(ValueError):
+        s.run(lambda a: {"a": 2})  # output collides with param
+    with pytest.raises(ValueError):
+        s.pivot([], index="a", column="nope", value="v")
+
+
+# ------------------------------------------------------------ contention
+
+def _run_msgrate_world(mode, cores=4):
+    """Run a small message-rate experiment and return its world."""
+    import numpy as np
+    from repro.mpi.request import waitall
+    from repro.runtime import World
+
+    world = World(num_nodes=2, procs_per_node=1, threads_per_proc=cores,
+                  max_vcis_per_proc=1 if mode == "original" else 16)
+
+    def node(proc):
+        from repro.mpi.endpoints import comm_create_endpoints
+        if mode == "endpoints":
+            comms = yield from comm_create_endpoints(proc.comm_world, cores)
+        else:
+            comms = [proc.comm_world] * cores
+
+        def t(tid):
+            comm = comms[tid]
+            peer = (1 - proc.rank) if mode != "endpoints" \
+                else ((comm.rank + cores) % (2 * cores))
+            buf = np.zeros(8)
+            for k in range(12):
+                if proc.rank == 0:
+                    req = yield from comm.Isend(buf, peer, tag=tid)
+                else:
+                    req = yield from comm.Irecv(buf, peer, tag=tid)
+                yield from req.wait()
+
+        tasks = [proc.spawn(t(tid)) for tid in range(cores)]
+        yield proc.sim.all_of(tasks)
+
+    tasks = [world.procs[i].spawn(node(world.procs[i])) for i in range(2)]
+    world.run_all(tasks, max_steps=None)
+    return world
+
+
+def test_contention_report_shapes():
+    from repro.analysis import collect
+    world = _run_msgrate_world("original")
+    report = collect(world)
+    assert report.active_vcis >= 1
+    assert len(report.nodes) == 2
+    assert report.total_match_scans > 0
+    # everything funnels through one channel
+    assert report.channel_spread() > 0.45
+    text = report.render()
+    assert "lockwait" in text and "node 0" in text
+
+
+def test_contention_endpoints_spread_channels():
+    from repro.analysis import collect
+    r_orig = collect(_run_msgrate_world("original"))
+    r_ep = collect(_run_msgrate_world("endpoints"))
+    # endpoints spread traffic over many channels; original does not
+    assert r_ep.active_vcis > r_orig.active_vcis
+    assert r_ep.channel_spread() < r_orig.channel_spread()
+    # and the original mode shows contended lock acquisitions
+    assert r_orig.total_contended_acquisitions \
+        >= r_ep.total_contended_acquisitions
+
+
+def test_contention_busiest_vci_and_empty():
+    from repro.analysis import ContentionReport, collect
+    with pytest.raises(ValueError):
+        _ = ContentionReport().busiest_vci
+    world = _run_msgrate_world("original")
+    report = collect(world)
+    b = report.busiest_vci
+    assert b.sends + b.recvs > 0

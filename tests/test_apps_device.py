@@ -1,0 +1,62 @@
+"""Tests for the device-initiated communication proxy (Lesson 20)."""
+
+import pytest
+
+from repro.apps.device import DeviceConfig, DeviceParams, run_device
+from repro.errors import MpiUsageError
+
+
+@pytest.mark.parametrize("mechanism", ["host-driven", "device-partitioned",
+                                       "device-mpi"])
+def test_device_exchange_correct(mechanism):
+    r = run_device(DeviceConfig(mechanism=mechanism, blocks=4, timesteps=4))
+    assert r.correct
+
+
+def test_device_config_validation():
+    with pytest.raises(MpiUsageError):
+        DeviceConfig(mechanism="telepathy")
+    with pytest.raises(MpiUsageError):
+        DeviceConfig(num_nodes=4)
+
+
+def test_lesson20_partitioned_best_for_device():
+    base = dict(blocks=8, timesteps=5)
+    t_host = run_device(DeviceConfig(mechanism="host-driven", **base))
+    t_part = run_device(DeviceConfig(mechanism="device-partitioned", **base))
+    t_dmpi = run_device(DeviceConfig(mechanism="device-mpi", **base))
+    assert t_part.time_per_step < t_host.time_per_step
+    assert t_part.time_per_step < t_dmpi.time_per_step
+
+
+def test_persistent_kernel_single_launch():
+    r = run_device(DeviceConfig(mechanism="device-partitioned", blocks=4,
+                                timesteps=7))
+    assert r.kernel_launches == 1
+    r = run_device(DeviceConfig(mechanism="host-driven", blocks=4,
+                                timesteps=7))
+    assert r.kernel_launches == 7
+
+
+def test_launch_latency_drives_host_cost():
+    """Doubling the kernel-launch latency hurts the host-driven mode far
+    more than the persistent-kernel modes."""
+    slow = DeviceParams(kernel_launch=32e-6)
+    # enough timesteps to amortize the persistent kernel's single launch
+    base = dict(blocks=4, timesteps=20)
+    fast_host = run_device(DeviceConfig(mechanism="host-driven", **base))
+    slow_host = run_device(DeviceConfig(mechanism="host-driven",
+                                        params=slow, **base))
+    fast_part = run_device(DeviceConfig(mechanism="device-partitioned",
+                                        **base))
+    slow_part = run_device(DeviceConfig(mechanism="device-partitioned",
+                                        params=slow, **base))
+    host_hit = slow_host.time_per_step / fast_host.time_per_step
+    part_hit = slow_part.time_per_step / fast_part.time_per_step
+    assert host_hit > 1.5
+    assert part_hit < 1.2
+
+
+def test_device_runs_deterministic():
+    cfg = DeviceConfig(mechanism="device-partitioned", blocks=4, timesteps=3)
+    assert run_device(cfg).wall_time == run_device(cfg).wall_time

@@ -1,0 +1,125 @@
+"""Tests for the Legion event-runtime / circuit and graph proxies."""
+
+import pytest
+
+from repro.apps.graph import GraphConfig, partition_graph, run_graph
+from repro.apps.legion import (
+    CircuitConfig,
+    LegionConfig,
+    run_circuit,
+    run_legion,
+)
+from repro.errors import MpiUsageError
+
+
+# ---------------------------------------------------------------- legion
+
+@pytest.mark.parametrize("mechanism", ["original", "communicators",
+                                       "endpoints"])
+def test_legion_all_events_processed(mechanism):
+    cfg = LegionConfig(num_nodes=3, task_threads=4, msgs_per_thread=6,
+                       mechanism=mechanism)
+    r = run_legion(cfg)
+    assert r.correct
+    assert r.polling_rate > 0
+
+
+def test_legion_partitioned_rejected():
+    """Lesson 15: wildcard polling cannot be expressed with partitions."""
+    with pytest.raises(MpiUsageError, match="Lesson 15"):
+        LegionConfig(mechanism="partitioned")
+
+
+def test_legion_needs_two_nodes():
+    with pytest.raises(MpiUsageError):
+        LegionConfig(num_nodes=1)
+
+
+def test_fig5_polling_cost_grows_with_communicators():
+    """Fig 5 / Lesson 5: the polling thread pays more per event when it
+    must iterate over the task threads' communicators (paper: 1.63x)."""
+    base = dict(num_nodes=3, task_threads=8, msgs_per_thread=10)
+    r_comm = run_legion(LegionConfig(mechanism="communicators", **base))
+    r_ep = run_legion(LegionConfig(mechanism="endpoints", **base))
+    ratio = r_comm.polling_cost_per_event / r_ep.polling_cost_per_event
+    assert 1.2 < ratio < 2.5
+    assert r_comm.probes_per_event > 1.5 * r_ep.probes_per_event
+
+
+def test_fig5_ratio_grows_with_thread_count():
+    """More task threads -> more communicators to iterate -> worse."""
+    def ratio(nthreads):
+        # Scale the per-thread think time with the thread count so the
+        # aggregate event rate at the polling thread stays constant.
+        base = dict(num_nodes=3, task_threads=nthreads, msgs_per_thread=10,
+                    task_work=1.25e-6 * nthreads * 2)
+        r_comm = run_legion(LegionConfig(mechanism="communicators", **base))
+        r_ep = run_legion(LegionConfig(mechanism="endpoints", **base))
+        return r_comm.polling_cost_per_event / r_ep.polling_cost_per_event
+
+    assert ratio(12) > ratio(3)
+
+
+# ---------------------------------------------------------------- circuit
+
+@pytest.mark.parametrize("mechanism", ["original", "communicators",
+                                       "endpoints"])
+def test_circuit_correct(mechanism):
+    cfg = CircuitConfig(num_nodes=3, task_threads=4, timesteps=3,
+                        wires_per_thread=4, mechanism=mechanism)
+    assert run_circuit(cfg).correct
+
+
+def test_fig1c_original_slower():
+    base = dict(num_nodes=3, task_threads=8, timesteps=4,
+                wires_per_thread=16, compute_per_step=1e-6)
+    t_orig = run_circuit(CircuitConfig(mechanism="original", **base))
+    t_ep = run_circuit(CircuitConfig(mechanism="endpoints", **base))
+    assert t_orig.time_per_step > 1.1 * t_ep.time_per_step
+
+
+def test_circuit_deterministic():
+    cfg = CircuitConfig(num_nodes=2, task_threads=3, timesteps=2,
+                        mechanism="endpoints")
+    assert run_circuit(cfg).wall_time == run_circuit(cfg).wall_time
+
+
+# ---------------------------------------------------------------- graph
+
+def test_partition_graph_covers_all_vertices():
+    cfg = GraphConfig(graph_vertices=64, num_nodes=2, threads_per_proc=2)
+    g, owners = partition_graph(cfg)
+    assert set(owners) == set(g.nodes)
+    assert all(0 <= p < 2 and 0 <= t < 2 for p, t in owners.values())
+
+
+@pytest.mark.parametrize("mechanism", ["original", "tags", "communicators",
+                                       "endpoints"])
+def test_graph_all_updates_delivered(mechanism):
+    cfg = GraphConfig(num_nodes=3, threads_per_proc=3, graph_vertices=90,
+                      iters=3, mechanism=mechanism)
+    r = run_graph(cfg)
+    assert r.correct
+    assert r.remote_messages > 0
+
+
+def test_graph_churn_validation():
+    with pytest.raises(MpiUsageError):
+        GraphConfig(churn=1.5)
+
+
+def test_lesson5_churn_causes_communicator_conflicts():
+    """Dynamic neighbourhoods make distinct local threads share static
+    communicators (Lesson 5); endpoints never conflict."""
+    base = dict(num_nodes=3, threads_per_proc=4, graph_vertices=120,
+                iters=4, churn=0.5)
+    r_comm = run_graph(GraphConfig(mechanism="communicators", **base))
+    r_ep = run_graph(GraphConfig(mechanism="endpoints", **base))
+    assert r_comm.comm_conflicts > 0
+    assert r_ep.comm_conflicts == 0
+
+
+def test_graph_zero_churn_static_pattern():
+    cfg = GraphConfig(num_nodes=2, threads_per_proc=2, graph_vertices=40,
+                      iters=2, churn=0.0, mechanism="tags")
+    assert run_graph(cfg).correct

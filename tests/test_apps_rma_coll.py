@@ -1,0 +1,102 @@
+"""Tests for the NWChem RMA proxy (Fig 6) and the VASP collectives proxy
+(Fig 7)."""
+
+import pytest
+
+from repro.apps.nwchem import NwchemConfig, run_nwchem
+from repro.apps.vasp import VaspConfig, run_vasp
+from repro.errors import MpiUsageError
+
+
+# ---------------------------------------------------------------- nwchem
+
+@pytest.mark.parametrize("mechanism", ["window", "window-relaxed",
+                                       "endpoints"])
+def test_nwchem_accumulations_exact(mechanism):
+    cfg = NwchemConfig(num_nodes=3, threads_per_proc=4, tiles_per_proc=8,
+                       tile_dim=8, tasks_per_thread=5, mechanism=mechanism)
+    r = run_nwchem(cfg)
+    assert r.correct
+
+
+def test_nwchem_unknown_mechanism():
+    with pytest.raises(MpiUsageError):
+        NwchemConfig(mechanism="magic")
+
+
+def test_fig6_channel_usage_ordering():
+    """Lesson 16: default windows pin atomics to one channel; relaxed
+    ordering spreads them by hashing (collisions possible); endpoints
+    spread them perfectly by construction."""
+    base = dict(num_nodes=3, threads_per_proc=8, tiles_per_proc=16,
+                tile_dim=8, tasks_per_thread=6)
+    r_win = run_nwchem(NwchemConfig(mechanism="window", **base))
+    r_rel = run_nwchem(NwchemConfig(mechanism="window-relaxed", **base))
+    r_ep = run_nwchem(NwchemConfig(mechanism="endpoints", **base))
+    # Default ordering uses strictly fewer channels.
+    assert r_win.channels_used < r_rel.channels_used
+    # Endpoints beat the serialized window on time.
+    assert r_ep.wall_time < r_win.wall_time
+    # Relaxed-hashing lands between (or equal); endpoints spread evenly.
+    assert r_ep.wall_time <= r_rel.wall_time * 1.05
+    assert r_ep.channel_imbalance <= r_rel.channel_imbalance + 0.25
+
+
+def test_nwchem_deterministic():
+    cfg = NwchemConfig(num_nodes=2, threads_per_proc=3, tiles_per_proc=4,
+                       tile_dim=4, tasks_per_thread=3, mechanism="endpoints")
+    assert run_nwchem(cfg).wall_time == run_nwchem(cfg).wall_time
+
+
+# ---------------------------------------------------------------- vasp
+
+@pytest.mark.parametrize("mechanism", ["funneled", "existing", "endpoints",
+                                       "partitioned"])
+def test_vasp_allreduce_exact(mechanism):
+    cfg = VaspConfig(num_nodes=3, threads_per_proc=4, elems=1 << 10,
+                     repeats=2, mechanism=mechanism)
+    r = run_vasp(cfg)
+    assert r.correct
+
+
+def test_vasp_elems_must_divide():
+    with pytest.raises(MpiUsageError):
+        VaspConfig(threads_per_proc=3, elems=100)
+
+
+def test_fig7_multithreaded_beats_funneled():
+    """The VASP result: driving the collective with threads in parallel
+    beats the funneled baseline (paper: >2x speedup)."""
+    base = dict(num_nodes=4, threads_per_proc=8, elems=1 << 15, repeats=2)
+    t_fun = run_vasp(VaspConfig(mechanism="funneled", **base))
+    t_exist = run_vasp(VaspConfig(mechanism="existing", **base))
+    t_ep = run_vasp(VaspConfig(mechanism="endpoints", **base))
+    assert t_fun.time_per_allreduce > 1.3 * t_exist.time_per_allreduce
+    assert t_fun.time_per_allreduce > 1.1 * t_ep.time_per_allreduce
+
+
+def test_lesson19_endpoint_buffer_duplication():
+    """Endpoints duplicate the result buffer per endpoint; the other
+    mechanisms keep one copy per node."""
+    base = dict(num_nodes=2, threads_per_proc=4, elems=1 << 10, repeats=1)
+    r_ep = run_vasp(VaspConfig(mechanism="endpoints", **base))
+    r_exist = run_vasp(VaspConfig(mechanism="existing", **base))
+    r_part = run_vasp(VaspConfig(mechanism="partitioned", **base))
+    assert r_ep.result_bytes_per_node == 4 * r_exist.result_bytes_per_node
+    assert r_part.result_bytes_per_node == r_exist.result_bytes_per_node
+
+
+def test_lesson18_endpoints_one_step_usability():
+    """Structural check: the endpoint path involves no user-driven
+    intranode step — a single collective call per thread suffices (the
+    assertion here is simply that it completes and is correct with any
+    thread count, including non-powers of two)."""
+    cfg = VaspConfig(num_nodes=2, threads_per_proc=5, elems=1000,
+                     repeats=1, mechanism="endpoints")
+    assert run_vasp(cfg).correct
+
+
+def test_vasp_single_node():
+    cfg = VaspConfig(num_nodes=1, threads_per_proc=4, elems=1 << 8,
+                     repeats=1, mechanism="endpoints")
+    assert run_vasp(cfg).correct

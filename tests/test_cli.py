@@ -1,0 +1,101 @@
+"""Tests for the command-line experiment runner (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_resources_command(capsys):
+    assert main(["resources", "--grid", "4", "4", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "808" in out and "56" in out and "14.4x" in out
+
+
+def test_scope_command(capsys):
+    assert main(["scope"]) == 0
+    out = capsys.readouterr().out
+    assert "TBD" in out
+    assert "partitioned" in out
+    assert "mirroring" in out  # usability table
+
+
+def test_msgrate_command(capsys):
+    assert main(["msgrate", "--modes", "threads-original",
+                 "threads-endpoints", "--cores", "1", "4",
+                 "--messages", "24"]) == 0
+    out = capsys.readouterr().out
+    assert "threads-original" in out and "threads-endpoints" in out
+
+
+def test_msgrate_rejects_bad_mode():
+    with pytest.raises(SystemExit):
+        main(["msgrate", "--modes", "bogus"])
+
+
+def test_stencil_command(capsys):
+    assert main(["stencil", "--mechanisms", "endpoints", "--threads",
+                 "2", "2", "--patch", "4", "--iters", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "endpoints" in out and "True" in out
+
+
+def test_legion_command(capsys):
+    assert main(["legion", "--threads", "4", "--messages", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "communicators" in out
+
+
+def test_vasp_command(capsys):
+    assert main(["vasp", "--nodes", "2", "--threads", "4", "--elems",
+                 "1024", "--repeats", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "funneled" in out and "KiB" in out
+
+
+def test_device_command(capsys):
+    assert main(["device", "--blocks", "4", "--steps", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "device-partitioned" in out
+
+
+def test_graph_command(capsys):
+    assert main(["graph", "--vertices", "60", "--iters", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "conflicts" in out
+
+
+def test_nwchem_command(capsys):
+    assert main(["nwchem", "--threads", "4", "--tasks", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "window-relaxed" in out
+
+
+def test_circuit_command(capsys):
+    assert main(["circuit", "--threads", "4", "--steps", "2",
+                 "--wires", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "time/step" in out
+
+
+def test_stencil_3d_command(capsys):
+    assert main(["stencil", "--points", "27", "--procs", "2", "2", "2",
+                 "--threads", "2", "2", "2", "--patch", "3", "--iters",
+                 "2", "--mechanisms", "endpoints"]) == 0
+    out = capsys.readouterr().out
+    assert "True" in out
+
+
+def test_stencil_dimension_mismatch_errors(capsys):
+    assert main(["stencil", "--points", "27", "--procs", "2", "2",
+                 "--threads", "2", "2"]) == 2
+    assert "3-D" in capsys.readouterr().err

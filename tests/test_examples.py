@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "stencil_halo_exchange.py",
+    "legion_event_runtime.py",
+    "nwchem_rma.py",
+    "vasp_collectives.py",
+    "device_offload.py",
+]
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(ROOT, "examples", script)
+    assert os.path.exists(path), f"missing example {script}"
+    proc = subprocess.run([sys.executable, path], capture_output=True,
+                          text=True, timeout=300, cwd=ROOT)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_complete():
+    listed = {f for f in os.listdir(os.path.join(ROOT, "examples"))
+              if f.endswith(".py")}
+    assert listed == set(EXAMPLES)

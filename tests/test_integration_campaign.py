@@ -1,0 +1,86 @@
+"""End-to-end campaign: the paper's headline claims in one integration
+run, cross-checked against each other.
+
+This test is intentionally redundant with the per-experiment benches —
+it exists so that a single fast test run demonstrates the reproduction's
+core narrative holding *simultaneously* on one build.
+"""
+
+import numpy as np
+
+from repro.apps.device import DeviceConfig, run_device
+from repro.apps.legion import LegionConfig, run_legion
+from repro.apps.nwchem import NwchemConfig, run_nwchem
+from repro.apps.stencil import StencilConfig, run_stencil
+from repro.apps.vasp import VaspConfig, run_vasp
+from repro.bench import MsgRateConfig, run_msgrate
+from repro.mapping import (
+    communicator_overhead_ratio_3d27,
+    communicators_required_3d27,
+    min_channels_3d27,
+)
+
+
+def test_campaign_headline_claims():
+    # -- Fig 1(a): original flat, endpoints scale ------------------------
+    r1 = run_msgrate(MsgRateConfig(mode="threads-original", cores=1,
+                                   msgs_per_core=32))
+    r8_orig = run_msgrate(MsgRateConfig(mode="threads-original", cores=8,
+                                        msgs_per_core=32))
+    r8_ep = run_msgrate(MsgRateConfig(mode="threads-endpoints", cores=8,
+                                      msgs_per_core=32))
+    r8_every = run_msgrate(MsgRateConfig(mode="everywhere", cores=8,
+                                         msgs_per_core=32))
+    assert r8_orig.rate < 1.5 * r1.rate              # flat
+    assert r8_ep.rate > 4 * r8_orig.rate             # parallel wins big
+    assert abs(r8_ep.rate / r8_every.rate - 1) < 0.1  # matches everywhere
+
+    # -- Lesson 3: the exact arithmetic ----------------------------------
+    assert communicators_required_3d27(4, 4, 4) == 808
+    assert min_channels_3d27(4, 4, 4) == 56
+    assert round(communicator_overhead_ratio_3d27(4, 4, 4), 1) == 14.4
+
+    # -- Fig 1(b): stencil, data-checked ---------------------------------
+    base = dict(proc_grid=(2, 2), thread_grid=(3, 3), pnx=4, pny=4,
+                stencil_points=9, iters=3)
+    s_orig = run_stencil(StencilConfig(mechanism="original", **base))
+    s_ep = run_stencil(StencilConfig(mechanism="endpoints", **base))
+    s_tags = run_stencil(StencilConfig(mechanism="tags", **base))
+    assert s_orig.correct and s_ep.correct and s_tags.correct
+    assert s_orig.halo_time > 1.3 * s_ep.halo_time
+    # hints keep up with endpoints (the prior-work quantitative result)
+    assert abs(s_tags.halo_time / s_ep.halo_time - 1) < 0.25
+
+    # -- Fig 5: polling-thread penalty with communicators ----------------
+    lbase = dict(num_nodes=3, task_threads=8, msgs_per_thread=8)
+    l_comm = run_legion(LegionConfig(mechanism="communicators", **lbase))
+    l_ep = run_legion(LegionConfig(mechanism="endpoints", **lbase))
+    assert l_comm.correct and l_ep.correct
+    assert 1.2 < (l_comm.polling_cost_per_event
+                  / l_ep.polling_cost_per_event) < 2.5
+
+    # -- Fig 6: RMA atomics -----------------------------------------------
+    nbase = dict(num_nodes=3, threads_per_proc=8, tiles_per_proc=8,
+                 tile_dim=8, tasks_per_thread=4)
+    n_win = run_nwchem(NwchemConfig(mechanism="window", **nbase))
+    n_ep = run_nwchem(NwchemConfig(mechanism="endpoints", **nbase))
+    assert n_win.correct and n_ep.correct
+    assert n_win.wall_time > n_ep.wall_time
+
+    # -- Fig 7 / Lesson 19: collectives ----------------------------------
+    vbase = dict(num_nodes=4, threads_per_proc=8, elems=1 << 12, repeats=2)
+    v_fun = run_vasp(VaspConfig(mechanism="funneled", **vbase))
+    v_exist = run_vasp(VaspConfig(mechanism="existing", **vbase))
+    v_ep = run_vasp(VaspConfig(mechanism="endpoints", **vbase))
+    assert v_fun.correct and v_exist.correct and v_ep.correct
+    assert v_fun.time_per_allreduce > 1.3 * v_exist.time_per_allreduce
+    assert v_ep.result_bytes_per_node == 8 * v_exist.result_bytes_per_node
+
+    # -- Lesson 20: device-initiated --------------------------------------
+    d_host = run_device(DeviceConfig(mechanism="host-driven", blocks=8,
+                                     timesteps=4))
+    d_part = run_device(DeviceConfig(mechanism="device-partitioned",
+                                     blocks=8, timesteps=4))
+    assert d_host.correct and d_part.correct
+    assert d_part.time_per_step < d_host.time_per_step
+    assert d_part.kernel_launches == 1

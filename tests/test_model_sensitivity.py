@@ -1,0 +1,96 @@
+"""Model-sensitivity tests: the paper's qualitative conclusions must not
+hinge on the exact calibration of any single cost parameter.
+
+Each test perturbs one family of model constants by 2x in both directions
+and asserts that the *ordering* claims survive — the reproduction's
+conclusions are structural, not artifacts of a lucky parameter choice
+(see docs/model.md, "Philosophy").
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.stencil import StencilConfig, run_stencil
+from repro.bench import MsgRateConfig, run_msgrate
+from repro.netsim import CpuCosts, FabricParams, NetworkConfig, NicParams
+
+
+def perturbed(scale: float, what: str) -> NetworkConfig:
+    """A NetworkConfig with one parameter family scaled by ``scale``."""
+    base = NetworkConfig()
+    if what == "software":
+        cpu = replace(base.cpu,
+                      send_post=base.cpu.send_post * scale,
+                      recv_post=base.cpu.recv_post * scale,
+                      match_base=base.cpu.match_base * scale,
+                      match_per_element=base.cpu.match_per_element * scale,
+                      lock_acquire=base.cpu.lock_acquire * scale,
+                      lock_handoff=base.cpu.lock_handoff * scale)
+        return replace(base, cpu=cpu)
+    if what == "nic":
+        nic = replace(base.nic,
+                      issue_gap=base.nic.issue_gap * scale,
+                      doorbell=base.nic.doorbell * scale)
+        return replace(base, nic=nic)
+    if what == "fabric":
+        fabric = replace(base.fabric,
+                         latency=base.fabric.latency * scale,
+                         bandwidth=base.fabric.bandwidth / scale)
+        return replace(base, fabric=fabric)
+    raise ValueError(what)
+
+
+FAMILIES = ("software", "nic", "fabric")
+SCALES = (0.5, 2.0)
+
+
+@pytest.mark.parametrize("what", FAMILIES)
+@pytest.mark.parametrize("scale", SCALES)
+def test_fig1a_ordering_survives_perturbation(what, scale):
+    """Original stays far below endpoints regardless of cost scaling."""
+    net = perturbed(scale, what)
+    r_orig = run_msgrate(MsgRateConfig(mode="threads-original", cores=8,
+                                       msgs_per_core=32), net=net)
+    r_ep = run_msgrate(MsgRateConfig(mode="threads-endpoints", cores=8,
+                                     msgs_per_core=32), net=net)
+    r_every = run_msgrate(MsgRateConfig(mode="everywhere", cores=8,
+                                        msgs_per_core=32), net=net)
+    assert r_ep.rate > 3 * r_orig.rate
+    assert abs(r_ep.rate / r_every.rate - 1) < 0.15
+
+
+@pytest.mark.parametrize("what", FAMILIES)
+@pytest.mark.parametrize("scale", SCALES)
+def test_fig1b_ordering_survives_perturbation(what, scale):
+    """The stencil keeps original > endpoints and stays data-correct."""
+    net = perturbed(scale, what)
+    base = dict(proc_grid=(2, 2), thread_grid=(3, 3), pnx=4, pny=4,
+                stencil_points=9, iters=3)
+    r_orig = run_stencil(StencilConfig(mechanism="original", **base),
+                         net=net)
+    r_ep = run_stencil(StencilConfig(mechanism="endpoints", **base),
+                       net=net)
+    assert r_orig.correct and r_ep.correct
+    assert r_orig.halo_time > 1.1 * r_ep.halo_time
+
+
+@pytest.mark.parametrize("scale", (0.25, 4.0))
+def test_lesson3_squeeze_survives_penalty_scaling(scale):
+    """Context oversubscription hurts communicators more than endpoints
+    whether the shared-post penalty is 100 ns or 1.6 us — only the factor
+    moves."""
+    base_net = NetworkConfig.scarce(12)
+    net = replace(base_net,
+                  nic=replace(base_net.nic,
+                              shared_post_penalty=400e-9 * scale))
+    base = dict(proc_grid=(2, 2), thread_grid=(3, 3), pnx=4, pny=4,
+                stencil_points=9, iters=3)
+    r_comm = run_stencil(StencilConfig(mechanism="communicators",
+                                       comm_map="mirrored", **base),
+                         net=net, max_vcis_per_proc=64)
+    r_ep = run_stencil(StencilConfig(mechanism="endpoints", **base),
+                       net=net, max_vcis_per_proc=64)
+    assert r_comm.correct and r_ep.correct
+    assert r_comm.halo_time > r_ep.halo_time
+    assert r_comm.nic_oversubscription > r_ep.nic_oversubscription

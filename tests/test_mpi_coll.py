@@ -1,0 +1,300 @@
+"""Collective correctness tests across sizes (repro.mpi.coll)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiUsageError
+from repro.mpi.coll import MAX, MIN, PROD, SUM, ThreadTeamBcast, ThreadTeamReduce
+from repro.runtime import World
+
+from tests.helpers import run_same
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8])
+def test_allreduce_sum_various_sizes(n):
+    world = World(num_nodes=n, procs_per_node=1)
+
+    def worker(proc):
+        send = np.arange(6, dtype=np.float64) + proc.rank
+        recv = np.zeros(6)
+        yield from proc.comm_world.Allreduce(send, recv)
+        expected = n * np.arange(6) + n * (n - 1) / 2
+        assert np.allclose(recv, expected), (proc.rank, recv, expected)
+
+    run_same(world, worker)
+
+
+@pytest.mark.parametrize("op,expected", [
+    (MAX, 3.0), (MIN, 0.0), (SUM, 6.0), (PROD, 0.0)])
+def test_allreduce_ops(op, expected):
+    world = World(num_nodes=4, procs_per_node=1)
+
+    def worker(proc):
+        recv = np.zeros(2)
+        yield from proc.comm_world.Allreduce(
+            np.full(2, float(proc.rank)), recv, op=op)
+        assert np.allclose(recv, expected)
+
+    run_same(world, worker)
+
+
+@pytest.mark.parametrize("n,root", [(2, 0), (5, 2), (8, 7), (3, 1)])
+def test_bcast_roots_and_sizes(n, root):
+    world = World(num_nodes=n, procs_per_node=1)
+
+    def worker(proc):
+        buf = np.full(5, 42.0) if proc.rank == root else np.zeros(5)
+        yield from proc.comm_world.Bcast(buf, root=root)
+        assert np.allclose(buf, 42.0)
+
+    run_same(world, worker)
+
+
+@pytest.mark.parametrize("n,root", [(4, 0), (5, 3), (6, 5)])
+def test_reduce(n, root):
+    world = World(num_nodes=n, procs_per_node=1)
+
+    def worker(proc):
+        recv = np.zeros(3) if proc.rank == root else None
+        yield from proc.comm_world.Reduce(
+            np.full(3, float(proc.rank + 1)), recv, root=root)
+        if proc.rank == root:
+            assert np.allclose(recv, n * (n + 1) / 2)
+
+    run_same(world, worker)
+
+
+def test_reduce_root_needs_buffer():
+    world = World(num_nodes=2, procs_per_node=1)
+
+    def worker(proc):
+        if proc.rank == 0:
+            with pytest.raises(MpiUsageError):
+                yield from proc.comm_world.Reduce(np.zeros(2), None, root=0)
+        else:
+            yield from proc.comm_world.Reduce(np.zeros(2), None, root=0)
+
+    # Rank 1's send may dangle after rank 0 errors; just run the tasks.
+    tasks = [world.procs[i].spawn(worker(world.procs[i])) for i in range(2)]
+    world.run(max_steps=100000)
+    assert tasks[0].triggered
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 8])
+def test_barrier_synchronizes(n):
+    world = World(num_nodes=n, procs_per_node=1)
+    release = {}
+
+    def worker(proc):
+        yield proc.compute(proc.rank * 1e-3)  # staggered arrival
+        yield from proc.comm_world.Barrier()
+        release[proc.rank] = proc.sim.now
+
+    run_same(world, worker)
+    slowest_arrival = (n - 1) * 1e-3
+    assert all(t >= slowest_arrival for t in release.values())
+
+
+@pytest.mark.parametrize("n", [2, 4, 5])
+def test_allgather(n):
+    world = World(num_nodes=n, procs_per_node=1)
+
+    def worker(proc):
+        recv = np.zeros(3 * n)
+        yield from proc.comm_world.Allgather(
+            np.full(3, float(proc.rank)), recv)
+        assert np.allclose(recv, np.repeat(np.arange(n), 3))
+
+    run_same(world, worker)
+
+
+@pytest.mark.parametrize("n", [2, 4, 7])
+def test_alltoall(n):
+    world = World(num_nodes=n, procs_per_node=1)
+
+    def worker(proc):
+        send = np.array([proc.rank * 100 + j for j in range(n)],
+                        dtype=np.float64)
+        recv = np.zeros(n)
+        yield from proc.comm_world.Alltoall(send, recv)
+        assert np.allclose(recv, np.arange(n) * 100 + proc.rank)
+
+    run_same(world, worker)
+
+
+def test_alltoall_rejects_ragged_buffers():
+    world = World(num_nodes=3, procs_per_node=1)
+
+    def worker(proc):
+        with pytest.raises(MpiUsageError):
+            yield from proc.comm_world.Alltoall(np.zeros(4), np.zeros(4))
+        return True
+        yield
+
+    tasks = [world.procs[i].spawn(worker(world.procs[i])) for i in range(3)]
+    assert world.run_all(tasks) == [True] * 3
+
+
+def test_bcast_bad_root_rejected():
+    world = World(num_nodes=2, procs_per_node=1)
+
+    def worker(proc):
+        with pytest.raises(MpiUsageError):
+            yield from proc.comm_world.Bcast(np.zeros(1), root=5)
+        return True
+        yield
+
+    tasks = [world.procs[i].spawn(worker(world.procs[i])) for i in range(2)]
+    assert world.run_all(tasks) == [True, True]
+
+
+def test_collective_takes_time_proportional_to_size():
+    world = World(num_nodes=4, procs_per_node=1)
+    times = {}
+
+    def worker(proc):
+        small = np.zeros(8)
+        t0 = proc.sim.now
+        yield from proc.comm_world.Allreduce(small, small.copy())
+        t_small = proc.sim.now - t0
+        big = np.zeros(1 << 18)
+        t0 = proc.sim.now
+        yield from proc.comm_world.Allreduce(big, big.copy())
+        times[proc.rank] = (t_small, proc.sim.now - t0)
+
+    run_same(world, worker)
+    for t_small, t_big in times.values():
+        assert t_big > 10 * t_small
+
+
+# ------------------------------------------------- thread-team helpers
+
+def test_thread_team_reduce():
+    world = World(num_nodes=1, procs_per_node=1)
+    proc = world.procs[0]
+    nthreads = 4
+    team = ThreadTeamReduce(proc, nthreads, SUM)
+    bufs = [np.full(8, float(tid + 1)) for tid in range(nthreads)]
+
+    def thread(tid):
+        yield from team.reduce(tid, bufs[tid])
+
+    tasks = [proc.spawn(thread(t)) for t in range(nthreads)]
+    world.run_all(tasks)
+    assert np.allclose(bufs[0], 1 + 2 + 3 + 4)
+
+
+def test_thread_team_reduce_single_thread():
+    world = World(num_nodes=1, procs_per_node=1)
+    proc = world.procs[0]
+    team = ThreadTeamReduce(proc, 1, SUM)
+    buf = np.full(4, 5.0)
+
+    def thread():
+        yield from team.reduce(0, buf)
+
+    world.run_all([proc.spawn(thread())])
+    assert np.allclose(buf, 5.0)
+
+
+def test_thread_team_bcast_copies():
+    world = World(num_nodes=1, procs_per_node=1)
+    proc = world.procs[0]
+    nthreads = 3
+    team = ThreadTeamBcast(proc, nthreads, copy=True)
+    bufs = [np.zeros(4) for _ in range(nthreads)]
+    bufs[0][:] = 7.0
+
+    def thread(tid):
+        yield from team.bcast(tid, bufs[tid])
+
+    world.run_all([proc.spawn(thread(t)) for t in range(nthreads)])
+    for b in bufs:
+        assert np.allclose(b, 7.0)
+
+
+def test_thread_team_bcast_nocopy_leaves_buffers():
+    world = World(num_nodes=1, procs_per_node=1)
+    proc = world.procs[0]
+    team = ThreadTeamBcast(proc, 2, copy=False)
+    bufs = [np.full(4, 7.0), np.zeros(4)]
+
+    def thread(tid):
+        yield from team.bcast(tid, bufs[tid])
+
+    world.run_all([proc.spawn(thread(t)) for t in range(2)])
+    assert np.allclose(bufs[1], 0.0)  # read-in-place semantics: no copy
+
+
+# ------------------------------------------------- ring allreduce
+
+@pytest.mark.parametrize("n,count", [(2, 10), (3, 7), (5, 100), (8, 64)])
+def test_ring_allreduce_matches_recursive_doubling(n, count):
+    from repro.mpi.coll.algorithms import (
+        allreduce_recursive_doubling,
+        allreduce_ring,
+    )
+    results = {}
+    for name, algo in (("ring", allreduce_ring),
+                       ("rd", allreduce_recursive_doubling)):
+        world = World(num_nodes=n, procs_per_node=1)
+        outs = {}
+
+        def worker(proc):
+            out = np.zeros(count)
+            yield from algo(proc.comm_world,
+                            np.arange(count, dtype=np.float64) + proc.rank,
+                            out, SUM)
+            outs[proc.rank] = out
+
+        run_same(world, worker)
+        results[name] = outs
+    for r in range(n):
+        assert np.allclose(results["ring"][r], results["rd"][r])
+
+
+def test_allreduce_switches_to_ring_for_large_buffers():
+    """Beyond the threshold the ring's bandwidth optimality makes large
+    allreduces cheaper than recursive doubling on >2 ranks."""
+    from repro.mpi.coll.algorithms import (
+        allreduce_recursive_doubling,
+        allreduce_ring,
+    )
+    n, count = 8, 1 << 16  # 512 KiB
+
+    def timed(algo):
+        world = World(num_nodes=n, procs_per_node=1)
+
+        def worker(proc):
+            out = np.zeros(count)
+            yield from algo(proc.comm_world, np.ones(count), out, SUM)
+            assert np.allclose(out, n)
+
+        run_same(world, worker)
+        return world.now
+
+    assert timed(allreduce_ring) < timed(allreduce_recursive_doubling)
+
+
+def test_small_allreduce_stays_recursive_doubling():
+    """Below the threshold latency wins: Allreduce must not pay the ring's
+    2(n-1) steps for tiny payloads."""
+    world = World(num_nodes=8, procs_per_node=1)
+
+    def worker(proc):
+        out = np.zeros(4)
+        yield from proc.comm_world.Allreduce(np.ones(4), out)
+        assert np.allclose(out, 8.0)
+
+    run_same(world, worker)
+    small_time = world.now
+
+    world2 = World(num_nodes=8, procs_per_node=1)
+
+    def worker2(proc):
+        from repro.mpi.coll.algorithms import allreduce_ring
+        out = np.zeros(4)
+        yield from allreduce_ring(proc.comm_world, np.ones(4), out, SUM)
+
+    run_same(world2, worker2)
+    assert small_time < world2.now

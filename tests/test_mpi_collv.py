@@ -1,0 +1,106 @@
+"""Tests for variable-count collectives (Gatherv / Allgatherv)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiUsageError
+from repro.runtime import World
+
+from tests.helpers import run_same
+
+
+@pytest.mark.parametrize("n,root", [(2, 0), (4, 2), (5, 4)])
+def test_gatherv_ragged_blocks(n, root):
+    world = World(num_nodes=n, procs_per_node=1)
+    counts = [2 * r + 1 for r in range(n)]
+    total = sum(counts)
+
+    def worker(proc):
+        mine = np.arange(counts[proc.rank], dtype=np.float64) \
+            + 100 * proc.rank
+        rb = np.zeros(total) if proc.rank == root else None
+        yield from proc.comm_world.Gatherv(
+            mine, rb, counts if proc.rank == root else None, root=root)
+        if proc.rank == root:
+            expected = np.concatenate(
+                [np.arange(counts[r]) + 100 * r for r in range(n)])
+            assert np.allclose(rb, expected)
+
+    run_same(world, worker)
+
+
+def test_gatherv_zero_count_ranks():
+    world = World(num_nodes=3, procs_per_node=1)
+    counts = [2, 0, 3]
+
+    def worker(proc):
+        mine = np.full(counts[proc.rank], float(proc.rank))
+        rb = np.zeros(5) if proc.rank == 0 else None
+        yield from proc.comm_world.Gatherv(
+            mine, rb, counts if proc.rank == 0 else None, root=0)
+        if proc.rank == 0:
+            assert np.allclose(rb, [0, 0, 2, 2, 2])
+
+    run_same(world, worker)
+
+
+def test_gatherv_validates_root_buffers():
+    world = World(num_nodes=2, procs_per_node=1)
+
+    def worker(proc):
+        if proc.rank == 0:
+            with pytest.raises(MpiUsageError):
+                yield from proc.comm_world.Gatherv(np.zeros(1), None, None,
+                                                   root=0)
+        else:
+            yield from proc.comm_world.Gatherv(np.zeros(1), None, None,
+                                               root=0)
+
+    tasks = [world.procs[i].spawn(worker(world.procs[i])) for i in range(2)]
+    world.run(max_steps=100000)
+    assert tasks[0].triggered
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 6])
+def test_allgatherv_everyone_gets_everything(n):
+    world = World(num_nodes=n, procs_per_node=1)
+    counts = [((r * 3) % 4) + 1 for r in range(n)]
+    total = sum(counts)
+
+    def worker(proc):
+        mine = np.full(counts[proc.rank], float(proc.rank + 1))
+        out = np.zeros(total)
+        yield from proc.comm_world.Allgatherv(mine, out, counts)
+        expected = np.concatenate(
+            [np.full(counts[r], float(r + 1)) for r in range(n)])
+        assert np.allclose(out, expected), (proc.rank, out)
+
+    run_same(world, worker)
+
+
+def test_allgatherv_count_mismatch_rejected():
+    world = World(num_nodes=2, procs_per_node=1)
+
+    def worker(proc):
+        with pytest.raises(MpiUsageError, match="contributes"):
+            yield from proc.comm_world.Allgatherv(np.zeros(5), np.zeros(4),
+                                                  [2, 2])
+        return True
+        yield
+
+    tasks = [world.procs[i].spawn(worker(world.procs[i])) for i in range(2)]
+    assert world.run_all(tasks) == [True, True]
+
+
+def test_allgatherv_wrong_counts_length():
+    world = World(num_nodes=3, procs_per_node=1)
+
+    def worker(proc):
+        with pytest.raises(MpiUsageError, match="counts"):
+            yield from proc.comm_world.Allgatherv(np.zeros(1), np.zeros(2),
+                                                  [1, 1])
+        return True
+        yield
+
+    tasks = [world.procs[i].spawn(worker(world.procs[i])) for i in range(3)]
+    assert world.run_all(tasks) == [True] * 3

@@ -1,0 +1,66 @@
+"""Unit tests for repro.mpi.datatypes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiUsageError
+from repro.mpi import datatypes as dt
+
+
+def test_basic_datatype_sizes():
+    assert dt.BYTE.size == 1
+    assert dt.INT.size == 4
+    assert dt.LONG.size == 8
+    assert dt.FLOAT.size == 4
+    assert dt.DOUBLE.size == 8
+    assert dt.COMPLEX.size == 16
+
+
+def test_datatype_empty_and_zeros():
+    a = dt.DOUBLE.empty(5)
+    assert a.shape == (5,) and a.dtype == np.float64
+    z = dt.INT.zeros(3)
+    assert (z == 0).all() and z.dtype == np.int32
+
+
+def test_from_numpy_roundtrip():
+    assert dt.from_numpy(np.float64) is dt.DOUBLE
+    assert dt.from_numpy(np.dtype("int32")) is dt.INT
+
+
+def test_from_numpy_unknown_rejected():
+    with pytest.raises(MpiUsageError):
+        dt.from_numpy(np.dtype("float16"))
+
+
+def test_check_buffer_accepts_contiguous():
+    buf = np.zeros((3, 4))
+    flat = dt.check_buffer(buf)
+    assert flat.shape == (12,)
+    assert flat.base is buf or flat.base is buf.base
+
+
+def test_check_buffer_rejects_noncontiguous():
+    buf = np.zeros((4, 4))[:, ::2]
+    with pytest.raises(MpiUsageError):
+        dt.check_buffer(buf)
+
+
+def test_check_buffer_rejects_lists():
+    with pytest.raises(MpiUsageError):
+        dt.check_buffer([1.0, 2.0])
+
+
+def test_check_buffer_count_bounds():
+    buf = np.zeros(4)
+    dt.check_buffer(buf, 4)
+    with pytest.raises(MpiUsageError):
+        dt.check_buffer(buf, 5)
+    with pytest.raises(MpiUsageError):
+        dt.check_buffer(buf, -1)
+
+
+def test_nbytes():
+    assert dt.nbytes(np.zeros(10)) == 80
+    assert dt.nbytes(np.zeros(10), count=3) == 24
+    assert dt.nbytes(np.zeros(10, dtype=np.int32), count=3) == 12

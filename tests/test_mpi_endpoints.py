@@ -1,0 +1,166 @@
+"""User-visible endpoints tests (repro.mpi.endpoints)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiUsageError
+from repro.mpi import ANY_SOURCE, ANY_TAG, waitall
+from repro.mpi.endpoints import comm_create_endpoints
+from repro.mpi.vci import EndpointVciMap
+from repro.runtime import World
+
+from tests.helpers import run_same
+
+
+def test_endpoint_ranks_follow_listing3_layout(world2):
+    """With uniform N endpoints/process, ep j of rank p has rank p*N+j."""
+    def worker(proc):
+        eps = yield from comm_create_endpoints(proc.comm_world, 3)
+        return [e.rank for e in eps]
+
+    ranks = run_same(world2, worker)
+    assert ranks == [[0, 1, 2], [3, 4, 5]]
+
+
+def test_nonuniform_endpoint_counts(world2):
+    def worker(proc):
+        n = 2 if proc.rank == 0 else 4
+        eps = yield from comm_create_endpoints(proc.comm_world, n)
+        return [e.rank for e in eps], eps[0].size
+
+    out = run_same(world2, worker)
+    assert out[0] == ([0, 1], 6)
+    assert out[1] == ([2, 3, 4, 5], 6)
+
+
+def test_each_endpoint_gets_distinct_vci(world2):
+    def worker(proc):
+        eps = yield from comm_create_endpoints(proc.comm_world, 4)
+        vcis = [e.vci_map.my_vci for e in eps]
+        assert all(isinstance(e.vci_map, EndpointVciMap) for e in eps)
+        return vcis
+
+    out = run_same(world2, worker)
+    assert len(set(out[0])) == 4
+    assert len(set(out[1])) == 4
+
+
+def test_endpoint_to_endpoint_traffic(world2):
+    """Each thread drives its own endpoint; cross-process exchange."""
+    N = 4
+
+    def main(proc):
+        eps = yield from comm_create_endpoints(proc.comm_world, N)
+
+        def thread(ep):
+            peer = (ep.rank + N) % (2 * N)
+            out = np.zeros(8)
+            rreq = yield from ep.Irecv(out, peer, tag=0)
+            sreq = yield from ep.Isend(np.full(8, float(ep.rank)), peer, tag=0)
+            yield from waitall([rreq, sreq])
+            assert np.allclose(out, peer)
+            return True
+
+        tasks = [proc.spawn(thread(ep)) for ep in eps]
+        vals = yield proc.sim.all_of(tasks)
+        return vals
+
+    assert run_same(world2, main) == [[True] * N, [True] * N]
+
+
+def test_endpoints_allow_wildcards(world2):
+    """Lesson 11: endpoints keep wildcards legal — a polling endpoint can
+    use ANY_SOURCE/ANY_TAG while other endpoints run in parallel."""
+    def main(proc):
+        eps = yield from comm_create_endpoints(proc.comm_world, 2)
+        if proc.rank == 1:
+            def poller(ep):
+                got = []
+                for _ in range(2):
+                    buf = np.zeros(1)
+                    st = yield from ep.Recv(buf, ANY_SOURCE, ANY_TAG)
+                    got.append((st.source, buf[0]))
+                return got
+            t = proc.spawn(poller(eps[0]))
+            vals = yield proc.sim.all_of([t])
+            srcs = {s for s, _ in vals[0]}
+            assert srcs == {0, 1}
+        else:
+            def pusher(ep, target):
+                yield from ep.Send(np.full(1, float(ep.rank)), target, tag=7)
+            tasks = [proc.spawn(pusher(ep, 2)) for ep in eps]
+            yield proc.sim.all_of(tasks)
+
+    run_same(world2, main)
+
+
+def test_endpoints_same_process_communication(world2):
+    """Two endpoints of the same process can exchange messages."""
+    def main(proc):
+        eps = yield from comm_create_endpoints(proc.comm_world, 2)
+        base = proc.rank * 2
+
+        def a(ep):
+            yield from ep.Send(np.full(1, 3.25), base + 1, tag=0)
+
+        def b(ep):
+            buf = np.zeros(1)
+            st = yield from ep.Recv(buf, base, tag=0)
+            assert buf[0] == 3.25 and st.source == base
+            return True
+
+        tasks = [proc.spawn(a(eps[0])), proc.spawn(b(eps[1]))]
+        vals = yield proc.sim.all_of(tasks)
+        return vals[1]
+
+    assert run_same(world2, main) == [True, True]
+
+
+def test_endpoint_collectives(world2):
+    """All endpoints participate in one collective of the endpoints comm —
+    the one-step collective of Lesson 18."""
+    N = 3
+
+    def main(proc):
+        eps = yield from comm_create_endpoints(proc.comm_world, N)
+
+        def thread(ep):
+            recv = np.zeros(4)
+            yield from ep.Allreduce(np.full(4, float(ep.rank + 1)), recv)
+            total = sum(range(1, 2 * N + 1))
+            assert np.allclose(recv, total), (ep.rank, recv)
+            return True
+
+        tasks = [proc.spawn(thread(ep)) for ep in eps]
+        return (yield proc.sim.all_of(tasks))
+
+    assert run_same(world2, main) == [[True] * N, [True] * N]
+
+
+def test_endpoint_dup_rejected(world2):
+    def main(proc):
+        eps = yield from comm_create_endpoints(proc.comm_world, 1)
+        with pytest.raises(MpiUsageError):
+            yield from eps[0].Dup()
+
+    run_same(world2, main)
+
+
+def test_negative_ep_count_rejected(world2):
+    def main(proc):
+        with pytest.raises(MpiUsageError):
+            yield from comm_create_endpoints(proc.comm_world, -1)
+
+    # Only rank 0 raises pre-meeting; give both the same behaviour.
+    run_same(world2, main)
+
+
+def test_two_endpoint_sets_are_independent(world2):
+    """Creating a second set of endpoints yields a different context."""
+    def main(proc):
+        a = yield from comm_create_endpoints(proc.comm_world, 2)
+        b = yield from comm_create_endpoints(proc.comm_world, 2)
+        assert a[0].context_id != b[0].context_id
+        return True
+
+    assert run_same(world2, main) == [True, True]

@@ -1,0 +1,379 @@
+"""Tests for the extended MPI surface: Split, Sendrecv, Probe, persistent
+requests, additional collectives, RMA read-modify-write, partitioned
+range/list helpers, and the Rankpoints alias."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiUsageError
+from repro.mpi import ANY_SOURCE, ANY_TAG
+from repro.mpi.coll.ops import MAX, SUM
+from repro.mpi.endpoints import comm_create_endpoints, comm_create_rankpoints
+from repro.mpi.partitioned import precv_init, psend_init
+from repro.mpi.persistent import (
+    recv_init,
+    send_init,
+    start_all_persistent,
+    wait_all_persistent,
+)
+from repro.mpi.rma import win_create
+from repro.runtime import World
+
+from tests.helpers import run_ranks, run_same
+
+
+# ---------------------------------------------------------------- Split
+
+def test_split_by_parity():
+    world = World(num_nodes=6, procs_per_node=1)
+
+    def worker(proc):
+        sub = yield from proc.comm_world.Split(color=proc.rank % 2,
+                                               key=proc.rank)
+        assert sub.size == 3
+        assert sub.rank == proc.rank // 2
+        # subgroup members share data among themselves only
+        out = np.zeros(1)
+        yield from sub.Allreduce(np.full(1, float(proc.rank)), out)
+        expected = sum(r for r in range(6) if r % 2 == proc.rank % 2)
+        assert out[0] == expected
+        return sub.context_id
+
+    ctxs = run_same(world, worker)
+    assert ctxs[0] == ctxs[2] == ctxs[4]
+    assert ctxs[1] == ctxs[3] == ctxs[5]
+    assert ctxs[0] != ctxs[1]
+
+
+def test_split_key_reorders_ranks():
+    world = World(num_nodes=3, procs_per_node=1)
+
+    def worker(proc):
+        # reverse order via descending keys
+        sub = yield from proc.comm_world.Split(color=0, key=-proc.rank)
+        return sub.rank
+
+    assert run_same(world, worker) == [2, 1, 0]
+
+
+def test_split_undefined_color_returns_none():
+    world = World(num_nodes=3, procs_per_node=1)
+
+    def worker(proc):
+        color = None if proc.rank == 1 else 0
+        sub = yield from proc.comm_world.Split(color=color)
+        if proc.rank == 1:
+            assert sub is None
+            return -1
+        return sub.size
+
+    assert run_same(world, worker) == [2, -1, 2]
+
+
+# ------------------------------------------------------------ Sendrecv / Probe
+
+def test_sendrecv_ring(world4):
+    def worker(proc):
+        n = 4
+        right, left = (proc.rank + 1) % n, (proc.rank - 1) % n
+        out = np.full(2, float(proc.rank))
+        inc = np.zeros(2)
+        status = yield from proc.comm_world.Sendrecv(
+            out, right, 7, inc, left, 7)
+        assert np.allclose(inc, left)
+        assert status.source == left
+
+    run_same(world4, worker)
+
+
+def test_blocking_probe_waits(world2):
+    def sender(proc):
+        yield proc.compute(5e-6)
+        yield from proc.comm_world.Send(np.full(3, 1.5), dest=1, tag=9)
+
+    def receiver(proc):
+        src, tag, size = yield from proc.comm_world.Probe(ANY_SOURCE, ANY_TAG)
+        assert (src, tag, size) == (0, 9, 24)
+        assert proc.sim.now >= 5e-6
+        buf = np.zeros(3)
+        yield from proc.comm_world.Recv(buf, src, tag)
+
+    run_ranks(world2, sender, receiver)
+
+
+# ------------------------------------------------------------ persistent
+
+def test_persistent_send_recv_cycles(world2):
+    cycles = 4
+
+    def sender(proc):
+        buf = np.zeros(4)
+        req = send_init(proc.comm_world, buf, dest=1, tag=3)
+        for c in range(cycles):
+            buf[:] = c
+            yield from req.start()
+            yield from req.wait()
+        assert req.cycles == cycles
+
+    def receiver(proc):
+        buf = np.zeros(4)
+        req = recv_init(proc.comm_world, buf, source=0, tag=3)
+        for c in range(cycles):
+            yield from req.start()
+            yield from req.wait()
+            assert np.allclose(buf, c)
+
+    run_ranks(world2, sender, receiver)
+
+
+def test_persistent_recv_allows_wildcards(world2):
+    """Unlike partitioned receives (Lesson 15), persistent receives keep
+    MPI's wildcard semantics."""
+    comm = world2.comm_world(0)
+    req = recv_init(comm, np.zeros(1), source=ANY_SOURCE, tag=ANY_TAG)
+    assert req.kind == "recv"
+    with pytest.raises(MpiUsageError):
+        precv_init(comm, np.zeros(2), 2, 1, source=ANY_SOURCE, tag=0)
+
+
+def test_persistent_double_start_rejected(world2):
+    def sender(proc):
+        req = send_init(proc.comm_world, np.zeros(2), dest=1, tag=0)
+        yield from req.start()
+        with pytest.raises(MpiUsageError):
+            yield from req.start()
+        yield from req.wait()
+
+    def receiver(proc):
+        buf = np.zeros(2)
+        yield from proc.comm_world.Recv(buf, source=0, tag=0)
+
+    run_ranks(world2, sender, receiver)
+
+
+def test_persistent_startall_waitall(world2):
+    def sender(proc):
+        bufs = [np.full(2, float(k)) for k in range(3)]
+        reqs = [send_init(proc.comm_world, bufs[k], dest=1, tag=k)
+                for k in range(3)]
+        yield from start_all_persistent(reqs)
+        yield from wait_all_persistent(reqs)
+
+    def receiver(proc):
+        reqs = []
+        bufs = []
+        for k in range(3):
+            buf = np.zeros(2)
+            bufs.append(buf)
+            reqs.append(recv_init(proc.comm_world, buf, source=0, tag=k))
+        yield from start_all_persistent(reqs)
+        yield from wait_all_persistent(reqs)
+        for k in range(3):
+            assert np.allclose(bufs[k], k)
+
+    run_ranks(world2, sender, receiver)
+
+
+def test_persistent_wait_before_start_rejected(world2):
+    req = send_init(world2.comm_world(0), np.zeros(1), dest=1, tag=0)
+
+    def t(proc):
+        with pytest.raises(MpiUsageError):
+            yield from req.wait()
+
+    world2.run_all([world2.procs[0].spawn(t(world2.procs[0]))])
+
+
+# ------------------------------------------------------------ collectives
+
+@pytest.mark.parametrize("n,root", [(2, 0), (4, 1), (5, 3), (8, 0)])
+def test_gather(n, root):
+    world = World(num_nodes=n, procs_per_node=1)
+
+    def worker(proc):
+        rb = np.zeros(2 * n) if proc.rank == root else None
+        yield from proc.comm_world.Gather(
+            np.full(2, float(proc.rank)), rb, root=root)
+        if proc.rank == root:
+            assert np.allclose(rb, np.repeat(np.arange(n), 2))
+
+    run_same(world, worker)
+
+
+@pytest.mark.parametrize("n,root", [(2, 1), (4, 0), (5, 2), (8, 7)])
+def test_scatter(n, root):
+    world = World(num_nodes=n, procs_per_node=1)
+
+    def worker(proc):
+        sb = np.arange(3.0 * n) if proc.rank == root else None
+        out = np.zeros(3)
+        yield from proc.comm_world.Scatter(sb, out, root=root)
+        assert np.allclose(out, 3 * proc.rank + np.arange(3.0))
+
+    run_same(world, worker)
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 8])
+def test_scan_inclusive(n):
+    world = World(num_nodes=n, procs_per_node=1)
+
+    def worker(proc):
+        out = np.zeros(2)
+        yield from proc.comm_world.Scan(np.full(2, float(proc.rank + 1)),
+                                        out)
+        assert np.allclose(out, (proc.rank + 1) * (proc.rank + 2) / 2)
+
+    run_same(world, worker)
+
+
+@pytest.mark.parametrize("n", [2, 3, 6])
+def test_reduce_scatter_block(n):
+    world = World(num_nodes=n, procs_per_node=1)
+
+    def worker(proc):
+        send = np.arange(2.0 * n) + 10 * proc.rank
+        out = np.zeros(2)
+        yield from proc.comm_world.Reduce_scatter_block(send, out)
+        base = np.arange(2.0) + 2 * proc.rank
+        expected = sum(base + 10 * r for r in range(n))
+        assert np.allclose(out, expected)
+
+    run_same(world, worker)
+
+
+def test_gather_root_needs_buffer():
+    world = World(num_nodes=2, procs_per_node=1)
+
+    def worker(proc):
+        if proc.rank == 0:
+            with pytest.raises(MpiUsageError):
+                yield from proc.comm_world.Gather(np.zeros(1), None, root=0)
+        else:
+            yield from proc.comm_world.Gather(np.zeros(1), None, root=0)
+
+    tasks = [world.procs[i].spawn(worker(world.procs[i])) for i in range(2)]
+    world.run(max_steps=100000)
+    assert tasks[0].triggered
+
+
+def test_scan_with_max():
+    world = World(num_nodes=4, procs_per_node=1)
+    values = [3.0, 1.0, 7.0, 2.0]
+
+    def worker(proc):
+        out = np.zeros(1)
+        yield from proc.comm_world.Scan(np.full(1, values[proc.rank]), out,
+                                        op=MAX)
+        assert out[0] == max(values[: proc.rank + 1])
+
+    run_same(world, worker)
+
+
+# ------------------------------------------------------------ RMA extras
+
+def test_get_accumulate(world2):
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(4))
+        res = np.zeros(2)
+        req = yield from win.Get_accumulate(np.full(2, 5.0), res, target=1,
+                                            disp=1, op=SUM)
+        yield from req.wait()
+        assert np.allclose(res, [10.0, 20.0])  # old values fetched
+        yield from win.Fence()
+
+    def target(proc):
+        mem = np.array([0.0, 10.0, 20.0, 0.0])
+        win = yield from win_create(proc.comm_world, mem)
+        yield from win.Fence()
+        assert np.allclose(mem, [0.0, 15.0, 25.0, 0.0])
+
+    run_ranks(world2, origin, target)
+
+
+def test_compare_and_swap_success_and_failure(world2):
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(1))
+        res = np.zeros(1)
+        # matching compare: swap happens
+        req = yield from win.Compare_and_swap(
+            np.array([7.0]), np.array([99.0]), res, target=1, disp=0)
+        yield from req.wait()
+        assert res[0] == 7.0
+        # stale compare: no swap
+        req = yield from win.Compare_and_swap(
+            np.array([7.0]), np.array([123.0]), res, target=1, disp=0)
+        yield from req.wait()
+        assert res[0] == 99.0
+        yield from win.Fence()
+
+    def target(proc):
+        mem = np.array([7.0])
+        win = yield from win_create(proc.comm_world, mem)
+        yield from win.Fence()
+        assert mem[0] == 99.0
+
+    run_ranks(world2, origin, target)
+
+
+def test_lock_all_unlock_all(world2):
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(2))
+        yield from win.Lock_all()
+        yield from win.Put(np.full(1, 4.0), target=1, disp=0)
+        yield from win.Unlock_all()
+        yield from win.Fence()
+
+    def target(proc):
+        mem = np.zeros(2)
+        win = yield from win_create(proc.comm_world, mem)
+        yield from win.Fence()
+        assert mem[0] == 4.0
+
+    run_ranks(world2, origin, target)
+
+
+# ------------------------------------------------------------ partitioned
+
+def test_pready_range_and_list(world2):
+    def sender(proc):
+        buf = np.arange(12.0)
+        req = psend_init(proc.comm_world, buf, 6, 2, dest=1, tag=0)
+        yield from req.start()
+        yield from req.pready_range(0, 2)
+        yield from req.pready_list([5, 3, 4])
+        yield from req.wait()
+        with pytest.raises(MpiUsageError):
+            yield from req.pready_range(3, 1)
+
+    def receiver(proc):
+        buf = np.zeros(12)
+        req = precv_init(proc.comm_world, buf, 6, 2, source=0, tag=0)
+        yield from req.start()
+        yield from req.wait()
+        assert np.allclose(buf, np.arange(12.0))
+
+    run_ranks(world2, sender, receiver)
+
+
+# ------------------------------------------------------------ rankpoints
+
+def test_rankpoints_alias(world2):
+    """Section IV: MPI_Comm_create_rankpoints is the endpoints API under
+    the user-facing name."""
+    def main(proc):
+        rps = yield from comm_create_rankpoints(proc.comm_world, 2)
+        assert [r.rank for r in rps] == \
+            ([0, 1] if proc.rank == 0 else [2, 3])
+
+        def thread(rp):
+            peer = (rp.rank + 2) % 4
+            out = np.zeros(1)
+            rreq = yield from rp.Irecv(out, peer, tag=0)
+            sreq = yield from rp.Isend(np.full(1, float(rp.rank)), peer, 0)
+            yield from rreq.wait()
+            yield from sreq.wait()
+            assert out[0] == peer
+
+        yield proc.sim.all_of([proc.spawn(thread(rp)) for rp in rps])
+
+    run_same(world2, main)

@@ -1,0 +1,185 @@
+"""Tests for waitany/testany, nonblocking collectives, and vector
+datatypes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiUsageError
+from repro.mpi.datatypes import DOUBLE, INT, VectorType
+from repro.mpi.request import waitall, waitany
+from repro.mpi.request import testany as mpi_testany
+from repro.runtime import World
+
+from tests.helpers import run_ranks, run_same
+
+
+# ------------------------------------------------------------ waitany
+
+def test_waitany_returns_first_completion(world2):
+    def sender(proc):
+        yield proc.compute(5e-6)
+        yield from proc.comm_world.Send(np.full(1, 2.0), dest=1, tag=2)
+        yield proc.compute(20e-6)
+        yield from proc.comm_world.Send(np.full(1, 1.0), dest=1, tag=1)
+
+    def receiver(proc):
+        comm = proc.comm_world
+        b1, b2 = np.zeros(1), np.zeros(1)
+        r1 = yield from comm.Irecv(b1, 0, tag=1)
+        r2 = yield from comm.Irecv(b2, 0, tag=2)
+        idx, status = yield from waitany([r1, r2])
+        assert idx == 1 and status.tag == 2 and b2[0] == 2.0
+        idx, status = yield from waitany([r1, r2])
+        assert idx == 1  # already complete: lowest complete index wins
+        yield from r1.wait()
+
+    run_ranks(world2, sender, receiver)
+
+
+def test_waitany_empty_rejected():
+    with pytest.raises(MpiUsageError):
+        # generator raises at first next()
+        next(waitany([]))
+
+
+def test_testany(world2):
+    def sender(proc):
+        yield from proc.comm_world.Send(np.zeros(1), dest=1, tag=0)
+
+    def receiver(proc):
+        buf = np.zeros(1)
+        req = yield from proc.comm_world.Irecv(buf, 0, tag=0)
+        # may or may not be done yet; poll until it is
+        while mpi_testany([req]) is None:
+            yield proc.compute(1e-6)
+        idx, status = mpi_testany([req])
+        assert idx == 0 and status.source == 0
+
+    run_ranks(world2, sender, receiver)
+
+
+# ------------------------------------------------------------ icoll
+
+def test_iallreduce_overlaps_compute():
+    world = World(num_nodes=4, procs_per_node=1)
+    spans = {}
+
+    def worker(proc):
+        out = np.zeros(1 << 12)
+        t0 = proc.sim.now
+        req = yield from proc.comm_world.Iallreduce(
+            np.full(1 << 12, 1.0), out)
+        issue_time = proc.sim.now - t0
+        yield proc.compute(50e-6)       # overlapped work
+        yield from req.wait()
+        spans[proc.rank] = (issue_time, proc.sim.now - t0)
+        assert np.allclose(out, 4.0)
+
+    run_same(world, worker)
+    for issue, total in spans.values():
+        assert issue < 1e-6          # the call returns immediately
+        # total is dominated by the overlapped compute, not issue+coll
+        assert total < 80e-6
+
+
+def test_ibarrier_and_ibcast(world4):
+    def worker(proc):
+        comm = proc.comm_world
+        breq = yield from comm.Ibarrier()
+        yield from breq.wait()
+        buf = np.full(4, 9.0) if proc.rank == 2 else np.zeros(4)
+        req = yield from comm.Ibcast(buf, root=2)
+        yield from req.wait()
+        assert np.allclose(buf, 9.0)
+
+    run_same(world4, worker)
+
+
+def test_icoll_serial_rule_enforced(world2):
+    def worker(proc):
+        comm = proc.comm_world
+        req = yield from comm.Iallreduce(np.zeros(1 << 14), np.zeros(1 << 14))
+        with pytest.raises(MpiUsageError, match="serially"):
+            yield from comm.Iallreduce(np.zeros(4), np.zeros(4))
+        yield from req.wait()
+        # after completion a new collective is fine
+        out = np.zeros(2)
+        yield from comm.Allreduce(np.ones(2), out)
+        assert np.allclose(out, 2.0)
+
+    run_same(world2, worker)
+
+
+# ------------------------------------------------------------ vector type
+
+def test_vector_pack_unpack_roundtrip():
+    v = VectorType(count=4, blocklength=3, stride=5)
+    buf = np.arange(20.0)
+    packed = v.pack(buf)
+    assert packed.size == v.elements == 12
+    out = np.full(20, -1.0)
+    v.unpack(out, packed)
+    for b in range(4):
+        assert np.allclose(out[b * 5:b * 5 + 3], buf[b * 5:b * 5 + 3])
+        assert np.allclose(out[b * 5 + 3:b * 5 + 5], -1.0)
+
+
+def test_vector_column_of_matrix():
+    """The canonical use: a column of a row-major matrix."""
+    m = np.arange(30.0).reshape(5, 6)
+    col = VectorType(count=5, blocklength=1, stride=6)
+    assert np.allclose(col.pack(m, offset=2), m[:, 2])
+
+
+def test_vector_offset_and_extent():
+    v = VectorType(count=2, blocklength=2, stride=4)
+    assert v.extent == 6
+    buf = np.arange(10.0)
+    assert np.allclose(v.pack(buf, offset=3), [3, 4, 7, 8])
+    with pytest.raises(MpiUsageError):
+        v.pack(buf, offset=5)   # extent 6 from 5 exceeds 10
+
+
+def test_vector_validation():
+    with pytest.raises(MpiUsageError):
+        VectorType(count=2, blocklength=3, stride=2)  # overlapping
+    with pytest.raises(MpiUsageError):
+        VectorType(count=-1, blocklength=1, stride=1)
+    v = VectorType(count=2, blocklength=2, stride=2)  # contiguous OK
+    assert v.extent == 4
+
+
+def test_vector_zero_count():
+    v = VectorType(count=0, blocklength=3, stride=4)
+    assert v.extent == 0 and v.elements == 0
+    assert v.pack(np.arange(4.0)).size == 0
+
+
+def test_vector_unpack_size_checked():
+    v = VectorType(count=2, blocklength=2, stride=3)
+    with pytest.raises(MpiUsageError):
+        v.unpack(np.zeros(8), np.zeros(3))
+
+
+def test_vector_wire_size_uses_base():
+    v = VectorType(count=2, blocklength=4, stride=4, base=INT)
+    assert v.size == 8 * 4
+    assert VectorType(count=2, blocklength=4, stride=4).size == 8 * 8
+
+
+def test_vector_end_to_end_column_exchange(world2):
+    """Send a matrix column with VectorType through the simulated MPI."""
+    m = np.arange(24.0).reshape(4, 6)
+    col = VectorType(count=4, blocklength=1, stride=6)
+
+    def sender(proc):
+        yield from proc.comm_world.Send(col.pack(m, offset=3), dest=1, tag=0)
+
+    def receiver(proc):
+        out = np.zeros((4, 6))
+        strip = np.zeros(4)
+        yield from proc.comm_world.Recv(strip, source=0, tag=0)
+        col.unpack(out, strip, offset=3)
+        assert np.allclose(out[:, 3], m[:, 3])
+
+    run_ranks(world2, sender, receiver)

@@ -1,0 +1,184 @@
+"""Unit tests for Info objects and hint parsing (repro.mpi.info)."""
+
+import pytest
+
+from repro.errors import InvalidHintError
+from repro.mpi.info import (
+    CommHints,
+    Info,
+    parse_comm_hints,
+    parse_window_hints,
+)
+
+
+# ---------------------------------------------------------------- Info
+
+def test_info_set_get_delete():
+    info = Info()
+    info.set("k", "v")
+    assert info.get("k") == "v"
+    assert "k" in info
+    info.delete("k")
+    assert info.get("k") is None
+    info.delete("k")  # idempotent
+
+
+def test_info_stringifies_values():
+    info = Info()
+    info.set("mpich_num_vcis", 8)
+    assert info.get("mpich_num_vcis") == "8"
+
+
+def test_info_copy_is_independent():
+    a = Info({"x": "1"})
+    b = a.copy()
+    b.set("x", "2")
+    assert a.get("x") == "1"
+
+
+def test_info_rejects_bad_keys():
+    with pytest.raises(InvalidHintError):
+        Info().set("", "v")
+    with pytest.raises(InvalidHintError):
+        Info().set(7, "v")
+
+
+def test_unknown_hints_ignored():
+    hints = parse_comm_hints(Info({"some_vendor_hint": "whatever"}))
+    assert hints == CommHints()
+
+
+# ------------------------------------------------------------ comm hints
+
+def test_default_hints():
+    h = parse_comm_hints(None)
+    assert not h.allow_overtaking and not h.no_any_tag and not h.no_any_source
+    assert h.num_vcis == 1
+    assert not h.send_side_spreading and not h.recv_side_spreading
+
+
+def test_assertion_parsing():
+    info = Info({
+        "mpi_assert_allow_overtaking": "true",
+        "mpi_assert_no_any_tag": "TRUE",
+        "mpi_assert_no_any_source": "1",
+    })
+    h = parse_comm_hints(info)
+    assert h.allow_overtaking and h.no_any_tag and h.no_any_source
+    assert h.wildcards_forbidden
+
+
+def test_bad_boolean_rejected():
+    with pytest.raises(InvalidHintError):
+        parse_comm_hints(Info({"mpi_assert_no_any_tag": "maybe"}))
+
+
+def test_bad_int_rejected():
+    with pytest.raises(InvalidHintError):
+        parse_comm_hints(Info({"mpich_num_vcis": "four"}))
+    with pytest.raises(InvalidHintError):
+        parse_comm_hints(Info({"mpich_num_vcis": "0"}))
+
+
+def test_listing2_hint_bundle():
+    """The full Listing 2 hint set from the paper parses and validates."""
+    info = Info({
+        "mpi_assert_no_any_tag": "true",
+        "mpi_assert_no_any_source": "true",
+        "mpich_num_vcis": "8",
+        "mpich_num_tag_bits_vci": "3",
+        "mpich_place_tag_bits_local_vci": "MSB",
+        "mpich_tag_vci_hash_type": "one-to-one",
+    })
+    h = parse_comm_hints(info)
+    assert h.num_vcis == 8
+    assert h.num_tag_bits_vci == 3
+    assert h.tag_vci_hash_type == "one-to-one"
+    assert h.recv_side_spreading and h.send_side_spreading
+
+
+def test_one_to_one_requires_no_wildcards():
+    info = Info({
+        "mpich_num_vcis": "8",
+        "mpich_num_tag_bits_vci": "3",
+        "mpich_tag_vci_hash_type": "one-to-one",
+    })
+    with pytest.raises(InvalidHintError, match="no_any_tag"):
+        parse_comm_hints(info)
+
+
+def test_one_to_one_requires_tag_bits():
+    info = Info({
+        "mpi_assert_no_any_tag": "true",
+        "mpi_assert_no_any_source": "true",
+        "mpich_num_vcis": "8",
+        "mpich_tag_vci_hash_type": "one-to-one",
+    })
+    with pytest.raises(InvalidHintError, match="tag_bits"):
+        parse_comm_hints(info)
+
+
+def test_bad_placement_rejected():
+    with pytest.raises(InvalidHintError):
+        parse_comm_hints(Info({"mpich_place_tag_bits_local_vci": "MIDDLE"}))
+
+
+def test_bad_hash_type_rejected():
+    with pytest.raises(InvalidHintError):
+        parse_comm_hints(Info({"mpich_tag_vci_hash_type": "two-to-one"}))
+
+
+def test_overtaking_alone_gives_send_side_spreading_only():
+    """Paper, Section II-A: allow_overtaking makes *sends* with different
+    tags logically parallel, but receives (wildcards possible) are not."""
+    info = Info({
+        "mpi_assert_allow_overtaking": "true",
+        "mpich_num_vcis": "4",
+    })
+    h = parse_comm_hints(info)
+    assert h.send_side_spreading
+    assert not h.recv_side_spreading
+
+
+def test_no_wildcards_gives_both_side_spreading():
+    info = Info({
+        "mpi_assert_no_any_tag": "true",
+        "mpi_assert_no_any_source": "true",
+        "mpich_num_vcis": "4",
+    })
+    h = parse_comm_hints(info)
+    assert h.send_side_spreading and h.recv_side_spreading
+
+
+def test_spreading_requires_multiple_vcis():
+    info = Info({
+        "mpi_assert_no_any_tag": "true",
+        "mpi_assert_no_any_source": "true",
+    })
+    h = parse_comm_hints(info)
+    assert not h.send_side_spreading and not h.recv_side_spreading
+
+
+# ------------------------------------------------------------ window hints
+
+def test_window_hints_default():
+    h = parse_window_hints(None)
+    assert h.accumulate_ordering == "default"
+    assert h.num_vcis == 1
+    assert not h.atomics_may_spread
+
+
+def test_window_hints_none_ordering_with_vcis():
+    h = parse_window_hints(Info({"accumulate_ordering": "none",
+                                 "mpich_rma_num_vcis": "8"}))
+    assert h.atomics_may_spread
+
+
+def test_window_hints_ordering_alone_does_not_spread():
+    h = parse_window_hints(Info({"accumulate_ordering": "none"}))
+    assert not h.atomics_may_spread
+
+
+def test_window_hints_bad_ordering():
+    with pytest.raises(InvalidHintError):
+        parse_window_hints(Info({"accumulate_ordering": "sometimes"}))

@@ -1,0 +1,217 @@
+"""Tests of library internals: protocol paths, delivery, issue paths
+(repro.mpi.library)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiUsageError
+from repro.mpi import waitall
+from repro.netsim import NetworkConfig
+from repro.netsim.message import MessageKind, WireMessage
+from repro.runtime import World
+
+from tests.helpers import run_ranks
+
+
+def test_unknown_message_kind_rejected(world2):
+    lib = world2.procs[0].lib
+    msg = WireMessage(kind=MessageKind.CTRL, src_node=1, dst_node=0,
+                      src_rank=1, dst_rank=0, context_id=0, tag=0, size=0)
+    with pytest.raises(MpiUsageError, match="no handler"):
+        lib.deliver(msg)
+
+
+def test_eager_threshold_boundary(world2):
+    """Messages exactly at the eager threshold remain eager; one byte more
+    goes rendezvous. Both must deliver correct data."""
+    threshold = world2.cfg.fabric.eager_threshold
+    at = threshold // 8          # float64 elements exactly at threshold
+    over = at + 1
+
+    def sender(proc):
+        yield from proc.comm_world.Send(np.arange(at, dtype=np.float64),
+                                        dest=1, tag=0)
+        yield from proc.comm_world.Send(np.arange(over, dtype=np.float64),
+                                        dest=1, tag=1)
+
+    def receiver(proc):
+        b1 = np.zeros(at)
+        yield from proc.comm_world.Recv(b1, source=0, tag=0)
+        assert np.allclose(b1, np.arange(at))
+        b2 = np.zeros(over)
+        yield from proc.comm_world.Recv(b2, source=0, tag=1)
+        assert np.allclose(b2, np.arange(over))
+
+    run_ranks(world2, sender, receiver)
+    # exactly one rendezvous handshake happened
+    lib0 = world2.procs[0].lib
+    assert not lib0._rndv_sends          # all drained
+    assert not world2.procs[1].lib._rndv_recvs
+
+
+def test_rendezvous_send_completes_only_after_cts(world2):
+    """A rendezvous send must not complete locally before the receiver
+    grants it (unlike eager sends)."""
+    n = 1 << 15  # 256 KiB > threshold
+    times = {}
+
+    def sender(proc):
+        req = yield from proc.comm_world.Isend(np.zeros(n), dest=1, tag=0)
+        yield from req.wait()
+        times["send_done"] = proc.sim.now
+
+    def receiver(proc):
+        yield proc.compute(500e-6)  # delay posting the receive
+        times["posted"] = proc.sim.now
+        buf = np.zeros(n)
+        yield from proc.comm_world.Recv(buf, source=0, tag=0)
+
+    run_ranks(world2, sender, receiver)
+    assert times["send_done"] > times["posted"]
+
+
+def test_eager_send_completes_before_recv_posted(world2):
+    times = {}
+
+    def sender(proc):
+        req = yield from proc.comm_world.Isend(np.zeros(16), dest=1, tag=0)
+        yield from req.wait()
+        times["send_done"] = proc.sim.now
+
+    def receiver(proc):
+        yield proc.compute(500e-6)
+        buf = np.zeros(16)
+        yield from proc.comm_world.Recv(buf, source=0, tag=0)
+
+    run_ranks(world2, sender, receiver)
+    assert times["send_done"] < 500e-6
+
+
+def test_intranode_faster_than_internode():
+    """Same-node ranks talk through shared memory: cheaper than the wire."""
+    w_intra = World(num_nodes=1, procs_per_node=2)
+    w_inter = World(num_nodes=2, procs_per_node=1)
+    times = {}
+
+    def sender(proc):
+        yield from proc.comm_world.Send(np.zeros(256), dest=1, tag=0)
+
+    def make_receiver(key):
+        def receiver(proc):
+            buf = np.zeros(256)
+            yield from proc.comm_world.Recv(buf, source=0, tag=0)
+            times[key] = proc.sim.now
+        return receiver
+
+    run_ranks(w_intra, sender, make_receiver("intra"))
+    run_ranks(w_inter, sender, make_receiver("inter"))
+    assert times["intra"] < times["inter"]
+
+
+def test_endpoint_vci_allocation_wraps(world2):
+    lib = world2.procs[0].lib
+    first = [lib.alloc_endpoint_vci() for _ in range(lib.vci_pool.max_vcis)]
+    assert first == list(range(lib.vci_pool.max_vcis))
+    assert lib.alloc_endpoint_vci() == 0  # wraps
+
+
+def test_progress_charges_time(world2):
+    proc = world2.procs[0]
+
+    def t():
+        yield from proc.lib.progress()
+
+    world2.run_all([proc.spawn(t())])
+    assert world2.now == pytest.approx(world2.cfg.cpu.progress_poll)
+
+
+def test_counters_track_traffic(world2):
+    def sender(proc):
+        for k in range(3):
+            yield from proc.comm_world.Send(np.zeros(8), dest=1, tag=k)
+
+    def receiver(proc):
+        for k in range(3):
+            buf = np.zeros(8)
+            yield from proc.comm_world.Recv(buf, source=0, tag=k)
+
+    run_ranks(world2, sender, receiver)
+    lib0, lib1 = world2.procs[0].lib, world2.procs[1].lib
+    assert lib0.sends_posted == 3
+    assert lib0.bytes_sent == 3 * 64
+    assert lib1.recvs_posted == 3
+    assert lib1.recvs_completed == 3
+
+
+def test_complete_at_orders_with_clock(world2):
+    from repro.mpi.request import Request
+    lib = world2.procs[0].lib
+    req = Request(world2.sim, "test")
+    lib.complete_at(req, when=5e-6, source=1, tag=2, count=3)
+    assert not req.done
+    world2.run()
+    assert req.done
+    st = req.test()
+    assert (st.source, st.tag, st.count) == (1, 2, 3)
+    assert world2.now == pytest.approx(5e-6)
+
+
+def test_issue_async_charges_no_thread_time(world2):
+    """Library-internal responses (CTS/acks) consume NIC time only."""
+    lib = world2.procs[0].lib
+    vci = lib.vci_pool.get(0)
+    msg = WireMessage(kind=MessageKind.EAGER, src_node=0, dst_node=1,
+                      src_rank=0, dst_rank=1, context_id=0, tag=0, size=0,
+                      payload=np.zeros(0),
+                      meta={"src_addr": 0, "dst_addr": 1})
+    depart = lib.issue_async(vci, msg)
+    assert depart > 0.0
+    assert world2.sim.now == 0.0  # no simulated thread time consumed
+
+
+def test_comm_test_contends_on_shared_channel():
+    """MPI_Test drives progress on the request's channel: on a shared
+    channel ('original' mode) a polling thread's tests serialize against
+    senders — the Fig 1(c)/Fig 5 mechanism."""
+    def run(n_senders):
+        world = World(num_nodes=2, procs_per_node=1,
+                      threads_per_proc=n_senders + 1, max_vcis_per_proc=1)
+        poll_times = []
+
+        def node(proc):
+            comm = proc.comm_world
+            if proc.rank == 0:
+                def sender():
+                    for _ in range(40):
+                        req = yield from comm.Isend(np.zeros(4), 1, tag=0)
+                        yield from req.wait()
+
+                def tester():
+                    buf = np.zeros(4)
+                    req = yield from comm.Irecv(buf, 1, tag=99)
+                    t0 = proc.sim.now
+                    for _ in range(20):
+                        yield from comm.Test(req)
+                    poll_times.append(proc.sim.now - t0)
+                    # satisfy the pending recv
+                    sreq = yield from comm.Isend(buf, 1, tag=5)
+                    yield from sreq.wait()
+                    yield from req.wait()
+
+                tasks = [proc.spawn(sender()) for _ in range(n_senders)]
+                tasks.append(proc.spawn(tester()))
+                yield proc.sim.all_of(tasks)
+            else:
+                buf = np.zeros(4)
+                for _ in range(40 * n_senders):
+                    yield from comm.Recv(buf, 0, tag=0)
+                yield from comm.Recv(buf, 0, tag=5)
+                yield from comm.Send(buf, 0, tag=99)
+
+        tasks = [world.procs[i].spawn(node(world.procs[i]))
+                 for i in range(2)]
+        world.run_all(tasks, max_steps=None)
+        return poll_times[0]
+
+    # More concurrent senders on the shared channel -> slower tests.
+    assert run(6) > 1.5 * run(0)

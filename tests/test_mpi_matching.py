@@ -1,0 +1,170 @@
+"""Unit tests for the matching engine (repro.mpi.matching)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.matching import ANY_SOURCE, ANY_TAG, MatchingEngine, PostedRecv
+from repro.mpi.request import Request
+from repro.netsim.message import MessageKind, WireMessage
+from repro.sim import Simulator
+
+
+def mk_msg(src_addr=0, dst_addr=1, tag=5, ctx=0, size=0, payload=None):
+    return WireMessage(kind=MessageKind.EAGER, src_node=0, dst_node=1,
+                       src_rank=src_addr, dst_rank=dst_addr, context_id=ctx,
+                       tag=tag, size=size, payload=payload,
+                       meta={"src_addr": src_addr, "dst_addr": dst_addr})
+
+
+def mk_recv(sim, src=0, tag=5, ctx=0, dst_addr=1, count=4):
+    return PostedRecv(req=Request(sim, "recv"), buf=np.zeros(count),
+                      count=count, context_id=ctx, source=src, tag=tag,
+                      dst_addr=dst_addr)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_posted_then_incoming_matches(sim):
+    eng = MatchingEngine()
+    entry = mk_recv(sim)
+    found, scanned = eng.post_recv(entry)
+    assert found is None and scanned == 0
+    matched, scanned = eng.incoming(mk_msg())
+    assert matched is entry and scanned == 1
+    assert eng.posted_depth == 0
+
+
+def test_incoming_then_posted_matches(sim):
+    eng = MatchingEngine()
+    msg = mk_msg()
+    matched, _ = eng.incoming(msg)
+    assert matched is None
+    assert eng.unexpected_depth == 1
+    found, scanned = eng.post_recv(mk_recv(sim))
+    assert found is msg and scanned == 1
+    assert eng.unexpected_depth == 0
+
+
+def test_tag_mismatch_does_not_match(sim):
+    eng = MatchingEngine()
+    eng.post_recv(mk_recv(sim, tag=7))
+    matched, _ = eng.incoming(mk_msg(tag=8))
+    assert matched is None
+    assert eng.posted_depth == 1 and eng.unexpected_depth == 1
+
+
+def test_source_mismatch_does_not_match(sim):
+    eng = MatchingEngine()
+    eng.post_recv(mk_recv(sim, src=3))
+    matched, _ = eng.incoming(mk_msg(src_addr=4))
+    assert matched is None
+
+
+def test_context_mismatch_does_not_match(sim):
+    eng = MatchingEngine()
+    eng.post_recv(mk_recv(sim, ctx=0))
+    matched, _ = eng.incoming(mk_msg(ctx=2))
+    assert matched is None
+
+
+def test_dst_addr_separates_endpoints(sim):
+    """Two endpoints sharing a VCI must not steal each other's messages."""
+    eng = MatchingEngine()
+    e1 = mk_recv(sim, dst_addr=1)
+    e2 = mk_recv(sim, dst_addr=2)
+    eng.post_recv(e1)
+    eng.post_recv(e2)
+    matched, _ = eng.incoming(mk_msg(dst_addr=2))
+    assert matched is e2
+    matched, _ = eng.incoming(mk_msg(dst_addr=1))
+    assert matched is e1
+
+
+def test_any_source_wildcard(sim):
+    eng = MatchingEngine()
+    eng.post_recv(mk_recv(sim, src=ANY_SOURCE))
+    matched, _ = eng.incoming(mk_msg(src_addr=42))
+    assert matched is not None
+
+
+def test_any_tag_wildcard(sim):
+    eng = MatchingEngine()
+    eng.post_recv(mk_recv(sim, tag=ANY_TAG))
+    matched, _ = eng.incoming(mk_msg(tag=999))
+    assert matched is not None
+
+
+def test_fifo_nonovertaking_posted_order(sim):
+    """Earliest matching posted receive wins (non-overtaking)."""
+    eng = MatchingEngine()
+    first = mk_recv(sim, src=ANY_SOURCE, tag=ANY_TAG)
+    second = mk_recv(sim, src=0, tag=5)
+    eng.post_recv(first)
+    eng.post_recv(second)
+    matched, _ = eng.incoming(mk_msg())
+    assert matched is first
+
+
+def test_fifo_nonovertaking_unexpected_order(sim):
+    """Earliest matching unexpected message wins."""
+    eng = MatchingEngine()
+    m1 = mk_msg(tag=5)
+    m2 = mk_msg(tag=5)
+    eng.incoming(m1)
+    eng.incoming(m2)
+    found, _ = eng.post_recv(mk_recv(sim, tag=5))
+    assert found is m1
+    found, _ = eng.post_recv(mk_recv(sim, tag=5))
+    assert found is m2
+
+
+def test_specific_recv_skips_nonmatching_earlier_unexpected(sim):
+    eng = MatchingEngine()
+    other = mk_msg(tag=1)
+    wanted = mk_msg(tag=2)
+    eng.incoming(other)
+    eng.incoming(wanted)
+    found, scanned = eng.post_recv(mk_recv(sim, tag=2))
+    assert found is wanted and scanned == 2
+    assert eng.unexpected_depth == 1  # tag=1 still parked
+
+
+def test_probe_is_nondestructive(sim):
+    eng = MatchingEngine()
+    eng.incoming(mk_msg(tag=9))
+    msg, _ = eng.probe(0, ANY_SOURCE, 9, dst_addr=1)
+    assert msg is not None
+    assert eng.unexpected_depth == 1
+    msg, _ = eng.probe(0, ANY_SOURCE, 10, dst_addr=1)
+    assert msg is None
+
+
+def test_scan_counts_accumulate(sim):
+    eng = MatchingEngine()
+    for tag in range(5):
+        eng.incoming(mk_msg(tag=tag))
+    assert eng.total_scans == 0  # nothing posted yet
+    eng.post_recv(mk_recv(sim, tag=4))
+    assert eng.total_scans == 5
+
+
+def test_depth_highwater_marks(sim):
+    eng = MatchingEngine()
+    for tag in range(3):
+        eng.post_recv(mk_recv(sim, tag=100 + tag))
+    assert eng.max_posted_depth == 3
+    for tag in range(4):
+        eng.incoming(mk_msg(tag=tag))
+    assert eng.max_unexpected_depth == 4
+
+
+def test_cancel_posted(sim):
+    eng = MatchingEngine()
+    entry = mk_recv(sim)
+    eng.post_recv(entry)
+    assert eng.cancel_posted(entry.req)
+    assert eng.posted_depth == 0
+    assert not eng.cancel_posted(entry.req)

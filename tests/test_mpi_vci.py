@@ -1,0 +1,178 @@
+"""Unit tests for VCIs and VCI-selection policies (repro.mpi.vci)."""
+
+import pytest
+
+from repro.errors import HintViolationError, MpiUsageError
+from repro.mpi.info import CommHints, Info, parse_comm_hints
+from repro.mpi.matching import ANY_TAG
+from repro.mpi.vci import (
+    TAG_BITS,
+    EndpointVciMap,
+    SingleVciMap,
+    TagBitsVciMap,
+    VciPool,
+    mix_hash,
+)
+from repro.netsim import NetworkConfig, Nic
+from repro.sim import Simulator
+
+
+def make_pool(max_vcis=16, contexts=160):
+    sim = Simulator()
+    cfg = NetworkConfig().with_contexts(contexts)
+    nic = Nic(sim, cfg.nic)
+    return VciPool(sim, nic, cfg.cpu, max_vcis=max_vcis)
+
+
+# ---------------------------------------------------------------- hash
+
+def test_mix_hash_deterministic_and_spread():
+    vals = {mix_hash(i) % 8 for i in range(64)}
+    assert len(vals) == 8  # hits all buckets over 64 inputs
+    assert mix_hash(42) == mix_hash(42)
+    assert mix_hash(42) != mix_hash(43)
+
+
+# ---------------------------------------------------------------- pool
+
+def test_pool_lazily_creates_and_wraps():
+    pool = make_pool(max_vcis=4)
+    v0 = pool.get(0)
+    assert pool.get(0) is v0
+    assert pool.get(4) is v0  # wraps modulo max
+    assert pool.num_active == 1
+    pool.get(3)
+    assert pool.num_active == 2
+
+
+def test_pool_requires_positive_size():
+    sim = Simulator()
+    nic = Nic(sim, NetworkConfig().nic)
+    with pytest.raises(MpiUsageError):
+        VciPool(sim, nic, NetworkConfig().cpu, max_vcis=0)
+
+
+def test_pool_context_hash_stable():
+    pool = make_pool(max_vcis=8)
+    a = pool.vci_index_for_context(100)
+    assert a == pool.vci_index_for_context(100)
+    assert 0 <= a < 8
+
+
+def test_vcis_draw_hardware_contexts_from_nic():
+    pool = make_pool(max_vcis=8, contexts=4)
+    vcis = [pool.get(i) for i in range(8)]
+    # 8 VCIs on 4 contexts: each context shared twice.
+    assert vcis[0].hw_context is vcis[4].hw_context
+    assert vcis[0].hw_context.sharers == 2
+
+
+# ---------------------------------------------------------------- single map
+
+def test_single_map_constant():
+    m = SingleVciMap(3)
+    assert m.send_local(0, 1, 7) == 3
+    assert m.send_remote(0, 1, 7) == 3
+    assert m.recv_vci(1, 0, 7) == 3
+    assert m.recv_vci(1, -1, ANY_TAG) == 3  # wildcards fine on one VCI
+
+
+# ---------------------------------------------------------------- tag-bits map
+
+def one_to_one_hints(n=4, bits=2):
+    return parse_comm_hints(Info({
+        "mpi_assert_no_any_tag": "true",
+        "mpi_assert_no_any_source": "true",
+        "mpich_num_vcis": str(n),
+        "mpich_num_tag_bits_vci": str(bits),
+        "mpich_place_tag_bits_local_vci": "MSB",
+        "mpich_tag_vci_hash_type": "one-to-one",
+    }))
+
+
+def encode_msb(src_tid, dst_tid, app_tag, bits=2):
+    return (src_tid << (TAG_BITS - bits)) | (dst_tid << (TAG_BITS - 2 * bits)) \
+        | app_tag
+
+
+def test_one_to_one_msb_extraction():
+    m = TagBitsVciMap(one_to_one_hints(), base_index=0, num_pool_vcis=16)
+    tag = encode_msb(src_tid=2, dst_tid=3, app_tag=17)
+    assert m.src_field(tag) == 2
+    assert m.dst_field(tag) == 3
+    assert m.send_local(0, 1, tag) == 2
+    assert m.send_remote(0, 1, tag) == 3
+    assert m.recv_vci(1, 0, tag) == 3
+
+
+def test_one_to_one_lsb_placement():
+    hints = parse_comm_hints(Info({
+        "mpi_assert_no_any_tag": "true",
+        "mpi_assert_no_any_source": "true",
+        "mpich_num_vcis": "4",
+        "mpich_num_tag_bits_vci": "2",
+        "mpich_place_tag_bits_local_vci": "LSB",
+        "mpich_tag_vci_hash_type": "one-to-one",
+    }))
+    m = TagBitsVciMap(hints, base_index=0, num_pool_vcis=16)
+    tag = (3 << 2) | 1  # dst=3, src=1 in LSB layout
+    assert m.src_field(tag) == 1
+    assert m.dst_field(tag) == 3
+
+
+def test_one_to_one_consistency_sender_receiver():
+    """The sender's remote choice must equal the receiver's recv choice."""
+    m = TagBitsVciMap(one_to_one_hints(), base_index=5, num_pool_vcis=64)
+    for s in range(4):
+        for d in range(4):
+            tag = encode_msb(s, d, 9)
+            assert m.send_remote(0, 1, tag) == m.recv_vci(1, 0, tag)
+
+
+def test_hash_map_consistency():
+    hints = parse_comm_hints(Info({
+        "mpi_assert_no_any_tag": "true",
+        "mpi_assert_no_any_source": "true",
+        "mpich_num_vcis": "8",
+    }))
+    m = TagBitsVciMap(hints, base_index=0, num_pool_vcis=64)
+    for tag in range(100):
+        assert m.send_remote(0, 1, tag) == m.recv_vci(1, 0, tag)
+    # hashing spreads across several VCIs
+    assert len({m.send_local(0, 1, t) for t in range(100)}) > 4
+
+
+def test_overtaking_only_send_side():
+    hints = parse_comm_hints(Info({
+        "mpi_assert_allow_overtaking": "true",
+        "mpich_num_vcis": "8",
+    }))
+    m = TagBitsVciMap(hints, base_index=2, num_pool_vcis=64)
+    locals_ = {m.send_local(0, 1, t) for t in range(50)}
+    assert len(locals_) > 4  # sender spreads
+    assert {m.send_remote(0, 1, t) for t in range(50)} == {2}  # receiver pinned
+    assert m.recv_vci(1, 0, ANY_TAG) == 2  # wildcards still legal
+
+
+def test_recv_any_tag_violates_no_any_tag_assertion():
+    m = TagBitsVciMap(one_to_one_hints(), base_index=0, num_pool_vcis=16)
+    with pytest.raises(HintViolationError):
+        m.recv_vci(1, 0, ANY_TAG)
+
+
+def test_tag_bits_clamps_to_pool():
+    hints = one_to_one_hints(n=64, bits=6)
+    m = TagBitsVciMap(hints, base_index=0, num_pool_vcis=8)
+    assert m.n == 8
+
+
+# ---------------------------------------------------------------- endpoint map
+
+def test_endpoint_map_routes_by_target_rank():
+    table = [3, 7, 1, 4]  # ep rank -> owner VCI
+    m = EndpointVciMap(my_vci=7, ep_vci_table=table)
+    assert m.send_local(1, 2, 99) == 7
+    assert m.send_remote(1, 2, 99) == 1
+    assert m.send_remote(1, 3, 99) == 4
+    assert m.recv_vci(1, 0, ANY_TAG) == 7  # wildcards legal (Lesson 11)
+    assert m.recv_vci(1, -1, 5) == 7

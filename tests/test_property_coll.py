@@ -1,0 +1,137 @@
+"""Property-based tests for the extended collectives, endpoint
+collectives, and RMA atomicity under randomized shapes."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.coll import SUM
+from repro.mpi.endpoints import comm_create_endpoints
+from repro.mpi.rma import win_create
+from repro.runtime import World
+
+SETTINGS = settings(max_examples=12, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow,
+                                           HealthCheck.data_too_large])
+
+
+@SETTINGS
+@given(st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=4),
+       st.integers(min_value=1, max_value=24),
+       st.integers(min_value=0, max_value=99))
+def test_gather_scatter_roundtrip(nprocs, root_pick, count, seed):
+    """Scatter then gather through different roots is the identity."""
+    root_a = root_pick % nprocs
+    root_b = (root_pick + 1) % nprocs
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=nprocs * count)
+    world = World(num_nodes=nprocs, procs_per_node=1)
+    result = {}
+
+    def worker(proc):
+        comm = proc.comm_world
+        mine = np.zeros(count)
+        sb = data.copy() if proc.rank == root_a else None
+        yield from comm.Scatter(sb, mine, root=root_a)
+        rb = np.zeros(nprocs * count) if proc.rank == root_b else None
+        yield from comm.Gather(mine, rb, root=root_b)
+        if proc.rank == root_b:
+            result["gathered"] = rb
+
+    tasks = [p.spawn(worker(p)) for p in world.procs]
+    world.run_all(tasks, max_steps=None)
+    assert np.allclose(result["gathered"], data)
+
+
+@SETTINGS
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=16),
+       st.integers(min_value=0, max_value=99))
+def test_scan_matches_cumsum(nprocs, count, seed):
+    rng = np.random.default_rng(seed)
+    contribs = rng.normal(size=(nprocs, count))
+    world = World(num_nodes=nprocs, procs_per_node=1)
+    outs = {}
+
+    def worker(proc):
+        out = np.zeros(count)
+        yield from proc.comm_world.Scan(contribs[proc.rank].copy(), out)
+        outs[proc.rank] = out
+
+    world.run_all([p.spawn(worker(p)) for p in world.procs],
+                  max_steps=None)
+    running = np.zeros(count)
+    for r in range(nprocs):
+        running = running + contribs[r]
+        assert np.allclose(outs[r], running)
+
+
+@SETTINGS
+@given(st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=64),
+       st.integers(min_value=0, max_value=99))
+def test_endpoint_allreduce_matches_numpy(nprocs, eps_per_proc, count, seed):
+    """The hierarchical endpoint allreduce equals the flat numpy sum for
+    any (process count, endpoints/process, size)."""
+    rng = np.random.default_rng(seed)
+    contribs = rng.normal(size=(nprocs * eps_per_proc, count))
+    expected = contribs.sum(axis=0)
+    world = World(num_nodes=nprocs, procs_per_node=1,
+                  threads_per_proc=eps_per_proc)
+    outs = {}
+
+    def main(proc):
+        eps = yield from comm_create_endpoints(proc.comm_world,
+                                               eps_per_proc)
+
+        def thread(ep):
+            out = np.zeros(count)
+            yield from ep.Allreduce(contribs[ep.rank].copy(), out, op=SUM)
+            outs[ep.rank] = out
+
+        yield proc.sim.all_of([proc.spawn(thread(ep)) for ep in eps])
+
+    world.run_all([p.spawn(main(p)) for p in world.procs], max_steps=None)
+    for r in range(nprocs * eps_per_proc):
+        assert np.allclose(outs[r], expected), r
+
+
+@SETTINGS
+@given(st.integers(min_value=1, max_value=10),
+       st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                max_size=25),
+       st.integers(min_value=0, max_value=99))
+def test_concurrent_accumulates_linearize(nthreads_pick, targets, seed):
+    """Any interleaving of concurrent accumulates from many threads sums
+    exactly (atomicity + SUM commutativity)."""
+    rng = np.random.default_rng(seed)
+    values = rng.integers(1, 10, size=len(targets)).astype(np.float64)
+    world = World(num_nodes=2, procs_per_node=1)
+    mem_holder = {}
+
+    def origin(proc):
+        win = yield from win_create(proc.comm_world, np.zeros(1))
+
+        def one(disp, val):
+            yield from win.Accumulate(np.full(1, val), target=1, disp=disp)
+
+        tasks = [proc.spawn(one(t, v)) for t, v in zip(targets, values)]
+        yield proc.sim.all_of(tasks)
+        yield from win.Flush(1)
+        yield from win.Fence()
+
+    def target(proc):
+        mem = np.zeros(8)
+        mem_holder["mem"] = mem
+        win = yield from win_create(proc.comm_world, mem)
+        yield from win.Fence()
+
+    tasks = [world.procs[0].spawn(origin(world.procs[0])),
+             world.procs[1].spawn(target(world.procs[1]))]
+    world.run_all(tasks, max_steps=None)
+    expected = np.zeros(8)
+    for t, v in zip(targets, values):
+        expected[t] += v
+    assert np.allclose(mem_holder["mem"], expected)

@@ -1,0 +1,142 @@
+"""Property-based end-to-end tests: collectives and data transport against
+numpy references under randomized shapes."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.coll import MAX, MIN, PROD, SUM
+from repro.mpi.partitioned import precv_init, psend_init
+from repro.runtime import World
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow,
+                                           HealthCheck.data_too_large])
+
+OPS = {"SUM": (SUM, np.add), "MAX": (MAX, np.maximum),
+       "MIN": (MIN, np.minimum), "PROD": (PROD, np.multiply)}
+
+
+@SETTINGS
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=32),
+       st.sampled_from(sorted(OPS)),
+       st.integers(min_value=0, max_value=99))
+def test_allreduce_matches_numpy(nprocs, count, opname, seed):
+    op, npop = OPS[opname]
+    rng = np.random.default_rng(seed)
+    inputs = rng.uniform(0.5, 2.0, size=(nprocs, count))
+    expected = inputs[0].copy()
+    for i in range(1, nprocs):
+        expected = npop(expected, inputs[i])
+
+    world = World(num_nodes=nprocs, procs_per_node=1)
+    outs = {}
+
+    def worker(proc):
+        out = np.zeros(count)
+        yield from proc.comm_world.Allreduce(inputs[proc.rank].copy(), out,
+                                             op=op)
+        outs[proc.rank] = out
+
+    tasks = [p.spawn(worker(p)) for p in world.procs]
+    world.run_all(tasks, max_steps=None)
+    for r in range(nprocs):
+        assert np.allclose(outs[r], expected), (r, opname)
+
+
+@SETTINGS
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=1, max_value=40),
+       st.integers(min_value=0, max_value=99))
+def test_alltoall_matches_reference(nprocs, count, seed):
+    rng = np.random.default_rng(seed)
+    sends = rng.normal(size=(nprocs, nprocs * count))
+    world = World(num_nodes=nprocs, procs_per_node=1)
+    outs = {}
+
+    def worker(proc):
+        recv = np.zeros(nprocs * count)
+        yield from proc.comm_world.Alltoall(sends[proc.rank].copy(), recv)
+        outs[proc.rank] = recv
+
+    world.run_all([p.spawn(worker(p)) for p in world.procs], max_steps=None)
+    for r in range(nprocs):
+        for s in range(nprocs):
+            assert np.allclose(outs[r][s * count:(s + 1) * count],
+                               sends[s][r * count:(r + 1) * count])
+
+
+@SETTINGS
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                max_size=12),
+       st.integers(min_value=0, max_value=99))
+def test_pt2pt_stream_preserves_order_and_data(tags, seed):
+    """A random same-peer tag sequence arrives with exact data and, per
+    tag, in FIFO order."""
+    rng = np.random.default_rng(seed)
+    payloads = [rng.normal(size=4) for _ in tags]
+    world = World(num_nodes=2, procs_per_node=1)
+    received = []
+
+    def sender(proc):
+        for tag, data in zip(tags, payloads):
+            yield from proc.comm_world.Send(data.copy(), dest=1, tag=tag)
+
+    def receiver(proc):
+        # receive per-tag in posting order
+        order = sorted(range(len(tags)), key=lambda i: (tags[i], i))
+        bufs = {}
+        for i in order:
+            buf = np.zeros(4)
+            yield from proc.comm_world.Recv(buf, source=0, tag=tags[i])
+            bufs[i] = buf
+        for i in range(len(tags)):
+            received.append(bufs[i])
+
+    tasks = [world.procs[0].spawn(sender(world.procs[0])),
+             world.procs[1].spawn(receiver(world.procs[1]))]
+    world.run_all(tasks, max_steps=None)
+    for got, want in zip(received, payloads):
+        assert np.allclose(got, want)
+
+
+@SETTINGS
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=1, max_value=16),
+       st.integers(min_value=1, max_value=3),
+       st.data())
+def test_partitioned_random_pready_orders(partitions, count, cycles, data):
+    """Any pready permutation over any number of cycles delivers exact
+    data."""
+    world = World(num_nodes=2, procs_per_node=1)
+    perms = [data.draw(st.permutations(range(partitions)), label=f"perm{c}")
+             for c in range(cycles)]
+
+    def sender(proc):
+        buf = np.zeros(partitions * count)
+        req = psend_init(proc.comm_world, buf, partitions, count, dest=1,
+                         tag=0)
+        for c in range(cycles):
+            buf[:] = np.arange(partitions * count) + 100 * c
+            yield from req.start()
+            for i in perms[c]:
+                yield from req.pready(i)
+            yield from req.wait()
+
+    checks = []
+
+    def receiver(proc):
+        buf = np.zeros(partitions * count)
+        req = precv_init(proc.comm_world, buf, partitions, count, source=0,
+                         tag=0)
+        for c in range(cycles):
+            yield from req.start()
+            yield from req.wait()
+            checks.append(np.allclose(
+                buf, np.arange(partitions * count) + 100 * c))
+
+    tasks = [world.procs[0].spawn(sender(world.procs[0])),
+             world.procs[1].spawn(receiver(world.procs[1]))]
+    world.run_all(tasks, max_steps=None)
+    assert all(checks) and len(checks) == cycles

@@ -1,0 +1,146 @@
+"""Tests for the cluster runtime (repro.runtime.world)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiUsageError
+from repro.runtime import World
+from repro.sim import SimulationError
+
+
+def test_world_dimensions_and_ranks():
+    world = World(num_nodes=3, procs_per_node=2, threads_per_proc=4)
+    assert world.num_procs == 6
+    assert [p.rank for p in world.procs] == list(range(6))
+    # ranks 0,1 on node 0; 2,3 on node 1; 4,5 on node 2
+    assert [p.node.node_id for p in world.procs] == [0, 0, 1, 1, 2, 2]
+    for node in world.nodes:
+        assert len(node.procs) == 2
+
+
+def test_world_rejects_bad_dimensions():
+    with pytest.raises(MpiUsageError):
+        World(num_nodes=0)
+    with pytest.raises(MpiUsageError):
+        World(procs_per_node=0)
+    with pytest.raises(MpiUsageError):
+        World(threads_per_proc=0)
+
+
+def test_comm_world_per_rank():
+    world = World(num_nodes=2, procs_per_node=2)
+    for r in range(4):
+        comm = world.comm_world(r)
+        assert comm.rank == r
+        assert comm.size == 4
+        assert comm.context_id == 0
+
+
+def test_context_id_allocation_strides():
+    world = World(num_nodes=1, procs_per_node=1)
+    a = world.alloc_context_id()
+    b = world.alloc_context_id()
+    assert a == 4 and b == 8  # COMM_WORLD owns 0..3
+
+
+def test_launch_spawns_per_thread():
+    world = World(num_nodes=2, procs_per_node=1, threads_per_proc=3)
+    seen = []
+
+    def fn(proc, tid):
+        yield proc.compute(1e-6 * (tid + 1))
+        seen.append((proc.rank, tid))
+
+    tasks = world.launch(fn)
+    assert len(tasks) == 6
+    world.run_all(tasks)
+    assert sorted(seen) == [(r, t) for r in range(2) for t in range(3)]
+
+
+def test_shm_exchange_charges_time():
+    world = World(num_nodes=1, procs_per_node=1)
+    proc = world.procs[0]
+
+    def t():
+        yield proc.shm_exchange(20_000_000)  # ~1 ms at 20 GB/s
+
+    task = proc.spawn(t())
+    world.run_all([task])
+    assert 0.9e-3 < world.now < 1.2e-3
+
+
+def test_meet_size_mismatch_rejected():
+    world = World(num_nodes=2, procs_per_node=1)
+
+    def a(proc):
+        yield from world.meet("k", nmembers=2, rank=0)
+
+    def b(proc):
+        with pytest.raises(MpiUsageError, match="size mismatch"):
+            yield from world.meet("k", nmembers=3, rank=1)
+
+    world.procs[0].spawn(a(world.procs[0]))
+    t = world.procs[1].spawn(b(world.procs[1]))
+    world.run(max_steps=1000)
+    assert t.triggered
+
+
+def test_meet_double_join_rejected():
+    world = World(num_nodes=2, procs_per_node=1)
+
+    def a(proc):
+        world_gen = world.meet("k", nmembers=3, rank=0)
+        yield from ()
+        # join once (non-blocking arm): drive manually
+        try:
+            next(world_gen)
+        except StopIteration:
+            pass
+        with pytest.raises(MpiUsageError, match="twice"):
+            gen2 = world.meet("k", nmembers=3, rank=0)
+            next(gen2)
+
+    t = world.procs[0].spawn(a(world.procs[0]))
+    world.run(max_steps=1000)
+    assert t.triggered and t.ok
+
+
+def test_meet_finalize_runs_once_by_last_arriver():
+    world = World(num_nodes=3, procs_per_node=1)
+    calls = []
+
+    def finalize(meeting):
+        calls.append(dict(meeting.contributions))
+        meeting.shared["total"] = sum(meeting.contributions.values())
+
+    def worker(proc):
+        m = yield from world.meet("fin", nmembers=3, rank=proc.rank,
+                                  contribution=proc.rank + 1,
+                                  finalize=finalize)
+        return m.shared["total"]
+
+    tasks = [p.spawn(worker(p)) for p in world.procs]
+    assert world.run_all(tasks) == [6, 6, 6]
+    assert len(calls) == 1
+    assert calls[0] == {0: 1, 1: 2, 2: 3}
+
+
+def test_deadlock_detection_via_run_all():
+    world = World(num_nodes=2, procs_per_node=1)
+
+    def stuck(proc):
+        buf = np.zeros(1)
+        # both ranks receive, nobody sends
+        yield from proc.comm_world.Recv(buf, source=1 - proc.rank, tag=0)
+
+    tasks = [p.spawn(stuck(p)) for p in world.procs]
+    with pytest.raises(SimulationError, match="deadlock"):
+        world.run_all(tasks)
+
+
+def test_world_now_tracks_simulated_time():
+    world = World(num_nodes=1, procs_per_node=1)
+    proc = world.procs[0]
+    world.run_all([proc.spawn((proc.compute(2.5e-6) for _ in range(1)))])
+    # generator expression yields one timeout
+    assert world.now == pytest.approx(2.5e-6)

@@ -1,0 +1,112 @@
+"""Tests for the tracer and deterministic random streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import NullTracer, RandomStreams, Simulator, Tracer
+
+
+# ---------------------------------------------------------------- tracer
+
+def test_tracer_records_with_timestamps():
+    sim = Simulator()
+    tr = Tracer(sim)
+
+    def task():
+        tr.emit("start", "a")
+        yield sim.timeout(1.0)
+        tr.emit("stop", "b")
+
+    sim.spawn(task())
+    sim.run()
+    assert len(tr) == 2
+    assert tr.records[0].time == 0.0 and tr.records[0].payload == "a"
+    assert tr.records[1].time == 1.0 and tr.records[1].category == "stop"
+
+
+def test_tracer_select_and_count():
+    sim = Simulator()
+    tr = Tracer(sim)
+    tr.emit("x", 1)
+    tr.emit("y", 2)
+    tr.emit("x", 3)
+    assert tr.count("x") == 2
+    assert [r.payload for r in tr.select("y")] == [2]
+
+
+def test_tracer_spans_pair_fifo():
+    sim = Simulator()
+    tr = Tracer(sim)
+
+    def task():
+        tr.emit("begin")
+        yield sim.timeout(2.0)
+        tr.emit("end")
+        yield sim.timeout(1.0)
+        tr.emit("begin")
+        yield sim.timeout(3.0)
+        tr.emit("end")
+
+    sim.spawn(task())
+    sim.run()
+    spans = tr.spans("begin", "end")
+    assert spans == [(0.0, 2.0), (3.0, 6.0)]
+
+
+def test_tracer_disabled_and_clear():
+    sim = Simulator()
+    tr = Tracer(sim, enabled=False)
+    tr.emit("x")
+    assert len(tr) == 0
+    tr.enabled = True
+    tr.emit("x")
+    tr.clear()
+    assert len(tr) == 0
+
+
+def test_null_tracer_drops_everything():
+    tr = NullTracer()
+    tr.emit("anything")
+    assert len(tr) == 0
+
+
+def test_tracer_iterable():
+    sim = Simulator()
+    tr = Tracer(sim)
+    tr.emit("a")
+    tr.emit("b")
+    assert [r.category for r in tr] == ["a", "b"]
+
+
+# ---------------------------------------------------------------- streams
+
+def test_streams_deterministic_per_name():
+    a = RandomStreams(seed=7)
+    b = RandomStreams(seed=7)
+    assert np.allclose(a.stream("x").random(5), b.stream("x").random(5))
+
+
+def test_streams_independent_across_names():
+    s = RandomStreams(seed=7)
+    x = s.stream("x").random(5)
+    y = s.stream("y").random(5)
+    assert not np.allclose(x, y)
+
+
+def test_streams_insensitive_to_creation_order():
+    a = RandomStreams(seed=3)
+    _ = a.stream("first").random(2)
+    va = a.stream("second").random(3)
+    b = RandomStreams(seed=3)
+    vb = b.stream("second").random(3)
+    assert np.allclose(va, vb)
+
+
+def test_streams_cached_instance():
+    s = RandomStreams()
+    assert s.stream("x") is s["x"]
+
+
+def test_different_seeds_differ():
+    assert not np.allclose(RandomStreams(1)["x"].random(4),
+                           RandomStreams(2)["x"].random(4))

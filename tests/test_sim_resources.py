@@ -1,0 +1,113 @@
+"""Unit tests for FIFOServer (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim import FIFOServer, Simulator
+
+
+def test_single_request_completes_after_service_time():
+    sim = Simulator()
+    srv = FIFOServer(sim, service_time=0.25)
+    done = []
+
+    def task():
+        yield srv.submit()
+        done.append(sim.now)
+
+    sim.spawn(task())
+    sim.run()
+    assert done == [pytest.approx(0.25)]
+
+
+def test_back_to_back_requests_rate_limited():
+    """The core message-rate behaviour: N requests take N*g seconds."""
+    sim = Simulator()
+    gap = 0.2
+    srv = FIFOServer(sim, service_time=gap)
+    completions = []
+
+    def burst():
+        events = [srv.submit() for _ in range(5)]
+        for ev in events:
+            yield ev
+            completions.append(sim.now)
+
+    sim.spawn(burst())
+    sim.run()
+    assert completions == pytest.approx([0.2, 0.4, 0.6, 0.8, 1.0])
+
+
+def test_idle_server_does_not_accumulate_backlog():
+    sim = Simulator()
+    srv = FIFOServer(sim, service_time=1.0)
+
+    def task():
+        yield srv.submit()
+        yield sim.timeout(10.0)  # idle gap
+        yield srv.submit()
+
+    proc = sim.spawn(task())
+    sim.run(until=proc)
+    assert sim.now == pytest.approx(12.0)
+
+
+def test_per_request_service_time_override():
+    sim = Simulator()
+    srv = FIFOServer(sim, service_time=1.0)
+
+    def task():
+        yield srv.submit(0.5)
+
+    proc = sim.spawn(task())
+    sim.run(until=proc)
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_negative_service_time_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        FIFOServer(sim, service_time=-1.0)
+    srv = FIFOServer(sim)
+    with pytest.raises(ValueError):
+        srv.submit(-0.5)
+
+
+def test_occupy_returns_completion_time_without_event():
+    sim = Simulator()
+    srv = FIFOServer(sim, service_time=0.1)
+    assert srv.occupy() == pytest.approx(0.1)
+    assert srv.occupy() == pytest.approx(0.2)
+    assert srv.backlog == pytest.approx(0.2)
+
+
+def test_stats_track_utilization_and_queue_delay():
+    sim = Simulator()
+    srv = FIFOServer(sim, service_time=0.5)
+
+    def burst():
+        events = [srv.submit() for _ in range(4)]
+        yield events[-1]
+
+    proc = sim.spawn(burst())
+    sim.run(until=proc)
+    assert srv.stats.requests == 4
+    assert srv.stats.busy_time == pytest.approx(2.0)
+    # Queue delays: 0, 0.5, 1.0, 1.5.
+    assert srv.stats.total_queue_delay == pytest.approx(3.0)
+    assert srv.stats.mean_queue_delay == pytest.approx(0.75)
+    assert srv.stats.utilization(sim.now) == pytest.approx(1.0)
+
+
+def test_free_at_tracks_clock():
+    sim = Simulator()
+    srv = FIFOServer(sim, service_time=1.0)
+    assert srv.free_at == 0.0
+    srv.occupy()
+
+    def waiter():
+        yield sim.timeout(5.0)
+
+    proc = sim.spawn(waiter())
+    sim.run(until=proc)
+    assert srv.free_at == pytest.approx(5.0)
+    assert srv.backlog == 0.0

@@ -1,0 +1,307 @@
+"""Unit tests for synchronization primitives (repro.sim.sync)."""
+
+import pytest
+
+from repro.sim import Barrier, Gate, Lock, Mailbox, Semaphore, SimulationError, Simulator
+
+
+# ---------------------------------------------------------------- Lock
+
+def test_lock_serializes_critical_sections():
+    sim = Simulator()
+    lock = Lock(sim)
+    log = []
+
+    def worker(tag):
+        yield from lock.acquire()
+        log.append(("enter", tag, sim.now))
+        yield sim.timeout(1.0)
+        log.append(("exit", tag, sim.now))
+        lock.release()
+
+    for tag in range(3):
+        sim.spawn(worker(tag))
+    sim.run()
+    # Sections must not overlap: enter/exit strictly alternate.
+    kinds = [k for k, _, _ in log]
+    assert kinds == ["enter", "exit"] * 3
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_lock_fifo_order():
+    sim = Simulator()
+    lock = Lock(sim)
+    order = []
+
+    def worker(tag):
+        yield from lock.acquire()
+        order.append(tag)
+        yield sim.timeout(1.0)
+        lock.release()
+
+    for tag in range(5):
+        sim.spawn(worker(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_lock_contention_stats():
+    sim = Simulator()
+    lock = Lock(sim)
+
+    def worker():
+        yield from lock.acquire()
+        yield sim.timeout(2.0)
+        lock.release()
+
+    for _ in range(4):
+        sim.spawn(worker())
+    sim.run()
+    assert lock.stats.acquisitions == 4
+    assert lock.stats.contended_acquisitions == 3
+    # Waits: 2, 4, 6 seconds.
+    assert lock.stats.total_wait_time == pytest.approx(12.0)
+    assert lock.stats.total_hold_time == pytest.approx(8.0)
+    assert lock.stats.contention_ratio == pytest.approx(0.75)
+    assert lock.stats.mean_wait_time == pytest.approx(3.0)
+
+
+def test_lock_try_acquire():
+    sim = Simulator()
+    lock = Lock(sim)
+    assert lock.try_acquire()
+    assert not lock.try_acquire()
+    lock.release()
+    assert lock.try_acquire()
+
+
+def test_lock_release_unheld_raises():
+    sim = Simulator()
+    lock = Lock(sim)
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+def test_uncontended_lock_takes_no_time():
+    sim = Simulator()
+    lock = Lock(sim)
+
+    def solo():
+        yield from lock.acquire()
+        lock.release()
+        yield from lock.acquire()
+        lock.release()
+
+    proc = sim.spawn(solo())
+    sim.run(until=proc)
+    assert sim.now == 0.0
+    assert lock.stats.contended_acquisitions == 0
+
+
+# ---------------------------------------------------------------- Semaphore
+
+def test_semaphore_basic_counting():
+    sim = Simulator()
+    sem = Semaphore(sim, initial=2)
+    done = []
+
+    def worker(tag):
+        yield from sem.wait()
+        done.append((tag, sim.now))
+
+    for tag in range(3):
+        sim.spawn(worker(tag))
+
+    def poster():
+        yield sim.timeout(5.0)
+        sem.post()
+
+    sim.spawn(poster())
+    sim.run()
+    assert done[0] == (0, 0.0)
+    assert done[1] == (1, 0.0)
+    assert done[2] == (2, 5.0)
+
+
+def test_semaphore_negative_initial_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Semaphore(sim, initial=-1)
+
+
+def test_semaphore_post_many():
+    sim = Simulator()
+    sem = Semaphore(sim)
+    sem.post(3)
+    assert sem.count == 3
+
+
+# ---------------------------------------------------------------- Barrier
+
+def test_barrier_releases_all_at_last_arrival():
+    sim = Simulator()
+    bar = Barrier(sim, parties=3)
+    release_times = []
+
+    def worker(delay):
+        yield sim.timeout(delay)
+        yield from bar.wait()
+        release_times.append(sim.now)
+
+    for d in (1.0, 2.0, 3.0):
+        sim.spawn(worker(d))
+    sim.run()
+    assert release_times == pytest.approx([3.0, 3.0, 3.0])
+
+
+def test_barrier_is_cyclic():
+    sim = Simulator()
+    bar = Barrier(sim, parties=2)
+    log = []
+
+    def worker(tag):
+        for i in range(3):
+            yield sim.timeout(1.0 + tag)
+            yield from bar.wait()
+            log.append((tag, i, sim.now))
+
+    sim.spawn(worker(0))
+    sim.spawn(worker(1))
+    sim.run()
+    assert bar.generation == 3
+    # Each round releases at the slower worker's arrival.
+    times = sorted({t for _, _, t in log})
+    assert times == pytest.approx([2.0, 4.0, 6.0])
+
+
+def test_barrier_per_entry_cost():
+    sim = Simulator()
+    bar = Barrier(sim, parties=2, per_entry_cost=0.5)
+
+    def worker():
+        yield from bar.wait()
+
+    sim.spawn(worker())
+    sim.spawn(worker())
+    sim.run()
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_barrier_requires_positive_parties():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Barrier(sim, parties=0)
+
+
+# ---------------------------------------------------------------- Gate
+
+def test_gate_blocks_until_opened():
+    sim = Simulator()
+    gate = Gate(sim)
+    log = []
+
+    def waiter():
+        value = yield from gate.wait()
+        log.append((sim.now, value))
+
+    def opener():
+        yield sim.timeout(2.0)
+        gate.open("go")
+
+    sim.spawn(waiter())
+    sim.spawn(opener())
+    sim.run()
+    assert log == [(2.0, "go")]
+
+
+def test_gate_open_passes_immediately():
+    sim = Simulator()
+    gate = Gate(sim, open=True)
+    log = []
+
+    def waiter():
+        yield sim.timeout(1.0)
+        yield from gate.wait()
+        log.append(sim.now)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert log == [1.0]
+
+
+def test_gate_reset_reblocks():
+    sim = Simulator()
+    gate = Gate(sim)
+    gate.open()
+    gate.reset()
+    assert not gate.is_open
+
+
+# ---------------------------------------------------------------- Mailbox
+
+def test_mailbox_put_then_get():
+    sim = Simulator()
+    box = Mailbox(sim)
+    box.put("a")
+    box.put("b")
+    got = []
+
+    def getter():
+        got.append((yield from box.get()))
+        got.append((yield from box.get()))
+
+    sim.spawn(getter())
+    sim.run()
+    assert got == ["a", "b"]
+
+
+def test_mailbox_get_blocks_until_put():
+    sim = Simulator()
+    box = Mailbox(sim)
+    got = []
+
+    def getter():
+        item = yield from box.get()
+        got.append((sim.now, item))
+
+    def putter():
+        yield sim.timeout(3.0)
+        box.put("late")
+
+    sim.spawn(getter())
+    sim.spawn(putter())
+    sim.run()
+    assert got == [(3.0, "late")]
+
+
+def test_mailbox_try_get():
+    sim = Simulator()
+    box = Mailbox(sim)
+    ok, item = box.try_get()
+    assert not ok and item is None
+    box.put(7)
+    ok, item = box.try_get()
+    assert ok and item == 7
+    assert len(box) == 0
+
+
+def test_mailbox_fifo_getters():
+    sim = Simulator()
+    box = Mailbox(sim)
+    got = []
+
+    def getter(tag):
+        item = yield from box.get()
+        got.append((tag, item))
+
+    sim.spawn(getter("first"))
+    sim.spawn(getter("second"))
+
+    def putter():
+        yield sim.timeout(1.0)
+        box.put(1)
+        box.put(2)
+
+    sim.spawn(putter())
+    sim.run()
+    assert got == [("first", 1), ("second", 2)]
