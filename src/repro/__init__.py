@@ -19,7 +19,11 @@ simulator, everything the paper's comparison rests on:
   get-compute-update RMA pattern, and VASP-style multithreaded
   collectives;
 - benchmark workloads (:mod:`repro.bench`) and the Table-I scope/usability
-  analysis (:mod:`repro.analysis`).
+  analysis (:mod:`repro.analysis`);
+- an observability subsystem (:mod:`repro.obs`): per-VCI/per-context
+  metrics with contention histograms, plain-text reports, and Chrome-trace
+  export. Pass ``World(metrics=MetricsRegistry(), tracer=Tracer())`` to
+  instrument a run, or use ``python -m repro profile``.
 
 Quick start::
 
@@ -53,15 +57,18 @@ from .mpi.endpoints import Endpoint, comm_create_endpoints
 from .mpi.partitioned import precv_init, psend_init
 from .mpi.rma import win_create
 from .netsim import NetworkConfig
+from .obs import MetricsRegistry, export_chrome_trace
 from .runtime import MpiProcess, Node, World
+from .sim.trace import TraceCategory, Tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ANY_SOURCE", "ANY_TAG", "Communicator", "Endpoint",
-    "HintViolationError", "Info", "InvalidHintError", "MpiError",
-    "MpiProcess", "MpiUsageError", "NetworkConfig", "Node", "Request",
-    "RmaSemanticsError", "Status", "TagOverflowError", "TruncationError",
-    "World", "__version__", "comm_create_endpoints", "precv_init",
+    "HintViolationError", "Info", "InvalidHintError", "MetricsRegistry",
+    "MpiError", "MpiProcess", "MpiUsageError", "NetworkConfig", "Node",
+    "Request", "RmaSemanticsError", "Status", "TagOverflowError",
+    "TraceCategory", "Tracer", "TruncationError", "World", "__version__",
+    "comm_create_endpoints", "export_chrome_trace", "precv_init",
     "psend_init", "win_create",
 ]

@@ -111,8 +111,15 @@ def _receiver(proc, comm, peer: int, tag_of, cfg: MsgRateConfig,
 
 def run_msgrate(cfg: MsgRateConfig,
                 net: Optional[NetworkConfig] = None,
-                max_vcis_per_proc: Optional[int] = None) -> MsgRateResult:
-    """Run one message-rate experiment; returns the achieved rate."""
+                max_vcis_per_proc: Optional[int] = None,
+                metrics=None, tracer=None) -> MsgRateResult:
+    """Run one message-rate experiment; returns the achieved rate.
+
+    Pass a :class:`repro.obs.MetricsRegistry` as ``metrics`` and/or an
+    enabled :class:`repro.sim.trace.Tracer` as ``tracer`` to instrument
+    the run (``python -m repro profile msgrate`` does exactly this).
+    Instrumentation does not change the simulated timings.
+    """
     n = cfg.cores
     payload = np.zeros(cfg.msg_bytes, dtype=np.uint8)
     done_times: list[float] = []
@@ -120,7 +127,8 @@ def run_msgrate(cfg: MsgRateConfig,
 
     if cfg.mode == "everywhere":
         world = World(num_nodes=2, procs_per_node=n, threads_per_proc=1,
-                      cfg=net, max_vcis_per_proc=1, seed=cfg.seed)
+                      cfg=net, max_vcis_per_proc=1, seed=cfg.seed,
+                      metrics=metrics, tracer=tracer)
 
         def sender_main(proc):
             yield from _sender(proc, proc.comm_world, peer=n + proc.rank,
@@ -142,7 +150,7 @@ def run_msgrate(cfg: MsgRateConfig,
                 else max(4, 2 * n)
         world = World(num_nodes=2, procs_per_node=1, threads_per_proc=n,
                       cfg=net, max_vcis_per_proc=max_vcis_per_proc,
-                      seed=cfg.seed)
+                      seed=cfg.seed, metrics=metrics, tracer=tracer)
 
         def node_main(proc):
             is_sender = proc.rank == 0
@@ -211,6 +219,7 @@ def run_msgrate(cfg: MsgRateConfig,
                  for r in range(2)]
         world.run_all(tasks, max_steps=None)
 
+    world.finalize_metrics()
     span = max(done_times)
     total = n * cfg.msgs_per_core
     return MsgRateResult(cfg=cfg, rate=total / span, span=span,

@@ -3,6 +3,7 @@
 Reproduce any of the paper's experiments without pytest::
 
     python -m repro msgrate --modes everywhere threads-original --cores 1 8
+    python -m repro profile msgrate --modes everywhere --cores 8
     python -m repro stencil --mechanisms original endpoints --points 9
     python -m repro legion --threads 8
     python -m repro circuit
@@ -37,6 +38,41 @@ def _cmd_msgrate(args) -> int:
                                           msgs_per_core=args.messages))
             table.add(mode, cores, f"{r.rate / 1e6:.2f}")
     print(table.render())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs import (
+        MetricsRegistry,
+        Tracer,
+        export_chrome_trace,
+        render_metrics_report,
+        render_report,
+    )
+    combos = [(mode, cores) for mode in args.modes for cores in args.cores]
+    for mode, cores in combos:
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        r = run_msgrate(MsgRateConfig(mode=mode, cores=cores,
+                                      msgs_per_core=args.messages,
+                                      seed=args.seed),
+                        metrics=metrics, tracer=tracer)
+        print(f"== {args.experiment} mode={mode} cores={cores} "
+              f"rate={r.rate / 1e6:.2f} M msg/s span={r.span * 1e6:.2f} us ==")
+        if args.full:
+            print(render_metrics_report(metrics))
+        else:
+            print(render_report(metrics))
+        if args.chrome_trace:
+            path = args.chrome_trace
+            if len(combos) > 1:
+                stem, dot, ext = path.rpartition(".")
+                path = (f"{stem}.{mode}.c{cores}.{ext}" if dot
+                        else f"{path}.{mode}.c{cores}")
+            export_chrome_trace(tracer, path, metrics=metrics)
+            print(f"chrome trace written to {path} "
+                  f"({len(tracer)} records)")
+        print()
     return 0
 
 
@@ -198,6 +234,27 @@ def build_parser() -> argparse.ArgumentParser:
     mr.add_argument("--cores", nargs="+", type=int, default=[1, 4, 8])
     mr.add_argument("--messages", type=int, default=64)
     mr.set_defaults(fn=_cmd_msgrate)
+
+    pf = sub.add_parser(
+        "profile",
+        help="run an experiment with the observability subsystem on",
+        description="Run an experiment with metrics and tracing enabled: "
+                    "prints the per-VCI table (lock wait, doorbell "
+                    "serialization, hardware-context occupancy) and can "
+                    "export a Perfetto-loadable Chrome trace.")
+    pf.add_argument("experiment", choices=("msgrate",),
+                    help="experiment to profile")
+    pf.add_argument("--modes", nargs="+", default=["everywhere"],
+                    choices=MODES)
+    pf.add_argument("--cores", nargs="+", type=int, default=[8])
+    pf.add_argument("--messages", type=int, default=64)
+    pf.add_argument("--seed", type=int, default=0)
+    pf.add_argument("--full", action="store_true",
+                    help="dump every metric series, not just the summary")
+    pf.add_argument("--chrome-trace", metavar="PATH",
+                    help="write a Chrome-trace JSON (chrome://tracing / "
+                         "ui.perfetto.dev) to PATH")
+    pf.set_defaults(fn=_cmd_profile)
 
     stn = sub.add_parser("stencil", help="halo exchange (Fig 1b, Lessons 1-3)")
     stn.add_argument("--mechanisms", nargs="+",

@@ -30,6 +30,7 @@ from ..errors import MpiUsageError, TruncationError
 from ..netsim.config import NetworkConfig
 from ..netsim.message import MessageKind, WireMessage
 from ..sim.core import Event, Simulator
+from ..sim.trace import TraceCategory, Tracer
 from .matching import MatchingEngine, PostedRecv
 from .request import Request
 from .vci import Vci, VciPool
@@ -52,7 +53,16 @@ class MpiLibrary:
         self.node = node
         self.cfg = cfg
         self.cpu = cfg.cpu
-        self.vci_pool = VciPool(sim, node.nic, cfg.cpu, max_vcis=max_vcis)
+        #: Observability handles; the world owns both (see
+        #: ``World(metrics=..., tracer=...)``). Libraries constructed
+        #: outside a World fall back to disabled instruments.
+        self.metrics = getattr(world, "metrics", None)
+        tracer = getattr(world, "tracer", None)
+        # `is None`, not truthiness: an empty tracer is falsy.
+        self.tracer: Tracer = Tracer(enabled=False) if tracer is None \
+            else tracer
+        self.vci_pool = VciPool(sim, node.nic, cfg.cpu, max_vcis=max_vcis,
+                                metrics=self.metrics, rank=rank)
         #: Rendezvous sends awaiting CTS, by send-request id.
         self._rndv_sends: dict[int, dict] = {}
         #: Rendezvous receives awaiting DATA, by send-request id.
@@ -75,19 +85,49 @@ class MpiLibrary:
     # ------------------------------------------------------------------
     # issue paths
     # ------------------------------------------------------------------
+    def _trace_payload(self, vci: Vci, msg: WireMessage,
+                       span: Optional[int] = None) -> dict:
+        task = self.sim.active_process
+        payload = {
+            "rank": self.rank, "vci": vci.index, "tag": msg.tag,
+            "kind": msg.kind.value, "bytes": msg.wire_bytes,
+            "task": task.name if task is not None else f"rank{self.rank}",
+        }
+        if span is not None:
+            payload["span"] = span
+        return payload
+
     def issue_from_thread(self, vci: Vci, msg: WireMessage
                           ) -> Generator[Event, Any, float]:
         """Serialized thread-side message issue; returns the departure time
-        (absolute simulated seconds) of the message from its NIC context."""
+        (absolute simulated seconds) of the message from its NIC context.
+
+        Stage accounting (per message, recorded when metrics are enabled):
+        ``lock_wait`` = time queued on the VCI lock, ``doorbell_wait`` =
+        time queued on the hardware context's doorbell lock, ``sw_cost`` =
+        the software critical section (lock acquire + doorbell ring +
+        shared-context penalty), ``inject_delay`` = serialization behind
+        earlier messages in the context's injector.
+        """
         cpu, nicp = self.cpu, self.node.nic.params
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.span_id()
+            tracer.emit(TraceCategory.ISSUE_BEGIN,
+                        self._trace_payload(vci, msg, span))
+        t_post = self.sim.now
         was_contended = vci.lock.locked
         yield from vci.lock.acquire()
+        t_lock = self.sim.now
         cost = cpu.lock_acquire + (cpu.lock_handoff if was_contended else 0.0)
         ctx = vci.hw_context
         db_contended = ctx.doorbell_lock.locked
         yield from ctx.doorbell_lock.acquire()
+        t_doorbell = self.sim.now
         cost += nicp.doorbell
-        if ctx.is_shared:
+        shared = ctx.is_shared
+        if shared:
             cost += nicp.shared_post_penalty
         if db_contended:
             cost += cpu.lock_handoff
@@ -99,6 +139,19 @@ class MpiLibrary:
         vci.lock.release()
         self.sends_posted += 1
         self.bytes_sent += msg.size
+        if vci.m_issue is not None:
+            vci.m_issue.inc()
+            vci.m_lock_wait.observe(t_lock - t_post)
+            vci.m_db_wait.observe(t_doorbell - t_lock)
+            vci.m_sw_cost.observe(cost)
+            vci.m_inject_delay.observe(max(0.0, depart - self.sim.now))
+            if shared:
+                vci.m_shared_post.inc()
+        if tracer.enabled:
+            tracer.emit(TraceCategory.ISSUE_END, {
+                "rank": self.rank, "vci": vci.index, "span": span,
+                "depart": depart, "shared_ctx": shared,
+            })
         return depart
 
     def issue_async(self, vci: Vci, msg: WireMessage) -> float:
@@ -108,6 +161,11 @@ class MpiLibrary:
         depart = vci.hw_context.issue(msg.wire_bytes)
         vci.sends += 1
         self._transmit(msg, depart)
+        if vci.m_issue_async is not None:
+            vci.m_issue_async.inc()
+        if self.tracer.enabled:
+            self.tracer.emit(TraceCategory.ISSUE_ASYNC,
+                             self._trace_payload(vci, msg))
         return depart
 
     def _transmit(self, msg: WireMessage, depart: float) -> None:
@@ -144,11 +202,30 @@ class MpiLibrary:
         service = (self.cpu.match_base
                    + self.cpu.match_per_element
                    * vci.engine.scan_cost_posted(msg))
+        tracer = self.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.span_id()
+            payload = self._trace_payload(vci, msg, span)
+            payload["task"] = f"vci{vci.index}.match"
+            tracer.emit(TraceCategory.MATCH_BEGIN, payload)
         done = vci.match_server.submit(service)
-        done.add_callback(lambda e: self._match_incoming(vci, msg))
+        done.add_callback(lambda e: self._match_incoming(vci, msg, span))
 
-    def _match_incoming(self, vci: Vci, msg: WireMessage) -> None:
-        entry, _scanned = vci.engine.incoming(msg)
+    def _match_incoming(self, vci: Vci, msg: WireMessage,
+                        span: Optional[int] = None) -> None:
+        entry, scanned = vci.engine.incoming(msg)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(TraceCategory.MATCH_END, {
+                "rank": self.rank, "vci": vci.index, "span": span,
+                "scanned": scanned, "matched": entry is not None,
+            })
+            if entry is None:
+                tracer.emit(TraceCategory.MATCH_UNEXPECTED, {
+                    "rank": self.rank, "vci": vci.index, "tag": msg.tag,
+                    "task": f"vci{vci.index}.match",
+                })
         if entry is None:
             return  # parked in the unexpected queue
         if msg.kind is MessageKind.EAGER:

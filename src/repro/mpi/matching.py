@@ -67,12 +67,21 @@ class PostedRecv:
 
 
 class MatchingEngine:
-    """Posted-receive and unexpected-message queues for one channel."""
+    """Posted-receive and unexpected-message queues for one channel.
+
+    When constructed with a :class:`repro.obs.MetricsRegistry`, every
+    match records its scan length and the queue depth it left behind —
+    the per-match observability of the O(n) serial-matching cost
+    (Section II-C); ``labels`` (typically ``rank``/``vci``) tag the
+    series.
+    """
 
     __slots__ = ("posted", "unexpected", "max_posted_depth",
-                 "max_unexpected_depth", "total_scans")
+                 "max_unexpected_depth", "total_scans",
+                 "_h_scan_posted", "_h_scan_unexpected",
+                 "_h_posted_depth", "_h_unexpected_depth")
 
-    def __init__(self):
+    def __init__(self, metrics=None, labels: Optional[dict] = None):
         self.posted: deque[PostedRecv] = deque()
         self.unexpected: deque[WireMessage] = deque()
         self.max_posted_depth = 0
@@ -80,6 +89,23 @@ class MatchingEngine:
         #: Total queue elements scanned over the engine's lifetime — the
         #: O(n) matching-work metric.
         self.total_scans = 0
+        if metrics is not None and metrics.enabled:
+            from ..obs.metrics import DEPTH_BUCKETS
+            labels = labels or {}
+            self._h_scan_posted = metrics.histogram(
+                "match.scan", bounds=DEPTH_BUCKETS, queue="posted", **labels)
+            self._h_scan_unexpected = metrics.histogram(
+                "match.scan", bounds=DEPTH_BUCKETS, queue="unexpected",
+                **labels)
+            self._h_posted_depth = metrics.histogram(
+                "match.posted_depth", bounds=DEPTH_BUCKETS, **labels)
+            self._h_unexpected_depth = metrics.histogram(
+                "match.unexpected_depth", bounds=DEPTH_BUCKETS, **labels)
+        else:
+            self._h_scan_posted = None
+            self._h_scan_unexpected = None
+            self._h_posted_depth = None
+            self._h_unexpected_depth = None
 
     # -- receive side ------------------------------------------------------
     def post_recv(self, entry: PostedRecv) -> tuple[Optional[WireMessage], int]:
@@ -96,10 +122,16 @@ class MatchingEngine:
             if entry.matches(msg):
                 del self.unexpected[i]
                 self.total_scans += scanned
+                if self._h_scan_unexpected is not None:
+                    self._h_scan_unexpected.observe(scanned)
+                    self._h_unexpected_depth.observe(len(self.unexpected))
                 return msg, scanned
         self.posted.append(entry)
         self.max_posted_depth = max(self.max_posted_depth, len(self.posted))
         self.total_scans += scanned
+        if self._h_scan_unexpected is not None:
+            self._h_scan_unexpected.observe(scanned)
+            self._h_posted_depth.observe(len(self.posted))
         return None, scanned
 
     def probe(self, context_id: int, source: int, tag: int,
@@ -154,11 +186,17 @@ class MatchingEngine:
             if entry.matches(msg):
                 del self.posted[i]
                 self.total_scans += scanned
+                if self._h_scan_posted is not None:
+                    self._h_scan_posted.observe(scanned)
+                    self._h_posted_depth.observe(len(self.posted))
                 return entry, scanned
         self.unexpected.append(msg)
         self.max_unexpected_depth = max(self.max_unexpected_depth,
                                         len(self.unexpected))
         self.total_scans += scanned
+        if self._h_scan_posted is not None:
+            self._h_scan_posted.observe(scanned)
+            self._h_unexpected_depth.observe(len(self.unexpected))
         return None, scanned
 
     # -- introspection ---------------------------------------------------

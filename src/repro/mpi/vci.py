@@ -30,6 +30,7 @@ from typing import Optional
 from ..errors import HintViolationError, MpiUsageError
 from ..netsim.config import CpuCosts
 from ..netsim.nic import HardwareContext, Nic
+from ..obs.metrics import MetricsRegistry, instrument_lock
 from ..sim.core import Simulator
 from ..sim.resources import FIFOServer
 from ..sim.sync import Lock
@@ -60,18 +61,51 @@ def mix_hash(x: int) -> int:
 
 
 class Vci:
-    """One virtual communication interface."""
+    """One virtual communication interface.
+
+    With metrics enabled the VCI pre-builds its issue-path metric handles
+    (``m_*``) so the hot path in
+    :meth:`~repro.mpi.library.MpiLibrary.issue_from_thread` records stage
+    timings with plain attribute updates, and instruments its lock with a
+    contention observer (the doorbell lock is instrumented by the NIC
+    layer, which knows the node/context labels).
+    """
 
     __slots__ = ("sim", "index", "lock", "engine", "match_server",
-                 "hw_context", "sends", "recvs")
+                 "hw_context", "sends", "recvs", "m_issue", "m_issue_async",
+                 "m_lock_wait", "m_db_wait", "m_sw_cost", "m_inject_delay",
+                 "m_shared_post")
 
     def __init__(self, sim: Simulator, index: int, cpu: CpuCosts,
-                 hw_context: HardwareContext):
+                 hw_context: HardwareContext,
+                 metrics: Optional[MetricsRegistry] = None, rank: int = 0):
         self.sim = sim
         self.index = index
         #: Serializes thread access to this channel's send path and queues.
         self.lock = Lock(sim, name=f"vci{index}.lock")
-        self.engine = MatchingEngine()
+        labels = {"rank": rank, "vci": index}
+        if metrics is not None and metrics.enabled:
+            self.engine = MatchingEngine(metrics, labels)
+            self.m_issue = metrics.counter("mpi.issue.count", **labels)
+            self.m_issue_async = metrics.counter("mpi.issue.async", **labels)
+            self.m_lock_wait = metrics.histogram("mpi.issue.lock_wait",
+                                                 **labels)
+            self.m_db_wait = metrics.histogram("mpi.issue.doorbell_wait",
+                                               **labels)
+            self.m_sw_cost = metrics.histogram("mpi.issue.sw_cost", **labels)
+            self.m_inject_delay = metrics.histogram("mpi.issue.inject_delay",
+                                                    **labels)
+            self.m_shared_post = metrics.counter("nic.shared_post", **labels)
+            instrument_lock(self.lock, metrics, rank=rank, vci=index)
+        else:
+            self.engine = MatchingEngine()
+            self.m_issue = None
+            self.m_issue_async = None
+            self.m_lock_wait = None
+            self.m_db_wait = None
+            self.m_sw_cost = None
+            self.m_inject_delay = None
+            self.m_shared_post = None
         #: Serializes arrival-side matching work in *time* (matching is "a
         #: costly serial operation", Section II-C).
         self.match_server = FIFOServer(sim, name=f"vci{index}.match")
@@ -91,13 +125,16 @@ class VciPool:
     """
 
     def __init__(self, sim: Simulator, nic: Nic, cpu: CpuCosts,
-                 max_vcis: int = 64):
+                 max_vcis: int = 64,
+                 metrics: Optional[MetricsRegistry] = None, rank: int = 0):
         if max_vcis < 1:
             raise MpiUsageError("VCI pool needs at least one VCI")
         self.sim = sim
         self.nic = nic
         self.cpu = cpu
         self.max_vcis = max_vcis
+        self.metrics = metrics
+        self.rank = rank
         self._vcis: dict[int, Vci] = {}
 
     def get(self, index: int) -> Vci:
@@ -105,7 +142,8 @@ class VciPool:
         index %= self.max_vcis
         vci = self._vcis.get(index)
         if vci is None:
-            vci = Vci(self.sim, index, self.cpu, self.nic.allocate_context())
+            vci = Vci(self.sim, index, self.cpu, self.nic.allocate_context(),
+                      metrics=self.metrics, rank=self.rank)
             self._vcis[index] = vci
         return vci
 

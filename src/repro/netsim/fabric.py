@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..obs.metrics import MetricsRegistry
 from ..sim.core import Event, Simulator
 from ..sim.resources import FIFOServer
+from ..sim.trace import TraceCategory, Tracer
 from .config import FabricParams
 from .message import WireMessage
 
@@ -23,14 +25,26 @@ DeliveryHandler = Callable[[WireMessage], None]
 
 
 class Fabric:
-    """Connects nodes; schedules message arrivals."""
+    """Connects nodes; schedules message arrivals.
 
-    def __init__(self, sim: Simulator, params: FabricParams):
+    With metrics enabled the fabric records per-node egress/ingress
+    queueing-delay histograms — the saturation signal behind the Fig 1(a)
+    message-rate plateau — and the tracer (if enabled) gets one
+    ``fabric.deliver`` instant per arrival.
+    """
+
+    def __init__(self, sim: Simulator, params: FabricParams,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         self.sim = sim
         self.params = params
+        self.metrics = metrics
+        self.tracer = tracer
         self._handlers: dict[int, DeliveryHandler] = {}
         self._ingress: dict[int, FIFOServer] = {}
         self._egress: dict[int, FIFOServer] = {}
+        self._h_egress: dict[int, object] = {}
+        self._h_ingress: dict[int, object] = {}
         self.messages_delivered = 0
         self.bytes_delivered = 0
 
@@ -41,21 +55,27 @@ class Fabric:
         self._handlers[node_id] = handler
         self._ingress[node_id] = FIFOServer(self.sim, name=f"node{node_id}.ingress")
         self._egress[node_id] = FIFOServer(self.sim, name=f"node{node_id}.egress")
+        if self.metrics is not None and self.metrics.enabled:
+            self._h_egress[node_id] = self.metrics.histogram(
+                "fabric.egress.queue_delay", node=node_id)
+            self._h_ingress[node_id] = self.metrics.histogram(
+                "fabric.ingress.queue_delay", node=node_id)
 
     @staticmethod
     def _serialize(server: FIFOServer, head_time: float,
-                   service: float) -> float:
+                   service: float) -> tuple[float, float]:
         """Occupy ``server`` starting no earlier than ``head_time``.
 
         FIFOServer's own clock is ``sim.now``; messages here carry future
         departure times, so the busy-interval bookkeeping is done by hand.
-        Returns the completion time.
+        Returns ``(completion_time, queue_delay)``.
         """
         busy_until = max(server.free_at, head_time)
         server._free_at = busy_until + service
         server.stats.requests += 1
         server.stats.busy_time += service
-        return busy_until + service
+        server.stats.total_queue_delay += busy_until - head_time
+        return busy_until + service, busy_until - head_time
 
     def transmit(self, msg: WireMessage, depart_time: float) -> None:
         """Schedule delivery of ``msg`` that departs its NIC hardware
@@ -70,13 +90,19 @@ class Fabric:
             # All hardware contexts of a node feed one link: aggregate
             # message-rate and bandwidth ceiling at the source.
             service = max(self.params.node_msg_gap, wire_time)
-            depart_time = self._serialize(self._egress[msg.src_node],
-                                          depart_time, service)
+            depart_time, queued = self._serialize(self._egress[msg.src_node],
+                                                  depart_time, service)
+            h = self._h_egress.get(msg.src_node)
+            if h is not None:
+                h.observe(queued)
         arrival = depart_time + self.params.latency + wire_time
         if self.params.model_ingress:
             head_arrival = depart_time + self.params.latency
-            arrival = self._serialize(self._ingress[msg.dst_node],
-                                      head_arrival, wire_time)
+            arrival, queued = self._serialize(self._ingress[msg.dst_node],
+                                              head_arrival, wire_time)
+            h = self._h_ingress.get(msg.dst_node)
+            if h is not None:
+                h.observe(queued)
         event = Event(self.sim)
         event._triggered = True
         event._value = msg
@@ -87,6 +113,13 @@ class Fabric:
         msg: WireMessage = event._value
         self.messages_delivered += 1
         self.bytes_delivered += msg.wire_bytes
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(TraceCategory.MSG_DELIVER, {
+                "rank": msg.dst_rank, "vci": msg.dst_vci,
+                "src_rank": msg.src_rank, "tag": msg.tag,
+                "kind": msg.kind.value, "bytes": msg.wire_bytes,
+            })
         self._handlers[msg.dst_node](msg)
 
     def latency_for(self, wire_bytes: int) -> float:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.metrics import MetricsRegistry, instrument_lock
 from ..sim.core import Event, Simulator
 from ..sim.resources import FIFOServer
 from ..sim.sync import Lock
@@ -24,12 +25,20 @@ __all__ = ["HardwareContext", "Nic"]
 
 
 class HardwareContext:
-    """One NIC hardware context (work queue + doorbell)."""
+    """One NIC hardware context (work queue + doorbell).
+
+    With metrics enabled the context instruments its doorbell lock (the
+    Lesson 3 serialization point among sharing VCIs) and records a
+    queue-delay histogram for its injector — how long each message sat
+    behind earlier injections before departing.
+    """
 
     __slots__ = ("sim", "index", "params", "injector", "doorbell_lock",
-                 "messages_issued", "bytes_issued", "sharers", "_jitter_state")
+                 "messages_issued", "bytes_issued", "sharers",
+                 "_jitter_state", "_metrics", "_node_id", "m_inject_queue")
 
-    def __init__(self, sim: Simulator, index: int, params: NicParams):
+    def __init__(self, sim: Simulator, index: int, params: NicParams,
+                 metrics: Optional[MetricsRegistry] = None, node_id: int = 0):
         self.sim = sim
         self.index = index
         self.params = params
@@ -41,6 +50,20 @@ class HardwareContext:
         #: Number of VCIs mapped onto this context.
         self.sharers = 0
         self._jitter_state = index * 0x9E3779B9 + 1
+        self._metrics = metrics
+        self._node_id = node_id
+        self.m_inject_queue = None
+
+    def _instrument(self) -> None:
+        """Create this context's metric series (on first allocation, so a
+        160-context pool doesn't flood the registry with unused series)."""
+        metrics = self._metrics
+        if (self.m_inject_queue is None and metrics is not None
+                and metrics.enabled):
+            self.m_inject_queue = metrics.histogram(
+                "nic.inject.queue_delay", node=self._node_id, ctx=self.index)
+            instrument_lock(self.doorbell_lock, metrics, node=self._node_id,
+                            ctx=self.index)
 
     def _jitter(self) -> float:
         """Deterministic per-message timing jitter (failure injection).
@@ -71,6 +94,9 @@ class HardwareContext:
         depart = self.injector.occupy(service)
         self.messages_issued += 1
         self.bytes_issued += wire_bytes
+        if self.m_inject_queue is not None:
+            self.m_inject_queue.observe(
+                max(0.0, depart - service - self.sim.now))
         return depart
 
     def issue_event(self, wire_bytes: int) -> Event:
@@ -89,13 +115,15 @@ class HardwareContext:
 class Nic:
     """A NIC with a fixed pool of hardware contexts."""
 
-    def __init__(self, sim: Simulator, params: NicParams, node_id: int = 0):
+    def __init__(self, sim: Simulator, params: NicParams, node_id: int = 0,
+                 metrics: Optional[MetricsRegistry] = None):
         if params.num_hardware_contexts < 1:
             raise ValueError("NIC needs at least one hardware context")
         self.sim = sim
         self.params = params
         self.node_id = node_id
-        self.contexts = [HardwareContext(sim, i, params)
+        self.contexts = [HardwareContext(sim, i, params, metrics=metrics,
+                                         node_id=node_id)
                          for i in range(params.num_hardware_contexts)]
         self._next = 0
 
@@ -111,6 +139,7 @@ class Nic:
         ctx = self.contexts[self._next % len(self.contexts)]
         self._next += 1
         ctx.sharers += 1
+        ctx._instrument()
         return ctx
 
     @property

@@ -1,0 +1,62 @@
+"""Observability subsystem: metrics, contention histograms, trace export.
+
+The paper's claims are statements about *where time and contention go*
+inside the MPI library — per-VCI lock queues, doorbell serialization,
+matching-queue depth, hardware-context occupancy. This package is the
+instrument panel for those quantities:
+
+- :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — counters, gauges
+  and weighted histograms, all in simulated time; handed to
+  ``World(metrics=...)`` and threaded through every hot layer.
+- :func:`collect_world` (:mod:`repro.obs.collect`) — end-of-run harvest
+  of structural stats (VCI totals, context occupancy, link saturation).
+- :func:`render_report` / :func:`render_vci_report`
+  (:mod:`repro.obs.report`) — plain-text profiling reports.
+- :func:`export_chrome_trace` (:mod:`repro.obs.chrome`) — Chrome
+  ``chrome://tracing`` / Perfetto JSON built from typed trace spans.
+
+Typical use (or just run ``python -m repro profile msgrate``)::
+
+    from repro import MetricsRegistry, World
+    from repro.obs import render_report
+
+    metrics = MetricsRegistry()
+    world = World(num_nodes=2, metrics=metrics)
+    ...  # run the experiment
+    world.finalize_metrics()
+    print(render_report(metrics))
+"""
+
+from ..sim.trace import Category, SpanPairing, TraceCategory, Tracer
+from .chrome import build_chrome_trace, export_chrome_trace
+from .collect import collect_world
+from .metrics import (
+    DEPTH_BUCKETS,
+    DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    instrument_lock,
+)
+from .report import render_metrics_report, render_report, render_vci_report
+
+__all__ = [
+    "Category",
+    "Counter",
+    "DEPTH_BUCKETS",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanPairing",
+    "TraceCategory",
+    "Tracer",
+    "build_chrome_trace",
+    "collect_world",
+    "export_chrome_trace",
+    "instrument_lock",
+    "render_metrics_report",
+    "render_report",
+    "render_vci_report",
+]

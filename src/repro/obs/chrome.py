@@ -1,0 +1,154 @@
+"""Chrome ``chrome://tracing`` / Perfetto JSON exporter.
+
+Builds a Trace Event Format document from a :class:`~repro.sim.trace.Tracer`:
+begin/end category pairs become complete ("X") duration events, everything
+else becomes instant ("i") events. Records whose payload carries a
+``span`` id (handed out by :meth:`Tracer.span_id`) are paired exactly;
+records without one are paired FIFO per (category, track).
+
+Track mapping: ``pid`` is the MPI rank (payload key ``rank``), ``tid`` is
+the simulated task (payload key ``task``, falling back to ``vci``),
+interned to small integers with thread-name metadata events so Perfetto
+shows readable lanes. Timestamps are simulated microseconds.
+
+The export is deterministic: same seed, same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Any, Optional, Union
+
+from ..sim.trace import Category, TraceRecord, Tracer
+from .metrics import MetricsRegistry
+
+__all__ = ["build_chrome_trace", "export_chrome_trace"]
+
+_US = 1e6  # seconds -> Chrome-trace microseconds
+
+
+def _payload_dict(record: TraceRecord) -> dict[str, Any]:
+    return record.payload if isinstance(record.payload, dict) else {}
+
+
+def _span_name(begin: Category) -> str:
+    name = begin.name
+    return name[:-len(".begin")] if name.endswith(".begin") else name
+
+
+class _TrackInterner:
+    """Stable (pid, tid) assignment plus thread-name metadata events."""
+
+    def __init__(self) -> None:
+        self._tids: dict[tuple[int, str], int] = {}
+        self.metadata: list[dict[str, Any]] = []
+
+    def track(self, record: TraceRecord) -> tuple[int, int]:
+        payload = _payload_dict(record)
+        pid = int(payload.get("rank", payload.get("pid", 0)))
+        name = payload.get("task")
+        if name is None:
+            vci = payload.get("vci")
+            name = f"vci{vci}" if vci is not None else "main"
+        key = (pid, str(name))
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = len(self._tids) + 1
+            self._tids[key] = tid
+            self.metadata.append({
+                "args": {"name": str(name)}, "name": "thread_name",
+                "ph": "M", "pid": pid, "tid": tid,
+            })
+        return pid, tid
+
+
+def build_chrome_trace(tracer: Tracer,
+                       metrics: Optional[MetricsRegistry] = None
+                       ) -> dict[str, Any]:
+    """Assemble the Trace Event Format document as a plain dict."""
+    tracks = _TrackInterner()
+    events: list[dict[str, Any]] = []
+    # Exact pairing by span id; FIFO fallback per (pair-name, pid, tid).
+    open_by_id: dict[tuple[str, Any], tuple[TraceRecord, int, int]] = {}
+    open_fifo: dict[tuple[str, int, int],
+                    deque[tuple[TraceRecord, int, int]]] = {}
+    orphan_ends = 0
+
+    for record in tracer.records:
+        cat = record.category
+        if cat.kind == "begin":
+            pid, tid = tracks.track(record)
+            payload = _payload_dict(record)
+            span = payload.get("span")
+            if span is not None:
+                open_by_id[(cat.name, span)] = (record, pid, tid)
+            else:
+                open_fifo.setdefault((cat.name, pid, tid), deque()).append(
+                    (record, pid, tid))
+        elif cat.kind == "end":
+            payload = _payload_dict(record)
+            span = payload.get("span")
+            begin = None
+            if span is not None:
+                begin = open_by_id.pop((cat.pair, span), None)
+            else:
+                pid, tid = tracks.track(record)
+                queue = open_fifo.get((cat.pair, pid, tid))
+                if queue:
+                    begin = queue.popleft()
+            if begin is None:
+                orphan_ends += 1
+                continue
+            brec, bpid, btid = begin
+            args = dict(_payload_dict(brec))
+            args.update(payload)
+            args.pop("span", None)
+            events.append({
+                "args": args, "cat": cat.layer, "dur": (record.time
+                                                        - brec.time) * _US,
+                "name": _span_name(brec.category), "ph": "X",
+                "pid": bpid, "tid": btid, "ts": brec.time * _US,
+            })
+        else:
+            pid, tid = tracks.track(record)
+            args = _payload_dict(record)
+            events.append({
+                "args": args, "cat": cat.layer, "name": cat.name,
+                "ph": "i", "pid": pid, "tid": tid, "s": "t",
+                "ts": record.time * _US,
+            })
+
+    unmatched_begins = len(open_by_id) + sum(
+        len(q) for q in open_fifo.values())
+    events.sort(key=lambda e: e["ts"])  # stable: ties keep emit order
+    doc: dict[str, Any] = {
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "orphan_end_records": orphan_ends,
+            "unmatched_begin_records": unmatched_begins,
+            "record_count": len(tracer.records),
+        },
+        "traceEvents": tracks.metadata + events,
+    }
+    if metrics is not None:
+        doc["otherData"]["metrics"] = metrics.snapshot()
+    return doc
+
+
+def export_chrome_trace(tracer: Tracer,
+                        dest: Optional[Union[str, IO[str]]] = None,
+                        metrics: Optional[MetricsRegistry] = None) -> str:
+    """Serialize the trace to Chrome-trace JSON.
+
+    ``dest`` may be a path or an open text file; either way the JSON text
+    is returned. Output is byte-stable for identical simulations.
+    """
+    doc = build_chrome_trace(tracer, metrics=metrics)
+    text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    if isinstance(dest, str):
+        with open(dest, "w") as fh:
+            fh.write(text)
+    elif dest is not None:
+        dest.write(text)
+    return text

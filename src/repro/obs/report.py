@@ -1,0 +1,125 @@
+"""Plain-text reports over a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Two views:
+
+- :func:`render_vci_report` — the profiling headline: one row per
+  (rank, VCI) joining the issue-path stage timings with the hardware
+  context each VCI landed on (lock wait, doorbell serialization, shared
+  posts, context occupancy). Requires the harvested gauges, i.e. run
+  :meth:`World.finalize_metrics` first.
+- :func:`render_metrics_report` — the full catalog dump, grouped by
+  metric name, one line per label set.
+
+Both render deterministically (series are sorted by name and labels).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .metrics import (
+    DEPTH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_labels,
+)
+
+__all__ = ["render_vci_report", "render_metrics_report", "render_report"]
+
+
+def _table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    lines = [f"== {title} ==", fmt.format(*headers),
+             "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    lines += [fmt.format(*row) for row in rows]
+    return "\n".join(lines)
+
+
+def _us(seconds: float) -> str:
+    return f"{seconds * 1e6:.3f}"
+
+
+def _labels_of(metric: Any) -> dict[str, Any]:
+    return dict(metric.labels)
+
+
+def render_vci_report(metrics: MetricsRegistry) -> str:
+    """Per-VCI table: issue counts, lock wait, doorbell serialization,
+    shared-context posts, and hardware-context occupancy."""
+    rows: list[list[str]] = []
+    for sends in metrics.series("vci.sends"):
+        labels = _labels_of(sends)
+        rank, vci = labels["rank"], labels["vci"]
+        issues = metrics.value("mpi.issue.count", rank=rank, vci=vci)
+        lock_wait = metrics.get("mpi.issue.lock_wait", rank=rank, vci=vci)
+        db_wait = metrics.get("mpi.issue.doorbell_wait", rank=rank, vci=vci)
+        shared = metrics.value("nic.shared_post", rank=rank, vci=vci)
+        node = int(metrics.value("vci.node", rank=rank, vci=vci))
+        ctx = int(metrics.value("vci.hw_ctx", rank=rank, vci=vci))
+        occ = metrics.value("hwctx.occupancy", node=node, ctx=ctx)
+        rows.append([
+            str(rank), str(vci), f"{int(issues)}",
+            _us(lock_wait.total if lock_wait else 0.0),
+            _us(lock_wait.mean if lock_wait else 0.0),
+            _us(db_wait.total if db_wait else 0.0),
+            f"{int(shared)}",
+            f"{node}/{ctx}",
+            f"{occ * 100.0:.1f}%",
+        ])
+    if not rows:
+        return ("== per-VCI metrics ==\n(no per-VCI series recorded — run "
+                "with metrics enabled and call World.finalize_metrics())")
+    return _table(
+        "per-VCI metrics",
+        ["rank", "vci", "issues", "lockwait(us)", "lw/msg(us)",
+         "dbwait(us)", "shared", "node/ctx", "ctx-occ"],
+        rows)
+
+
+def render_metrics_report(metrics: MetricsRegistry,
+                          names: Optional[list[str]] = None) -> str:
+    """Full metric dump grouped by name (optionally restricted to
+    ``names``), one line per label set."""
+    sections: list[str] = []
+    for name in (names if names is not None else metrics.names()):
+        lines = [f"{name}:"]
+        for m in metrics.series(name):
+            label_text = format_labels(m.labels) or "-"
+            if isinstance(m, Histogram):
+                if not m.count:
+                    body = "count=0"
+                elif m.bounds is DEPTH_BUCKETS:  # dimensionless depths
+                    body = (f"count={m.count} mean={m.mean:.2f} "
+                            f"max={m.max_value:g}")
+                else:  # durations in seconds
+                    body = (f"count={m.count} total={_us(m.total)}us "
+                            f"mean={_us(m.mean)}us max={_us(m.max_value)}us "
+                            f"p99<={_us(m.quantile(0.99))}us")
+            elif isinstance(m, Gauge):
+                body = f"value={m.value:g} max={m.max_value:g}"
+            elif isinstance(m, Counter):
+                body = f"value={m.value:g}"
+            else:  # pragma: no cover - future metric kinds
+                body = repr(m.as_dict())
+            lines.append(f"  {{{label_text}}} {body}")
+        sections.append("\n".join(lines))
+    return "\n".join(sections)
+
+
+def render_report(metrics: MetricsRegistry) -> str:
+    """The default profiling report: per-VCI table plus key totals."""
+    parts = [render_vci_report(metrics)]
+    totals = [n for n in ("sim.elapsed", "fabric.messages_delivered",
+                          "fabric.bytes_delivered", "nic.oversubscription",
+                          "fabric.egress.saturation",
+                          "fabric.ingress.saturation")
+              if metrics.series(n)]
+    if totals:
+        parts.append(render_metrics_report(metrics, totals))
+    return "\n\n".join(parts)

@@ -28,9 +28,12 @@ from ..netsim.config import NetworkConfig
 from ..netsim.fabric import Fabric
 from ..netsim.message import WireMessage
 from ..netsim.nic import Nic
+from ..obs.collect import collect_world
+from ..obs.metrics import MetricsRegistry
 from ..sim.core import Event, Process, Simulator
 from ..sim.random import RandomStreams
 from ..sim.sync import Gate
+from ..sim.trace import Tracer
 
 __all__ = ["Node", "MpiProcess", "World"]
 
@@ -38,10 +41,11 @@ __all__ = ["Node", "MpiProcess", "World"]
 class Node:
     """One compute node: a NIC shared by the node's processes."""
 
-    def __init__(self, sim: Simulator, node_id: int, cfg: NetworkConfig):
+    def __init__(self, sim: Simulator, node_id: int, cfg: NetworkConfig,
+                 metrics: Optional[MetricsRegistry] = None):
         self.sim = sim
         self.node_id = node_id
-        self.nic = Nic(sim, cfg.nic, node_id=node_id)
+        self.nic = Nic(sim, cfg.nic, node_id=node_id, metrics=metrics)
         self.procs: list["MpiProcess"] = []
 
     def deliver(self, msg: WireMessage) -> None:
@@ -105,15 +109,44 @@ class _Meeting:
 
 
 class World:
-    """The whole simulated machine plus MPI job."""
+    """The whole simulated machine plus MPI job.
+
+    Observability is opt-in through two keyword hooks — the documented
+    path to instrumented runs (callers should not reach into ``world.sim``
+    internals):
+
+    - ``metrics=`` — a :class:`repro.obs.MetricsRegistry`. The world binds
+      it to the simulated clock and threads it through every layer (VCI
+      locks, issue path, matching engines, NIC contexts, fabric links).
+      Call :meth:`finalize_metrics` after the run to harvest structural
+      stats (queue high-water marks, context occupancy, link saturation).
+    - ``tracer=`` — a :class:`repro.sim.trace.Tracer`; may be constructed
+      without a simulator (``Tracer()``), the world binds its clock. Feed
+      it to :func:`repro.obs.export_chrome_trace` for a Perfetto timeline.
+
+    Both default to disabled instruments with zero hot-path cost, and
+    neither affects simulated timings when enabled: metric recording
+    schedules no events, so instrumented and bare runs of the same seed
+    produce identical timings.
+    """
 
     def __init__(self, num_nodes: int = 2, procs_per_node: int = 1,
                  threads_per_proc: int = 1,
                  cfg: Optional[NetworkConfig] = None,
-                 max_vcis_per_proc: int = 64, seed: int = 0):
+                 max_vcis_per_proc: int = 64, seed: int = 0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         if num_nodes < 1 or procs_per_node < 1 or threads_per_proc < 1:
             raise MpiUsageError("world dimensions must be positive")
         self.sim = Simulator()
+        # `is None`, not truthiness: both instruments are falsy when empty.
+        if metrics is None:
+            metrics = MetricsRegistry(enabled=False)
+        if tracer is None:
+            tracer = Tracer(enabled=False)
+        self.metrics = metrics.bind_clock(lambda: self.sim.now)
+        self.tracer = tracer.bind(self.sim)
+        self._metrics_finalized = False
         self.cfg = cfg or NetworkConfig()
         self.num_nodes = num_nodes
         self.procs_per_node = procs_per_node
@@ -121,9 +154,11 @@ class World:
         self.num_procs = num_nodes * procs_per_node
         self.max_vcis_per_proc = max_vcis_per_proc
         self.rng = RandomStreams(seed)
-        self.fabric = Fabric(self.sim, self.cfg.fabric)
+        self.fabric = Fabric(self.sim, self.cfg.fabric,
+                             metrics=self.metrics, tracer=self.tracer)
 
-        self.nodes = [Node(self.sim, i, self.cfg) for i in range(num_nodes)]
+        self.nodes = [Node(self.sim, i, self.cfg, metrics=self.metrics)
+                      for i in range(num_nodes)]
         self.procs: list[MpiProcess] = []
         for node in self.nodes:
             self.fabric.register_node(node.node_id, node.deliver)
@@ -205,6 +240,20 @@ class World:
     def run(self, until: Optional[float | Event] = None,
             max_steps: Optional[int] = None) -> Any:
         return self.sim.run(until=until, max_steps=max_steps)
+
+    def finalize_metrics(self) -> None:
+        """Harvest end-of-run structural metrics into ``self.metrics``.
+
+        Fills the gauges that are cheaper to read once than to track live:
+        per-VCI lock totals and queue high-water marks, matching-queue
+        depths, NIC context occupancy and oversubscription, fabric link
+        saturation. Safe to call on a disabled registry (no-op) and safe
+        to call more than once (values are overwritten, not accumulated).
+        """
+        if not self.metrics.enabled:
+            return
+        collect_world(self, self.metrics)
+        self._metrics_finalized = True
 
     def run_all(self, tasks: Iterable[Process],
                 max_steps: Optional[int] = None) -> list[Any]:

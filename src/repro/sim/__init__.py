@@ -18,12 +18,20 @@ from .core import (
 from .random import RandomStreams
 from .resources import FIFOServer, ServerStats
 from .sync import Barrier, ContentionStats, Gate, Lock, Mailbox, Semaphore
-from .trace import NullTracer, TraceRecord, Tracer
+from .trace import (
+    Category,
+    NullTracer,
+    SpanPairing,
+    TraceCategory,
+    TraceRecord,
+    Tracer,
+)
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Barrier",
+    "Category",
     "ContentionStats",
     "Event",
     "FIFOServer",
@@ -37,7 +45,9 @@ __all__ = [
     "ServerStats",
     "SimulationError",
     "Simulator",
+    "SpanPairing",
     "Timeout",
+    "TraceCategory",
     "TraceRecord",
     "Tracer",
 ]

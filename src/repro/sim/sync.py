@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Generator, Optional
+from typing import Any, Callable, Deque, Generator, Optional
 
 from .core import Event, Simulator, SimulationError
 
@@ -55,9 +55,16 @@ class Lock:
     The lock is not reentrant and does not track ownership by process; the
     MPI layer uses it to serialize access to shared VCIs, matching queues
     and NIC doorbells.
+
+    An optional ``observer`` callable receives per-event contention data:
+    ``observer("acquire", wait_seconds, queue_position)`` on every acquire
+    and ``observer("hold", hold_seconds, queue_length)`` on every release.
+    The observability layer (:func:`repro.obs.instrument_lock`) uses it to
+    build wait/hold histograms without coupling this module to metrics.
     """
 
-    __slots__ = ("sim", "name", "locked", "_waiters", "stats", "_acquired_at")
+    __slots__ = ("sim", "name", "locked", "_waiters", "stats", "_acquired_at",
+                 "observer")
 
     def __init__(self, sim: Simulator, name: str = "lock"):
         self.sim = sim
@@ -66,6 +73,7 @@ class Lock:
         self._waiters: Deque[Event] = deque()
         self.stats = ContentionStats()
         self._acquired_at = 0.0
+        self.observer: Optional[Callable[[str, float, int], None]] = None
 
     def acquire(self) -> Generator[Event, Any, None]:
         """Generator: acquire the lock, waiting FIFO if held."""
@@ -73,16 +81,22 @@ class Lock:
         if not self.locked:
             self.locked = True
             self._acquired_at = self.sim.now
+            if self.observer is not None:
+                self.observer("acquire", 0.0, 0)
             return
         self.stats.contended_acquisitions += 1
         waiter = self.sim.event()
         self._waiters.append(waiter)
+        queue_position = len(self._waiters)
         self.stats.max_queue_length = max(self.stats.max_queue_length,
-                                          len(self._waiters))
+                                          queue_position)
         t0 = self.sim.now
         yield waiter
-        self.stats.total_wait_time += self.sim.now - t0
+        wait = self.sim.now - t0
+        self.stats.total_wait_time += wait
         self._acquired_at = self.sim.now
+        if self.observer is not None:
+            self.observer("acquire", wait, queue_position)
 
     def try_acquire(self) -> bool:
         """Non-blocking acquire; returns True on success."""
@@ -91,12 +105,17 @@ class Lock:
         self.stats.acquisitions += 1
         self.locked = True
         self._acquired_at = self.sim.now
+        if self.observer is not None:
+            self.observer("acquire", 0.0, 0)
         return True
 
     def release(self) -> None:
         if not self.locked:
             raise SimulationError(f"release of unheld lock {self.name!r}")
-        self.stats.total_hold_time += self.sim.now - self._acquired_at
+        hold = self.sim.now - self._acquired_at
+        self.stats.total_hold_time += hold
+        if self.observer is not None:
+            self.observer("hold", hold, len(self._waiters))
         if self._waiters:
             # Hand the lock to the next waiter; it stays locked.
             self._acquired_at = self.sim.now

@@ -1,55 +1,251 @@
-"""Lightweight event tracing for simulations.
+"""Typed event tracing for simulations.
 
 A :class:`Tracer` collects ``(time, category, payload)`` records. Benchmarks
 use it to derive per-phase timings (e.g. halo-exchange time vs compute
-time) and tests use it to assert ordering properties.
+time), tests use it to assert ordering properties, and the observability
+subsystem (:mod:`repro.obs`) turns begin/end pairs into Chrome-trace spans.
+
+Categories are *typed*: every record carries a :class:`Category` instance
+from the frozen :class:`TraceCategory` namespace instead of a raw string.
+This keeps category names collision-free across layers, lets the exporter
+know which records pair up into spans (``kind``/``pair``), and gives each
+record a layer ("mpi", "vci", "nic", "fabric", "sim", "app") for grouping.
+Ad-hoc categories are still possible through :meth:`TraceCategory.custom`
+and :meth:`TraceCategory.span` — raw string literals at ``emit()`` call
+sites are rejected by the lint test in ``tests/test_obs.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Optional
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Union
 
 from .core import Simulator
 
-__all__ = ["TraceRecord", "Tracer", "NullTracer"]
+__all__ = [
+    "Category",
+    "TraceCategory",
+    "TraceRecord",
+    "SpanPairing",
+    "Tracer",
+    "NullTracer",
+]
+
+
+@dataclass(frozen=True)
+class Category:
+    """One trace category: a name plus exporter metadata.
+
+    ``kind`` is ``"instant"``, ``"begin"`` or ``"end"``; begin/end
+    categories name their counterpart in ``pair`` so exporters can match
+    them into spans without guessing.
+    """
+
+    name: str
+    layer: str = "app"
+    kind: str = "instant"
+    pair: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Global interning table: one :class:`Category` object per name, so
+#: records can be filtered by identity.
+_CATEGORIES: dict[str, Category] = {}
+
+
+def _define(name: str, layer: str = "app", kind: str = "instant",
+            pair: str = "") -> Category:
+    cat = Category(name, layer, kind, pair)
+    _CATEGORIES[name] = cat
+    return cat
+
+
+def as_category(value: Union[Category, str]) -> Category:
+    """Coerce a category name to its interned :class:`Category`."""
+    if isinstance(value, Category):
+        return value
+    return TraceCategory.custom(value)
+
+
+class _FrozenNamespace(type):
+    """Metaclass making the TraceCategory namespace immutable."""
+
+    def __setattr__(cls, name: str, value: Any) -> None:
+        raise AttributeError(
+            f"TraceCategory is frozen; use TraceCategory.custom() or "
+            f"TraceCategory.span() to define ad-hoc categories "
+            f"(attempted to set {name!r})")
+
+    def __delattr__(cls, name: str) -> None:
+        raise AttributeError("TraceCategory is frozen")
+
+
+class TraceCategory(metaclass=_FrozenNamespace):
+    """Frozen namespace of the library's trace categories.
+
+    The predefined members cover the hot layers the observability
+    subsystem instruments; applications extend the namespace through
+    :meth:`custom` (instant events) and :meth:`span` (begin/end pairs)
+    rather than by passing raw strings to :meth:`Tracer.emit`.
+    """
+
+    # -- MPI library: issue path ------------------------------------------
+    SEND_POST = _define("mpi.send_post", "mpi")
+    RECV_POST = _define("mpi.recv_post", "mpi")
+    ISSUE_BEGIN = _define("mpi.issue.begin", "mpi", "begin", "mpi.issue.end")
+    ISSUE_END = _define("mpi.issue.end", "mpi", "end", "mpi.issue.begin")
+    ISSUE_ASYNC = _define("mpi.issue.async", "mpi")
+
+    # -- VCI layer: lock + doorbell critical sections ---------------------
+    LOCK_WAIT_BEGIN = _define("vci.lock.begin", "vci", "begin",
+                              "vci.lock.end")
+    LOCK_WAIT_END = _define("vci.lock.end", "vci", "end", "vci.lock.begin")
+    DOORBELL_BEGIN = _define("vci.doorbell.begin", "vci", "begin",
+                             "vci.doorbell.end")
+    DOORBELL_END = _define("vci.doorbell.end", "vci", "end",
+                           "vci.doorbell.begin")
+
+    # -- matching engine ---------------------------------------------------
+    MATCH_BEGIN = _define("mpi.match.begin", "mpi", "begin", "mpi.match.end")
+    MATCH_END = _define("mpi.match.end", "mpi", "end", "mpi.match.begin")
+    MATCH_UNEXPECTED = _define("mpi.match.unexpected", "mpi")
+
+    # -- NIC / fabric ------------------------------------------------------
+    MSG_INJECT = _define("nic.inject", "nic")
+    SHARED_CTX_POST = _define("nic.shared_ctx_post", "nic")
+    MSG_DELIVER = _define("fabric.deliver", "fabric")
+
+    # -- generic application phases ---------------------------------------
+    PHASE_BEGIN = _define("app.phase.begin", "app", "begin", "app.phase.end")
+    PHASE_END = _define("app.phase.end", "app", "end", "app.phase.begin")
+
+    # -- namespace helpers -------------------------------------------------
+    @staticmethod
+    def custom(name: str, layer: str = "app", kind: str = "instant",
+               pair: str = "") -> Category:
+        """Return the interned category ``name``, defining it on first use."""
+        cat = _CATEGORIES.get(name)
+        if cat is None:
+            cat = _define(name, layer, kind, pair)
+        return cat
+
+    @staticmethod
+    def span(name: str, layer: str = "app") -> tuple[Category, Category]:
+        """Define (or fetch) a ``name.begin``/``name.end`` category pair."""
+        begin = TraceCategory.custom(f"{name}.begin", layer, "begin",
+                                     f"{name}.end")
+        end = TraceCategory.custom(f"{name}.end", layer, "end",
+                                   f"{name}.begin")
+        return begin, end
+
+    @staticmethod
+    def get(name: str) -> Optional[Category]:
+        """Look up a category by name without defining it."""
+        return _CATEGORIES.get(name)
+
+    @staticmethod
+    def all() -> tuple[Category, ...]:
+        """All currently defined categories, sorted by name."""
+        return tuple(_CATEGORIES[k] for k in sorted(_CATEGORIES))
 
 
 @dataclass(frozen=True)
 class TraceRecord:
     time: float
-    category: str
+    category: Category
     payload: Any
 
 
-class Tracer:
-    """Collects trace records; filterable by category."""
+@dataclass
+class SpanPairing:
+    """Result of pairing begin/end records into spans.
 
-    def __init__(self, sim: Simulator, enabled: bool = True):
+    ``unmatched_begins`` counts begin records with no end; ``orphan_ends``
+    counts end records that arrived with no outstanding begin (previously
+    these were dropped silently).
+    """
+
+    spans: list[tuple[float, float]] = field(default_factory=list)
+    unmatched_begins: int = 0
+    orphan_ends: int = 0
+
+    @property
+    def total_time(self) -> float:
+        return sum(stop - start for start, stop in self.spans)
+
+
+class Tracer:
+    """Collects trace records; filterable by category.
+
+    ``Tracer(enabled=False)`` is the zero-overhead null tracer (the old
+    :class:`NullTracer`). ``sim`` may be omitted and bound later through
+    :meth:`bind` — :class:`~repro.runtime.world.World` does this for
+    tracers passed to its ``tracer=`` keyword.
+    """
+
+    def __init__(self, sim: Optional[Simulator] = None, enabled: bool = True):
         self.sim = sim
         self.enabled = enabled
         self.records: list[TraceRecord] = []
+        self._span_seq = 0
 
-    def emit(self, category: str, payload: Any = None) -> None:
+    def bind(self, sim: Simulator) -> "Tracer":
+        """Attach this tracer to a simulator clock (idempotent)."""
+        if self.sim is None:
+            self.sim = sim
+        return self
+
+    @property
+    def now(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
+
+    def span_id(self) -> int:
+        """A fresh id correlating one begin record with its end record."""
+        self._span_seq += 1
+        return self._span_seq
+
+    def emit(self, category: Union[Category, str], payload: Any = None) -> None:
         if self.enabled:
-            self.records.append(TraceRecord(self.sim.now, category, payload))
+            self.records.append(
+                TraceRecord(self.now, as_category(category), payload))
 
-    def select(self, category: str) -> list[TraceRecord]:
-        return [r for r in self.records if r.category == category]
+    def select(self, category: Union[Category, str]) -> list[TraceRecord]:
+        cat = as_category(category)
+        return [r for r in self.records if r.category is cat]
 
-    def count(self, category: str) -> int:
-        return sum(1 for r in self.records if r.category == category)
+    def count(self, category: Union[Category, str]) -> int:
+        cat = as_category(category)
+        return sum(1 for r in self.records if r.category is cat)
 
-    def spans(self, begin: str, end: str) -> list[tuple[float, float]]:
-        """Pair up begin/end records (FIFO) into (start, stop) spans."""
-        starts: list[float] = []
-        out: list[tuple[float, float]] = []
+    def pair_spans(self, begin: Union[Category, str],
+                   end: Union[Category, str]) -> SpanPairing:
+        """Pair up begin/end records (FIFO) into a :class:`SpanPairing`.
+
+        O(n) over the record list (the begin queue is a deque) and keeps a
+        count of orphan end records instead of dropping them silently.
+        """
+        bcat, ecat = as_category(begin), as_category(end)
+        starts: deque[float] = deque()
+        pairing = SpanPairing()
         for r in self.records:
-            if r.category == begin:
+            if r.category is bcat:
                 starts.append(r.time)
-            elif r.category == end and starts:
-                out.append((starts.pop(0), r.time))
-        return out
+            elif r.category is ecat:
+                if starts:
+                    pairing.spans.append((starts.popleft(), r.time))
+                else:
+                    pairing.orphan_ends += 1
+        pairing.unmatched_begins = len(starts)
+        return pairing
+
+    def spans(self, begin: Union[Category, str],
+              end: Union[Category, str]) -> list[tuple[float, float]]:
+        """Pair up begin/end records (FIFO) into (start, stop) spans."""
+        return self.pair_spans(begin, end).spans
 
     def clear(self) -> None:
         self.records.clear()
@@ -62,10 +258,10 @@ class Tracer:
 
 
 class NullTracer(Tracer):
-    """A tracer that drops everything (for hot benchmark runs)."""
+    """Deprecated alias for ``Tracer(enabled=False)``."""
 
     def __init__(self, sim: Optional[Simulator] = None):
-        super().__init__(sim if sim is not None else Simulator(), enabled=False)
-
-    def emit(self, category: str, payload: Any = None) -> None:
-        pass
+        warnings.warn(
+            "NullTracer is deprecated; use Tracer(enabled=False) instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(sim, enabled=False)

@@ -1,0 +1,312 @@
+"""Tests for the observability subsystem (:mod:`repro.obs`).
+
+Covers the metric primitives, the typed trace-category namespace, the
+issue-path stage accounting against a hand-computed scenario, the
+Chrome-trace exporter's schema, determinism of the whole pipeline, and a
+lint rule banning raw string categories at ``Tracer.emit`` call sites.
+"""
+
+import json
+import pathlib
+import re
+
+import pytest
+
+from repro.bench.msgrate import MsgRateConfig, run_msgrate
+from repro.netsim.message import MessageKind, WireMessage
+from repro.obs import (
+    DEPTH_BUCKETS,
+    MetricsRegistry,
+    TraceCategory,
+    Tracer,
+    build_chrome_trace,
+    export_chrome_trace,
+    render_report,
+    render_vci_report,
+)
+from repro.runtime.world import World
+
+NS = 1e-9
+
+
+# ------------------------------------------------------------- primitives
+
+def test_counter_math():
+    m = MetricsRegistry()
+    c = m.counter("c", rank=0)
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    assert m.counter("c", rank=0) is c          # get-or-create
+    assert m.counter("c", rank=1) is not c      # distinct labels
+    m.inc("c", rank=0)
+    assert m.value("c", rank=0) == 4.5
+
+
+def test_gauge_time_weighted_mean():
+    t = [0.0]
+    m = MetricsRegistry(clock=lambda: t[0])
+    g = m.gauge("g")
+    g.set(10.0)          # value 10 over [0, 4)
+    t[0] = 4.0
+    g.set(2.0)           # value 2 over [4, 8)
+    t[0] = 8.0
+    assert g.time_weighted_mean() == pytest.approx((10 * 4 + 2 * 4) / 8)
+    assert g.max_value == 10.0
+    # gauges created mid-run integrate from their first sight of the clock
+    t[0] = 10.0
+    late = m.gauge("late")
+    late.set(6.0)
+    t[0] = 20.0
+    assert late.time_weighted_mean() == pytest.approx(6.0)
+
+
+def test_histogram_math():
+    m = MetricsRegistry()
+    h = m.histogram("h")
+    for v in (1e-9, 3e-9, 100e-9):
+        h.observe(v)
+    assert h.count == 3
+    assert h.mean == pytest.approx(104e-9 / 3)
+    assert h.min_value == 1e-9 and h.max_value == 100e-9
+    assert h.quantile(1.0) >= 100e-9
+    assert sum(h.bucket_weights) == pytest.approx(3.0)
+
+
+def test_histogram_weighted_observations():
+    m = MetricsRegistry()
+    h = m.histogram("depth", bounds=DEPTH_BUCKETS)
+    h.observe(2, weight=3.0)   # 3 seconds at depth 2
+    h.observe(4, weight=1.0)   # 1 second at depth 4
+    assert h.weight == pytest.approx(4.0)
+    # depth 2 holds 3/4 of the mass, so the median bucket bound is 2
+    assert h.quantile(0.5) == 2.0
+
+
+def test_snapshot_is_deterministic_and_sorted():
+    m = MetricsRegistry()
+    m.inc("z.last", rank=1)
+    m.inc("a.first", rank=1)
+    m.inc("a.first", rank=0)
+    snap = m.snapshot()
+    assert list(snap) == ["a.first", "z.last"]
+    assert [s["labels"] for s in snap["a.first"]] == ["rank=0", "rank=1"]
+
+
+# ------------------------------------------------------ typed categories
+
+def test_trace_category_namespace_is_frozen():
+    with pytest.raises(AttributeError):
+        TraceCategory.NEW_THING = object()
+    with pytest.raises(AttributeError):
+        del TraceCategory.ISSUE_BEGIN
+
+
+def test_trace_category_interning():
+    a = TraceCategory.custom("obs.test.cat", "app")
+    b = TraceCategory.custom("obs.test.cat")
+    assert a is b
+    assert TraceCategory.get("obs.test.cat") is a
+    assert TraceCategory.get("obs.never.defined") is None
+    begin, end = TraceCategory.span("obs.test.window")
+    assert begin.kind == "begin" and begin.pair == end.name
+    assert end.kind == "end" and end.pair == begin.name
+
+
+def test_pair_spans_counts_orphans():
+    b, e = TraceCategory.span("obs.test.orphans")
+    tr = Tracer()
+    tr.emit(e)          # orphan end: no outstanding begin
+    tr.emit(b)
+    tr.emit(e)
+    tr.emit(b)          # never closed
+    pairing = tr.pair_spans(b, e)
+    assert pairing.spans == [(0.0, 0.0)]
+    assert pairing.orphan_ends == 1
+    assert pairing.unmatched_begins == 1
+    assert pairing.total_time == 0.0
+
+
+def test_world_keeps_enabled_but_empty_instruments():
+    # Regression: both MetricsRegistry and Tracer are falsy when empty, so
+    # World must test `is None`, not truthiness.
+    m, t = MetricsRegistry(), Tracer()
+    world = World(num_nodes=2, metrics=m, tracer=t)
+    assert world.metrics is m and world.tracer is t
+    bare = World(num_nodes=2)
+    assert not bare.metrics.enabled and not bare.tracer.enabled
+
+
+# --------------------------------------------- issue-path stage accounting
+
+def _issue_world(metrics=None, tracer=None):
+    return World(num_nodes=2, procs_per_node=1, threads_per_proc=2,
+                 metrics=metrics, tracer=tracer)
+
+
+def _eager(size=8):
+    return WireMessage(kind=MessageKind.EAGER, src_node=0, dst_node=1,
+                       src_rank=0, dst_rank=1, context_id=0, tag=0,
+                       size=size, payload=None)
+
+
+def test_issue_path_two_thread_accounting():
+    """Two threads issue on one VCI at t=0; every stage is hand-computed.
+
+    Cost model (defaults): lock_acquire 15 ns, lock_handoff 45 ns,
+    doorbell 30 ns, issue_gap 180 ns, issue_per_byte 1/12.5e9. An 8-byte
+    payload is 56 wire bytes, so injector service = 184.48 ns.
+
+    Thread A: no lock wait, sw cost 15+30 = 45 ns, departs 229.48 ns.
+    Thread B: waits 45 ns for the VCI lock, sw cost 15+45+30 = 90 ns,
+    resumes at 135 ns, and departs behind A at 413.96 ns.
+    """
+    m = MetricsRegistry()
+    world = _issue_world(metrics=m)
+    lib = world.procs[0].lib
+    vci = lib.vci_pool.get(0)
+    departs = []
+
+    def issuer():
+        d = yield from lib.issue_from_thread(vci, _eager())
+        departs.append(d)
+
+    world.sim.spawn(issuer())
+    world.sim.spawn(issuer())
+    world.run()
+
+    service = 180e-9 + 56 / 12.5e9
+    assert departs[0] == pytest.approx(45 * NS + service)
+    assert departs[1] == pytest.approx(max(departs[0], 135 * NS) + service)
+
+    assert m.value("mpi.issue.count", rank=0, vci=0) == 2
+    lock_wait = m.get("mpi.issue.lock_wait", rank=0, vci=0)
+    assert lock_wait.count == 2
+    assert lock_wait.total == pytest.approx(45 * NS)
+    assert lock_wait.max_value == pytest.approx(45 * NS)
+    assert m.get("mpi.issue.doorbell_wait", rank=0, vci=0).total == 0.0
+    assert m.get("mpi.issue.sw_cost", rank=0, vci=0).total \
+        == pytest.approx((45 + 90) * NS)
+    inject = m.get("mpi.issue.inject_delay", rank=0, vci=0)
+    assert inject.total == pytest.approx(service + (departs[1] - 135 * NS))
+
+    # The generic lock observer saw the same contention.
+    wait = m.get("sim.lock.wait", lock="vci0.lock", rank=0, vci=0)
+    assert wait.count == 2 and wait.total == pytest.approx(45 * NS)
+    hold = m.get("sim.lock.hold", lock="vci0.lock", rank=0, vci=0)
+    assert hold.total == pytest.approx((45 + 90) * NS)
+    assert m.value("nic.shared_post", rank=0, vci=0) == 0
+
+
+def test_metrics_do_not_perturb_timings():
+    bare, instrumented = [], []
+    for sink in (bare, instrumented):
+        m = MetricsRegistry() if sink is instrumented else None
+        t = Tracer() if sink is instrumented else None
+        world = _issue_world(metrics=m, tracer=t)
+        lib = world.procs[0].lib
+        vci = lib.vci_pool.get(0)
+
+        def issuer():
+            sink.append((yield from lib.issue_from_thread(vci, _eager())))
+
+        world.sim.spawn(issuer())
+        world.sim.spawn(issuer())
+        world.run()
+    assert bare == instrumented
+
+
+# ------------------------------------------------------- chrome exporter
+
+def _profiled_run(cores=2, msgs=8, seed=0):
+    m, t = MetricsRegistry(), Tracer()
+    run_msgrate(MsgRateConfig(mode="everywhere", cores=cores,
+                              msgs_per_core=msgs, seed=seed),
+                metrics=m, tracer=t)
+    return m, t
+
+
+def test_chrome_trace_schema():
+    m, t = _profiled_run()
+    doc = build_chrome_trace(t, metrics=m)
+    assert doc["displayTimeUnit"] == "ns"
+    assert doc["otherData"]["orphan_end_records"] == 0
+    assert doc["otherData"]["unmatched_begin_records"] == 0
+    assert doc["otherData"]["record_count"] == len(t)
+    events = doc["traceEvents"]
+    assert events, "expected a non-empty trace"
+    phases = {e["ph"] for e in events}
+    assert phases <= {"M", "X", "i"}
+    for e in events:
+        assert {"ph", "pid", "tid", "name"} <= e.keys()
+        if e["ph"] == "X":
+            assert e["dur"] >= 0.0 and "ts" in e and "cat" in e
+        elif e["ph"] == "i":
+            assert e["s"] == "t"
+    # every mpi.issue span closed: one X event per issued message
+    issues = [e for e in events if e["ph"] == "X" and e["name"] == "mpi.issue"]
+    assert len(issues) == int(m.value("fabric.messages_delivered"))
+    # body events are time-sorted
+    ts = [e["ts"] for e in events if e["ph"] != "M"]
+    assert ts == sorted(ts)
+    # round-trips through the serializer
+    assert json.loads(export_chrome_trace(t, metrics=m)) == doc
+
+
+def test_chrome_trace_written_to_path(tmp_path):
+    m, t = _profiled_run()
+    dest = tmp_path / "trace.json"
+    text = export_chrome_trace(t, str(dest), metrics=m)
+    assert dest.read_text() == text
+    assert json.loads(text)["traceEvents"]
+
+
+def test_observability_pipeline_is_deterministic():
+    m1, t1 = _profiled_run(seed=3)
+    m2, t2 = _profiled_run(seed=3)
+    assert m1.snapshot() == m2.snapshot()
+    assert export_chrome_trace(t1, metrics=m1) \
+        == export_chrome_trace(t2, metrics=m2)
+
+
+def test_reports_render():
+    m, _ = _profiled_run()
+    vci_table = render_vci_report(m)
+    assert "rank" in vci_table and "lockwait(us)" in vci_table
+    full = render_report(m)
+    assert "per-VCI metrics" in full
+    assert "fabric.messages_delivered" in full
+
+
+def test_profile_cli(tmp_path, capsys):
+    from repro.cli import main
+    dest = tmp_path / "out.json"
+    rc = main(["profile", "msgrate", "--modes", "everywhere", "--cores", "2",
+               "--messages", "4", "--chrome-trace", str(dest)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "lockwait(us)" in out and "chrome trace written" in out
+    assert json.loads(dest.read_text())["traceEvents"]
+
+
+# ----------------------------------------------------------------- lint
+
+def test_no_raw_string_categories_at_emit_sites():
+    """``Tracer.emit`` call sites must pass ``TraceCategory`` members, not
+    string literals; only trace.py itself (which defines the coercion) is
+    exempt."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    pattern = re.compile(r"\.emit\(\s*[\"']")
+    offenders = []
+    for base in ("src", "tests"):
+        for path in sorted((root / base).rglob("*.py")):
+            if path.name == "trace.py" \
+                    or path == pathlib.Path(__file__).resolve():
+                continue
+            for ln, line in enumerate(path.read_text().splitlines(), 1):
+                if pattern.search(line):
+                    offenders.append(f"{path.relative_to(root)}:{ln}: "
+                                     f"{line.strip()}")
+    assert not offenders, (
+        "raw string categories passed to Tracer.emit (use TraceCategory "
+        "members or TraceCategory.custom()):\n" + "\n".join(offenders))

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.sim import NullTracer, RandomStreams, Simulator, Tracer
+from repro.sim import NullTracer, RandomStreams, Simulator, TraceCategory, Tracer
+
+START = TraceCategory.custom("test.start")
+STOP = TraceCategory.custom("test.stop")
+X = TraceCategory.custom("test.x")
+Y = TraceCategory.custom("test.y")
+PHASE_BEGIN, PHASE_END = TraceCategory.span("test.phase")
 
 
 # ---------------------------------------------------------------- tracer
@@ -13,25 +19,27 @@ def test_tracer_records_with_timestamps():
     tr = Tracer(sim)
 
     def task():
-        tr.emit("start", "a")
+        tr.emit(START, "a")
         yield sim.timeout(1.0)
-        tr.emit("stop", "b")
+        tr.emit(STOP, "b")
 
     sim.spawn(task())
     sim.run()
     assert len(tr) == 2
     assert tr.records[0].time == 0.0 and tr.records[0].payload == "a"
-    assert tr.records[1].time == 1.0 and tr.records[1].category == "stop"
+    assert tr.records[1].time == 1.0 and tr.records[1].category is STOP
 
 
 def test_tracer_select_and_count():
     sim = Simulator()
     tr = Tracer(sim)
-    tr.emit("x", 1)
-    tr.emit("y", 2)
-    tr.emit("x", 3)
-    assert tr.count("x") == 2
-    assert [r.payload for r in tr.select("y")] == [2]
+    tr.emit(X, 1)
+    tr.emit(Y, 2)
+    tr.emit(X, 3)
+    assert tr.count(X) == 2
+    assert [r.payload for r in tr.select(Y)] == [2]
+    # string lookups still resolve to the same interned category
+    assert tr.count("test.x") == 2
 
 
 def test_tracer_spans_pair_fifo():
@@ -39,43 +47,44 @@ def test_tracer_spans_pair_fifo():
     tr = Tracer(sim)
 
     def task():
-        tr.emit("begin")
+        tr.emit(PHASE_BEGIN)
         yield sim.timeout(2.0)
-        tr.emit("end")
+        tr.emit(PHASE_END)
         yield sim.timeout(1.0)
-        tr.emit("begin")
+        tr.emit(PHASE_BEGIN)
         yield sim.timeout(3.0)
-        tr.emit("end")
+        tr.emit(PHASE_END)
 
     sim.spawn(task())
     sim.run()
-    spans = tr.spans("begin", "end")
+    spans = tr.spans(PHASE_BEGIN, PHASE_END)
     assert spans == [(0.0, 2.0), (3.0, 6.0)]
 
 
 def test_tracer_disabled_and_clear():
     sim = Simulator()
     tr = Tracer(sim, enabled=False)
-    tr.emit("x")
+    tr.emit(X)
     assert len(tr) == 0
     tr.enabled = True
-    tr.emit("x")
+    tr.emit(X)
     tr.clear()
     assert len(tr) == 0
 
 
-def test_null_tracer_drops_everything():
-    tr = NullTracer()
-    tr.emit("anything")
-    assert len(tr) == 0
+def test_null_tracer_is_deprecated_alias():
+    with pytest.deprecated_call():
+        tr = NullTracer()
+    tr.emit(X)
+    assert len(tr) == 0 and not tr.enabled
 
 
 def test_tracer_iterable():
     sim = Simulator()
     tr = Tracer(sim)
-    tr.emit("a")
-    tr.emit("b")
-    assert [r.category for r in tr] == ["a", "b"]
+    tr.emit(X)
+    tr.emit(Y)
+    assert [r.category for r in tr] == [X, Y]
 
 
 # ---------------------------------------------------------------- streams
