@@ -23,7 +23,13 @@ simulator, everything the paper's comparison rests on:
 - an observability subsystem (:mod:`repro.obs`): per-VCI/per-context
   metrics with contention histograms, plain-text reports, and Chrome-trace
   export. Pass ``World(metrics=MetricsRegistry(), tracer=Tracer())`` to
-  instrument a run, or use ``python -m repro profile``.
+  instrument a run, or use ``python -m repro profile``;
+- fault injection with reliable transport (:mod:`repro.faults`):
+  per-seed-reproducible fault plans (message drop/dup/corrupt/delay, NIC
+  context stalls, link flaps) and a sequencing/ACK/retransmission layer
+  that keeps every MPI mechanism correct on a lossy fabric. Pass
+  ``World(faults=FaultPlan(drop=0.05))``, or use ``python -m repro
+  faults``.
 
 Quick start::
 
@@ -44,14 +50,17 @@ Quick start::
 """
 
 from .errors import (
+    FaultPlanError,
     HintViolationError,
     InvalidHintError,
     MpiError,
     MpiUsageError,
     RmaSemanticsError,
     TagOverflowError,
+    TransportError,
     TruncationError,
 )
+from .faults import FaultPlan, TransportParams
 from .mpi import ANY_SOURCE, ANY_TAG, Communicator, Info, Request, Status
 from .mpi.endpoints import Endpoint, comm_create_endpoints
 from .mpi.partitioned import precv_init, psend_init
@@ -64,11 +73,12 @@ from .sim.trace import TraceCategory, Tracer
 __version__ = "1.0.0"
 
 __all__ = [
-    "ANY_SOURCE", "ANY_TAG", "Communicator", "Endpoint",
-    "HintViolationError", "Info", "InvalidHintError", "MetricsRegistry",
-    "MpiError", "MpiProcess", "MpiUsageError", "NetworkConfig", "Node",
-    "Request", "RmaSemanticsError", "Status", "TagOverflowError",
-    "TraceCategory", "Tracer", "TruncationError", "World", "__version__",
+    "ANY_SOURCE", "ANY_TAG", "Communicator", "Endpoint", "FaultPlan",
+    "FaultPlanError", "HintViolationError", "Info", "InvalidHintError",
+    "MetricsRegistry", "MpiError", "MpiProcess", "MpiUsageError",
+    "NetworkConfig", "Node", "Request", "RmaSemanticsError", "Status",
+    "TagOverflowError", "TraceCategory", "Tracer", "TransportError",
+    "TransportParams", "TruncationError", "World", "__version__",
     "comm_create_endpoints", "export_chrome_trace", "precv_init",
     "psend_init", "win_create",
 ]

@@ -42,6 +42,14 @@ class StencilResult:
     #: Did the final field match the sequential reference?
     correct: bool
     max_error: float
+    #: Kernel events processed — an exact determinism fingerprint: two
+    #: runs of the same (cfg, plan, seed) execute the same event count.
+    sim_steps: int = 0
+    #: The assembled final field (``check=True`` runs only) — lets tests
+    #: compare lossy vs lossless runs byte for byte.
+    final_field: Optional[np.ndarray] = None
+    #: The world the experiment ran on (reliability reports, metrics).
+    world: Optional[World] = None
 
     def __str__(self) -> str:
         return (f"{self.cfg.mechanism:14s} wall={self.wall_time * 1e6:9.1f}us "
@@ -54,8 +62,16 @@ class StencilResult:
 def run_stencil(cfg: StencilConfig,
                 net: Optional[NetworkConfig] = None,
                 max_vcis_per_proc: int = 64,
-                check: bool = True) -> StencilResult:
-    """Run one stencil experiment end to end."""
+                check: bool = True,
+                metrics=None, tracer=None,
+                faults=None, transport=None) -> StencilResult:
+    """Run one stencil experiment end to end.
+
+    ``metrics``/``tracer`` enable observability and ``faults``/
+    ``transport`` enable fault injection with reliable transport — all
+    four are forwarded to the :class:`World` untouched, so a plain call
+    runs the same lossless, uninstrumented world as always.
+    """
     geom = cfg.geometry()
     nprocs = 1
     for n in cfg.proc_grid:
@@ -63,7 +79,9 @@ def run_stencil(cfg: StencilConfig,
     world = World(num_nodes=nprocs, procs_per_node=1,
                   threads_per_proc=cfg.nthreads,
                   cfg=net or NetworkConfig(),
-                  max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed)
+                  max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed,
+                  metrics=metrics, tracer=tracer,
+                  faults=faults, transport=transport)
 
     addr = EndpointAddressing(geom)
     coords = {addr.linear_proc(p): p for p in geom.procs()}
@@ -82,7 +100,7 @@ def run_stencil(cfg: StencilConfig,
              for r in range(nprocs)]
     end_times = world.run_all(tasks, max_steps=None)
 
-    correct, max_err = True, 0.0
+    correct, max_err, final = True, 0.0, None
     if check:
         all_patches = {coords[r]: runs[r].patches for r in range(nprocs)}
         if cfg.dim == 2:
@@ -98,6 +116,7 @@ def run_stencil(cfg: StencilConfig,
                                       cfg.seed)
         max_err = float(np.max(np.abs(final - ref)))
         correct = bool(np.allclose(final, ref))
+        final = np.array(final, copy=True)
 
     lib0 = world.procs[0].lib
     nic0 = world.nodes[0].nic
@@ -111,4 +130,7 @@ def run_stencil(cfg: StencilConfig,
         nic_load_imbalance=nic0.load_imbalance(),
         correct=correct,
         max_error=max_err,
+        sim_steps=world.sim.steps,
+        final_field=final,
+        world=world,
     )

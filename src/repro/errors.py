@@ -10,6 +10,8 @@ __all__ = [
     "InvalidHintError",
     "HintViolationError",
     "RmaSemanticsError",
+    "TransportError",
+    "FaultPlanError",
 ]
 
 
@@ -51,3 +53,22 @@ class HintViolationError(MpiError):
 
 class RmaSemanticsError(MpiError):
     """Violation of RMA window semantics (bounds, epochs, atomic misuse)."""
+
+
+class TransportError(MpiError):
+    """The reliable transport gave up on a message.
+
+    Raised when a wire message exhausts its retransmission budget (the
+    fault plan's loss exceeded what ACK/timeout recovery can absorb).
+    Carries enough context to identify the flow that died.
+    """
+
+    def __init__(self, message: str, flow=None, seq=None, retries=None):
+        super().__init__(message)
+        self.flow = flow
+        self.seq = seq
+        self.retries = retries
+
+
+class FaultPlanError(MpiError):
+    """A fault-injection plan spec is malformed or inconsistent."""

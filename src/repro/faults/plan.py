@@ -1,0 +1,253 @@
+"""Declarative fault-injection plans.
+
+A :class:`FaultPlan` is an immutable, serializable description of *what can
+go wrong* on the simulated fabric: per-message loss, duplication, payload
+corruption and delay spikes, NIC hardware-context stall windows, and link
+degradation/flap windows. A plan says nothing about *which* messages are
+hit — that decision is made by :class:`repro.faults.injector.FaultInjector`
+from the plan's rates and the experiment seed, so the same ``(plan, seed)``
+pair always produces the same fault schedule.
+
+Plans can be built programmatically, from a dict (``FaultPlan.from_dict``),
+from a JSON file, or from the compact CLI spec accepted by
+:func:`parse_plan`::
+
+    drop=0.05,dup=0.02,corrupt=0.01,delay=0.1,delay_max=20us
+    drop=0.1,stall=0/0/50us/300us,down=1/100us/140us
+    plan.json
+
+Times accept ``ns``/``us``/``ms``/``s`` suffixes (bare numbers are
+seconds).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Optional, Union
+
+from ..errors import FaultPlanError
+
+__all__ = ["CtxStall", "LinkWindow", "FaultPlan", "parse_plan",
+           "parse_time"]
+
+#: Wildcard node/context selector in specs ("*" on the CLI).
+ANY = -1
+
+_TIME_SUFFIXES = (("ns", 1e-9), ("us", 1e-6), ("ms", 1e-3), ("s", 1.0))
+
+
+def parse_time(text: Union[str, float, int]) -> float:
+    """Parse ``"20us"``-style durations into seconds (bare = seconds)."""
+    if isinstance(text, (int, float)):
+        return float(text)
+    text = text.strip()
+    for suffix, scale in _TIME_SUFFIXES:
+        if text.endswith(suffix):
+            try:
+                return float(text[: -len(suffix)]) * scale
+            except ValueError:
+                break
+    try:
+        return float(text)
+    except ValueError:
+        raise FaultPlanError(f"cannot parse time {text!r}") from None
+
+
+@dataclass(frozen=True)
+class CtxStall:
+    """A NIC hardware context that stops injecting for a window.
+
+    Models a wedged work queue / unresponsive doorbell: messages issued on
+    the context during ``[start, start + duration)`` either fail over to
+    another context (reliable worlds) or wait out the stall.
+    """
+
+    node: int            # node id, or ANY for every node
+    ctx: int             # hardware-context index, or ANY for every context
+    start: float         # simulated seconds
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def covers(self, node: int, ctx: int, now: float) -> bool:
+        return ((self.node == ANY or self.node == node)
+                and (self.ctx == ANY or self.ctx == ctx)
+                and self.start <= now < self.end)
+
+
+@dataclass(frozen=True)
+class LinkWindow:
+    """A per-node link misbehaviour window.
+
+    ``kind="down"`` drops every message departing the node (or arriving at
+    it) during the window — a link flap. ``kind="degraded"`` multiplies
+    the message's wire time by ``factor`` — congestion or a renegotiated
+    slower rate.
+    """
+
+    node: int            # node id, or ANY for every node
+    start: float
+    end: float
+    kind: str = "down"   # "down" | "degraded"
+    factor: float = 4.0  # wire-time multiplier for "degraded"
+
+    def __post_init__(self):
+        if self.kind not in ("down", "degraded"):
+            raise FaultPlanError(f"unknown link window kind {self.kind!r}")
+        if self.end < self.start:
+            raise FaultPlanError("link window ends before it starts")
+
+    def covers(self, node: int, now: float) -> bool:
+        return ((self.node == ANY or self.node == node)
+                and self.start <= now < self.end)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One experiment's fault schedule, reproducible per seed.
+
+    Rates are independent per-message probabilities evaluated at fabric
+    entry; a message can be both delayed and duplicated, and the duplicate
+    is subject to the same hazards as the original. Stall and link windows
+    are deterministic wall-clock (simulated) intervals.
+    """
+
+    #: P(a wire message is silently dropped).
+    drop: float = 0.0
+    #: P(a wire message is delivered twice).
+    dup: float = 0.0
+    #: P(the delivered payload is corrupted in flight).
+    corrupt: float = 0.0
+    #: P(a delivery gets an extra delay spike).
+    delay: float = 0.0
+    #: Maximum extra delay of one spike (uniform in (0, delay_max]).
+    delay_max: float = 20e-6
+    #: Extra delay of a duplicate copy behind the original.
+    dup_delay: float = 2e-6
+    #: NIC hardware-context stall windows.
+    stalls: tuple[CtxStall, ...] = ()
+    #: Link flap / degradation windows.
+    links: tuple[LinkWindow, ...] = ()
+
+    def __post_init__(self):
+        for name in ("drop", "dup", "corrupt", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultPlanError(
+                    f"{name} rate must be in [0, 1], got {p}")
+        if self.delay_max < 0 or self.dup_delay < 0:
+            raise FaultPlanError("delays must be non-negative")
+
+    @property
+    def any_message_faults(self) -> bool:
+        return (self.drop > 0 or self.dup > 0 or self.corrupt > 0
+                or self.delay > 0 or bool(self.links))
+
+    @property
+    def lossless(self) -> bool:
+        return not self.any_message_faults and not self.stalls
+
+    def describe(self) -> str:
+        parts = [f"drop={self.drop:g}", f"dup={self.dup:g}",
+                 f"corrupt={self.corrupt:g}", f"delay={self.delay:g}"]
+        if self.stalls:
+            parts.append(f"stalls={len(self.stalls)}")
+        if self.links:
+            parts.append(f"links={len(self.links)}")
+        return " ".join(parts)
+
+    # -- construction ------------------------------------------------------
+    def with_(self, **kwargs) -> "FaultPlan":
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "FaultPlan":
+        data = dict(data)
+        stalls = tuple(
+            s if isinstance(s, CtxStall) else CtxStall(
+                node=int(s.get("node", ANY)), ctx=int(s.get("ctx", ANY)),
+                start=parse_time(s["start"]),
+                duration=parse_time(s["duration"]))
+            for s in data.pop("stalls", ()))
+        links = tuple(
+            w if isinstance(w, LinkWindow) else LinkWindow(
+                node=int(w.get("node", ANY)), start=parse_time(w["start"]),
+                end=parse_time(w["end"]), kind=w.get("kind", "down"),
+                factor=float(w.get("factor", 4.0)))
+            for w in data.pop("links", ()))
+        for key in ("delay_max", "dup_delay"):
+            if key in data:
+                data[key] = parse_time(data[key])
+        unknown = set(data) - {"drop", "dup", "corrupt", "delay",
+                               "delay_max", "dup_delay"}
+        if unknown:
+            raise FaultPlanError(f"unknown fault plan keys: {sorted(unknown)}")
+        return FaultPlan(stalls=stalls, links=links,
+                         **{k: float(v) for k, v in data.items()})
+
+
+def _parse_selector(text: str) -> int:
+    return ANY if text in ("*", "") else int(text)
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse a fault plan from a JSON file path or a compact spec string.
+
+    Compact spec: comma-separated ``key=value`` items. Rate keys: ``drop``,
+    ``dup``, ``corrupt``, ``delay``; time keys: ``delay_max``,
+    ``dup_delay``. Repeatable window items::
+
+        stall=<node>/<ctx>/<start>/<duration>      (node/ctx may be "*")
+        down=<node>/<start>/<end>
+        degraded=<node>/<start>/<end>[/<factor>]
+    """
+    spec = spec.strip()
+    if spec.endswith(".json") or os.path.exists(spec):
+        try:
+            with open(spec) as fh:
+                return FaultPlan.from_dict(json.load(fh))
+        except OSError as exc:
+            raise FaultPlanError(f"cannot read plan file {spec!r}: {exc}")
+    rates: dict[str, float] = {}
+    stalls: list[CtxStall] = []
+    links: list[LinkWindow] = []
+    for item in filter(None, (part.strip() for part in spec.split(","))):
+        if "=" not in item:
+            raise FaultPlanError(f"malformed plan item {item!r} "
+                                 "(expected key=value)")
+        key, _, value = item.partition("=")
+        key = key.strip()
+        if key in ("drop", "dup", "corrupt", "delay"):
+            rates[key] = float(value)
+        elif key in ("delay_max", "dup_delay"):
+            rates[key] = parse_time(value)
+        elif key == "stall":
+            fields = value.split("/")
+            if len(fields) != 4:
+                raise FaultPlanError(
+                    f"stall spec {value!r} needs node/ctx/start/duration")
+            stalls.append(CtxStall(
+                node=_parse_selector(fields[0]),
+                ctx=_parse_selector(fields[1]),
+                start=parse_time(fields[2]),
+                duration=parse_time(fields[3])))
+        elif key in ("down", "degraded"):
+            fields = value.split("/")
+            if not 3 <= len(fields) <= 4:
+                raise FaultPlanError(
+                    f"{key} spec {value!r} needs node/start/end[/factor]")
+            links.append(LinkWindow(
+                node=_parse_selector(fields[0]),
+                start=parse_time(fields[1]), end=parse_time(fields[2]),
+                kind=key,
+                factor=float(fields[3]) if len(fields) == 4 else 4.0))
+        else:
+            raise FaultPlanError(f"unknown plan key {key!r}")
+    return FaultPlan(stalls=tuple(stalls), links=tuple(links), **rates)

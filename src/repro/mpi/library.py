@@ -76,6 +76,12 @@ class MpiLibrary:
         }
         #: Next VCI index to hand to a newly created endpoint.
         self._next_ep_vci = 0
+        #: Optional :class:`repro.faults.ReliableTransport`. When set (the
+        #: World does this for fault-injected runs), every inter-node
+        #: message is sequenced/checksummed on send and filtered through
+        #: the transport on arrival; when None, messages go straight to
+        #: the fabric and handlers — the lossless fast path.
+        self.transport = None
         # -- counters --------------------------------------------------
         self.sends_posted = 0
         self.recvs_posted = 0
@@ -179,6 +185,10 @@ class MpiLibrary:
             self.sim._enqueue(event, delay, priority=1)
             event.add_callback(
                 lambda e: self.world.proc(msg.dst_rank).lib.deliver(e._value))
+        elif self.transport is not None:
+            # Reliable transport: sequence + checksum the message, track
+            # it for ACK/retransmission, then hand it to the fabric.
+            self.transport.send(msg, depart)
         else:
             self.world.fabric.transmit(msg, depart)
 
@@ -187,6 +197,12 @@ class MpiLibrary:
     # ------------------------------------------------------------------
     def deliver(self, msg: WireMessage) -> None:
         """Entry point for every wire message addressed to this process."""
+        if self.transport is not None and self.transport.intercept(msg):
+            return  # consumed: ACK, duplicate, corrupt, or buffered
+        self._dispatch(msg)
+
+    def _dispatch(self, msg: WireMessage) -> None:
+        """Route one (transport-cleared) message to its protocol handler."""
         handler = self.handlers.get(msg.kind)
         if handler is None:
             raise MpiUsageError(f"no handler for message kind {msg.kind}")

@@ -69,6 +69,26 @@ class Request:
         self._done.fail(exc)
 
     # -- user side ----------------------------------------------------------
+    def cancel(self) -> bool:
+        """Cancel the operation if it has not yet matched (MPI_Cancel).
+
+        Only a receive still sitting in its VCI's posted queue can be
+        cancelled: a request that already completed, a receive that
+        already matched a message (the race is decided by the matching
+        engine, atomically in simulated time), and any send request all
+        report False and complete normally. On success the request
+        completes immediately with ``status.cancelled`` set — visible
+        through :meth:`test`, :meth:`wait`, and :func:`waitall`.
+        """
+        if self._completed:
+            return False
+        if self.vci is None or not self.vci.engine.cancel_posted(self):
+            return False
+        self._completed = True
+        self.status.cancelled = True
+        self._done.succeed(self.status)
+        return True
+
     @property
     def done(self) -> bool:
         return self._completed

@@ -40,6 +40,9 @@ class Fabric:
         self.params = params
         self.metrics = metrics
         self.tracer = tracer
+        #: Optional :class:`repro.faults.FaultInjector` making the fabric
+        #: lossy (the World attaches it when built with ``faults=``).
+        self.injector = None
         self._handlers: dict[int, DeliveryHandler] = {}
         self._ingress: dict[int, FIFOServer] = {}
         self._egress: dict[int, FIFOServer] = {}
@@ -95,6 +98,20 @@ class Fabric:
             h = self._h_egress.get(msg.src_node)
             if h is not None:
                 h.observe(queued)
+        if self.injector is not None:
+            # The injector decides the message's physical fate: zero, one
+            # or two deliveries, each possibly delayed or corrupted. Drops
+            # happen after egress — a dropped message still burned its
+            # slot on the sender's link.
+            for d in self.injector.wire_actions(msg, depart_time, wire_time):
+                self._schedule_arrival(d.msg, depart_time + d.extra_delay,
+                                       wire_time)
+            return
+        self._schedule_arrival(msg, depart_time, wire_time)
+
+    def _schedule_arrival(self, msg: WireMessage, depart_time: float,
+                          wire_time: float) -> None:
+        """Apply latency + ingress queueing and schedule the arrival."""
         arrival = depart_time + self.params.latency + wire_time
         if self.params.model_ingress:
             head_arrival = depart_time + self.params.latency
@@ -106,7 +123,7 @@ class Fabric:
         event = Event(self.sim)
         event._triggered = True
         event._value = msg
-        self.sim._enqueue(event, arrival - now, priority=1)
+        self.sim._enqueue(event, arrival - self.sim.now, priority=1)
         event.add_callback(self._on_arrival)
 
     def _on_arrival(self, event: Event) -> None:

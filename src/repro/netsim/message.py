@@ -29,6 +29,7 @@ class MessageKind(enum.Enum):
     RMA_FETCH_OP = "rma_fetch_op"
     RMA_ACK = "rma_ack"           # remote completion acknowledgement
     CTRL = "ctrl"                 # generic control (collectives internals)
+    REL_ACK = "rel_ack"           # reliable-transport cumulative ACK
 
 
 #: Header bytes added to every wire message (envelope: context id, rank,
@@ -63,6 +64,14 @@ class WireMessage:
     #: Free-form protocol fields (rendezvous handles, partition ids, RMA
     #: window/offset, collective phase, ...).
     meta: dict = field(default_factory=dict)
+    #: Reliable-transport envelope (set by :mod:`repro.faults.transport`
+    #: when a world runs with reliability enabled; None on a lossless
+    #: fabric). ``rel_flow`` identifies the FIFO stream the message
+    #: belongs to, ``rel_seq`` its position within it, and ``checksum``
+    #: covers the payload so corrupted deliveries are detectable.
+    rel_flow: Optional[tuple] = None
+    rel_seq: Optional[int] = None
+    checksum: int = 0
 
     @property
     def wire_bytes(self) -> int:

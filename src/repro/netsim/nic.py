@@ -35,7 +35,8 @@ class HardwareContext:
 
     __slots__ = ("sim", "index", "params", "injector", "doorbell_lock",
                  "messages_issued", "bytes_issued", "sharers",
-                 "_jitter_state", "_metrics", "_node_id", "m_inject_queue")
+                 "_jitter_state", "_metrics", "_node_id", "m_inject_queue",
+                 "nic", "fault_injector", "failovers_in", "stall_waits")
 
     def __init__(self, sim: Simulator, index: int, params: NicParams,
                  metrics: Optional[MetricsRegistry] = None, node_id: int = 0):
@@ -53,6 +54,15 @@ class HardwareContext:
         self._metrics = metrics
         self._node_id = node_id
         self.m_inject_queue = None
+        #: Owning NIC (set by Nic; needed to pick a failover target).
+        self.nic: Optional["Nic"] = None
+        #: Optional :class:`repro.faults.FaultInjector` whose plan may
+        #: stall this context (the World attaches it).
+        self.fault_injector = None
+        #: Messages other contexts failed over onto this one.
+        self.failovers_in = 0
+        #: Messages that had to wait out a stall here (no failover target).
+        self.stall_waits = 0
 
     def _instrument(self) -> None:
         """Create this context's metric series (on first allocation, so a
@@ -88,7 +98,29 @@ class HardwareContext:
 
         The context is a serial injector: the message departs at
         ``max(now, previous departure) + gap + bytes * per_byte``.
+
+        When a fault plan stalls this context (wedged work queue), the
+        message fails over to a healthy context on the same NIC — landing
+        on a *shared* context, where it contends with that context's own
+        traffic (the Lesson 3 penalty, now triggered by a fault instead of
+        resource exhaustion). With no healthy context available, nothing
+        leaves the wedged queue until the stall window ends.
         """
+        inj = self.fault_injector
+        if inj is not None:
+            stall_end = inj.stall_until(self._node_id, self.index,
+                                        self.sim.now)
+            if stall_end > 0.0:
+                target = None if self.nic is None else \
+                    self.nic.failover_target(self)
+                if target is not None:
+                    inj.note_failover(self._node_id, self.index,
+                                      target.index)
+                    target.failovers_in += 1
+                    return target.issue(wire_bytes)
+                self.stall_waits += 1
+                if self.injector.free_at < stall_end:
+                    self.injector._free_at = stall_end
         service = self.params.issue_gap + self._jitter() \
             + wire_bytes * self.params.issue_per_byte
         depart = self.injector.occupy(service)
@@ -125,7 +157,34 @@ class Nic:
         self.contexts = [HardwareContext(sim, i, params, metrics=metrics,
                                          node_id=node_id)
                          for i in range(params.num_hardware_contexts)]
+        for ctx in self.contexts:
+            ctx.nic = self
         self._next = 0
+
+    def attach_fault_injector(self, injector) -> None:
+        """Subject every context to ``injector``'s stall windows."""
+        for ctx in self.contexts:
+            ctx.fault_injector = injector
+
+    def failover_target(self, stalled: HardwareContext
+                        ) -> Optional[HardwareContext]:
+        """A healthy context to absorb a stalled context's traffic.
+
+        Deterministic preference order: the lowest-index healthy context
+        that is already allocated to VCIs (its owners will feel the extra
+        contention — graceful degradation, not a free lunch), else the
+        lowest-index healthy context at all.
+        """
+        inj = stalled.fault_injector
+        now = self.sim.now
+        healthy = [c for c in self.contexts
+                   if c is not stalled
+                   and (inj is None
+                        or inj.stall_until(c._node_id, c.index, now) == 0.0)]
+        for ctx in healthy:
+            if ctx.sharers > 0:
+                return ctx
+        return healthy[0] if healthy else None
 
     def allocate_context(self) -> HardwareContext:
         """Allocate a context round-robin.

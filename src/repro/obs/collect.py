@@ -89,6 +89,11 @@ def collect_world(world: Any, metrics: MetricsRegistry) -> None:
                               doorbell.total_wait_time, **labels)
             metrics.set_gauge("hwctx.doorbell.contention_ratio",
                               doorbell.contention_ratio, **labels)
+            if ctx.failovers_in or ctx.stall_waits:
+                metrics.set_gauge("hwctx.failovers_in", ctx.failovers_in,
+                                  **labels)
+                metrics.set_gauge("hwctx.stall_waits", ctx.stall_waits,
+                                  **labels)
 
     fabric = world.fabric
     metrics.set_gauge("fabric.messages_delivered", fabric.messages_delivered)
@@ -107,3 +112,19 @@ def collect_world(world: Any, metrics: MetricsRegistry) -> None:
             "fabric.ingress.saturation",
             server.stats.busy_time / elapsed if elapsed > 0.0 else 0.0,
             node=node_id)
+
+    # -- fault injection + reliable transport (present only on worlds
+    # built with faults=/transport=) --------------------------------------
+    injector = getattr(world, "injector", None)
+    if injector is not None:
+        for key, value in injector.summary().items():
+            metrics.set_gauge(f"fault.total.{key}", value)
+    for proc in world.procs:
+        transport = getattr(proc.lib, "transport", None)
+        if transport is None:
+            continue
+        for key, value in transport.summary().items():
+            metrics.set_gauge(f"transport.total.{key}", value,
+                              rank=proc.rank)
+        metrics.set_gauge("transport.unacked", transport.unacked,
+                          rank=proc.rank)

@@ -22,6 +22,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import MpiUsageError
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.transport import ReliableTransport, TransportParams
 from ..mpi.comm import Communicator
 from ..mpi.library import MpiLibrary
 from ..netsim.config import NetworkConfig
@@ -135,7 +138,9 @@ class World:
                  cfg: Optional[NetworkConfig] = None,
                  max_vcis_per_proc: int = 64, seed: int = 0,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 faults: Optional[FaultPlan] = None,
+                 transport: Optional[TransportParams] = None):
         if num_nodes < 1 or procs_per_node < 1 or threads_per_proc < 1:
             raise MpiUsageError("world dimensions must be positive")
         self.sim = Simulator()
@@ -168,6 +173,28 @@ class World:
             node.procs.append(proc)
             self.procs.append(proc)
 
+        # -- fault injection + reliable transport (opt-in) -------------
+        # With a fault plan, the fabric and NICs consult one injector
+        # (seeded by the world seed, so the fault schedule reproduces per
+        # seed) and every process gets a ReliableTransport restoring MPI's
+        # delivery guarantees. Passing transport= alone runs the reliable
+        # protocol on a lossless fabric (useful for overhead studies).
+        self.fault_plan = faults
+        self.injector: Optional[FaultInjector] = None
+        self.transport_params: Optional[TransportParams] = None
+        if faults is not None:
+            self.injector = FaultInjector(faults, seed=seed)
+            self.injector.bind(self.metrics, self.tracer)
+            self.fabric.injector = self.injector
+            for node in self.nodes:
+                node.nic.attach_fault_injector(self.injector)
+        if faults is not None or transport is not None:
+            self.transport_params = transport or TransportParams()
+            for proc in self.procs:
+                proc.lib.transport = ReliableTransport(
+                    proc.lib, self.transport_params)
+        self.sim.add_diagnostic(self._pending_mpi_report)
+
         # Context ids are allocated in strides of four per communicator:
         # +0 point-to-point, +1 collectives, +2 partitioned, +3 reserved.
         # COMM_WORLD holds 0..3.
@@ -175,6 +202,46 @@ class World:
         self._meetings: dict[Any, _Meeting] = {}
 
     # ------------------------------------------------------------------
+    def _pending_mpi_report(self) -> list[str]:
+        """Deadlock-diagnostic lines: per-rank, per-VCI pending MPI state.
+
+        Registered with the simulator so that when a run deadlocks, the
+        error names what each rank was still waiting for — posted receives
+        that never matched, unexpected messages nobody received, stuck
+        rendezvous handshakes, and unacknowledged transport packets —
+        instead of a bare "deadlock?".
+        """
+        lines: list[str] = []
+        for proc in self.procs:
+            lib = proc.lib
+            detail: list[str] = []
+            for vci in lib.vci_pool.active_vcis:
+                engine = vci.engine
+                bits = []
+                if engine.posted_depth:
+                    bits.append(f"{engine.posted_depth} posted recv(s) "
+                                "never matched")
+                if engine.unexpected_depth:
+                    bits.append(f"{engine.unexpected_depth} unexpected "
+                                "msg(s) never received")
+                if bits:
+                    detail.append(f"    vci {vci.index}: " + "; ".join(bits))
+            if lib._rndv_sends:
+                detail.append(f"    {len(lib._rndv_sends)} rendezvous "
+                              "send(s) awaiting CTS")
+            if lib._rndv_recvs:
+                detail.append(f"    {len(lib._rndv_recvs)} rendezvous "
+                              "recv(s) awaiting DATA")
+            if lib.transport is not None and lib.transport.unacked:
+                detail.extend("    transport " + line for line in
+                              lib.transport.pending_description())
+            if detail:
+                lines.append(f"  rank {proc.rank}:")
+                lines.extend(detail)
+        if lines:
+            lines.insert(0, "pending MPI state per rank:")
+        return lines
+
     def proc(self, rank: int) -> MpiProcess:
         return self.procs[rank]
 

@@ -168,6 +168,7 @@ class Process(Event):
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        sim._processes.append(self)
         # Bootstrap: start the generator at the current simulation time.
         bootstrap = Event(sim)
         bootstrap.succeed(priority=PRIORITY_NORMAL)
@@ -273,6 +274,11 @@ class Simulator:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.steps = 0
+        #: Every Process ever spawned (for deadlock diagnostics).
+        self._processes: list[Process] = []
+        #: Extra report providers consulted when a deadlock is detected
+        #: (see :meth:`add_diagnostic`).
+        self._diagnostics: list[Callable[[], list[str]]] = []
 
     @property
     def now(self) -> float:
@@ -303,6 +309,42 @@ class Simulator:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    # -- deadlock diagnostics ---------------------------------------------
+    def add_diagnostic(self, fn: Callable[[], list[str]]) -> None:
+        """Register a provider of extra deadlock-report lines.
+
+        When the event heap runs dry while a ``run(until=event)`` target is
+        still pending, the simulator raises a report that names every
+        blocked task; providers registered here (e.g. the runtime's
+        per-rank pending-MPI-state dump) append domain detail to it.
+        """
+        self._diagnostics.append(fn)
+
+    def _deadlock_report(self, limit: int = 25) -> str:
+        """Build the deadlock diagnosis raised from :meth:`run`."""
+        lines = ["simulation ran out of events before the awaited event "
+                 "triggered (deadlock?)"]
+        blocked = [p for p in self._processes if p.is_alive]
+        if blocked:
+            lines.append(f"blocked tasks ({len(blocked)}):")
+            for p in blocked[:limit]:
+                target = p._waiting_on
+                if target is None:
+                    what = "not yet resumed"
+                elif isinstance(target, Process):
+                    what = f"joining task {target.name!r}"
+                else:
+                    what = f"waiting on {type(target).__name__}"
+                lines.append(f"  - {p.name}: {what}")
+            if len(blocked) > limit:
+                lines.append(f"  ... and {len(blocked) - limit} more")
+        for fn in self._diagnostics:
+            try:
+                lines.extend(fn())
+            except Exception as exc:  # a broken provider must not mask
+                lines.append(f"(diagnostic provider failed: {exc!r})")
+        return "\n".join(lines)
+
     # -- scheduling -------------------------------------------------------
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
         self._seq += 1
@@ -331,9 +373,7 @@ class Simulator:
             target = until
             while not target._processed:
                 if not self._heap:
-                    raise SimulationError(
-                        "simulation ran out of events before the awaited "
-                        "event triggered (deadlock?)")
+                    raise SimulationError(self._deadlock_report())
                 if max_steps is not None and self.steps - start_steps >= max_steps:
                     raise SimulationError(f"exceeded max_steps={max_steps}")
                 self.step()

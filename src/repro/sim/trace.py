@@ -119,6 +119,25 @@ class TraceCategory(metaclass=_FrozenNamespace):
     SHARED_CTX_POST = _define("nic.shared_ctx_post", "nic")
     MSG_DELIVER = _define("fabric.deliver", "fabric")
 
+    # -- fault injection (repro.faults) ------------------------------------
+    FAULT_DROP = _define("fault.drop", "fault")
+    FAULT_DUP = _define("fault.dup", "fault")
+    FAULT_CORRUPT = _define("fault.corrupt", "fault")
+    FAULT_DELAY = _define("fault.delay", "fault")
+    LINK_DROP = _define("fault.link_drop", "fault")
+    CTX_FAILOVER = _define("nic.ctx_failover", "nic")
+
+    # -- reliable transport -------------------------------------------------
+    RETRANSMIT = _define("transport.retransmit", "transport")
+    DUP_SUPPRESSED = _define("transport.dup_suppressed", "transport")
+    CORRUPT_DROP = _define("transport.corrupt_drop", "transport")
+    #: Loss-recovery span: first retransmission of a packet to the ACK
+    #: that finally clears it.
+    RECOVERY_BEGIN = _define("transport.recovery.begin", "transport",
+                             "begin", "transport.recovery.end")
+    RECOVERY_END = _define("transport.recovery.end", "transport", "end",
+                           "transport.recovery.begin")
+
     # -- generic application phases ---------------------------------------
     PHASE_BEGIN = _define("app.phase.begin", "app", "begin", "app.phase.end")
     PHASE_END = _define("app.phase.end", "app", "end", "app.phase.begin")

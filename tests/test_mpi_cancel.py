@@ -1,0 +1,156 @@
+"""MPI_Cancel: Request.cancel() and Status.cancelled propagation."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.request import waitall
+from repro.runtime import World
+from tests.helpers import run_ranks, run_same
+
+
+def test_cancel_unmatched_recv():
+    world = World(num_nodes=2, procs_per_node=1)
+    seen = {}
+
+    def rank0(proc):
+        buf = np.zeros(4)
+        req = yield from proc.comm_world.Irecv(buf, source=1, tag=5)
+        yield proc.sim.timeout(1e-6)
+        seen["cancelled"] = req.cancel()
+        status = yield from req.wait()
+        seen["status"] = status
+
+    def rank1(proc):
+        yield proc.sim.timeout(1e-9)  # sends nothing
+
+    run_ranks(world, rank0, rank1)
+    assert seen["cancelled"] is True
+    assert seen["status"].cancelled is True
+    assert seen["status"].count == 0
+
+
+def test_cancel_reports_false_after_completion():
+    world = World(num_nodes=2, procs_per_node=1)
+    outcomes = {}
+
+    def rank0(proc):
+        yield from proc.comm_world.Send(np.arange(2.0), dest=1, tag=0)
+
+    def rank1(proc):
+        buf = np.zeros(2)
+        req = yield from proc.comm_world.Irecv(buf, source=0, tag=0)
+        status = yield from req.wait()
+        outcomes["cancel_after_done"] = req.cancel()
+        outcomes["status"] = status
+
+    run_ranks(world, rank0, rank1)
+    assert outcomes["cancel_after_done"] is False
+    assert outcomes["status"].cancelled is False
+    assert outcomes["status"].count == 2
+
+
+def test_cancel_send_request_is_refused():
+    """Send requests cannot be cancelled (they are not in a posted
+    queue); the send still completes normally."""
+    world = World(num_nodes=2, procs_per_node=1)
+    outcomes = {}
+
+    def rank0(proc):
+        req = yield from proc.comm_world.Isend(np.arange(2.0), dest=1,
+                                               tag=0)
+        outcomes["cancel_send"] = req.cancel()
+        yield from req.wait()
+
+    def rank1(proc):
+        buf = np.zeros(2)
+        yield from proc.comm_world.Recv(buf, source=0, tag=0)
+        outcomes["data"] = buf.copy()
+
+    run_ranks(world, rank0, rank1)
+    assert outcomes["cancel_send"] is False
+    assert np.array_equal(outcomes["data"], np.arange(2.0))
+
+
+def test_cancel_vs_match_race():
+    """A receive posted just before a matching message arrives: exactly
+    one of {cancel, match} wins, decided atomically by the matching
+    engine. Whoever wins, the state is consistent — a cancelled request
+    never carries data, a matched one never reports cancelled."""
+    for delay_ns in (1, 500, 1000, 2000, 5000):
+        world = World(num_nodes=2, procs_per_node=1)
+        outcomes = {}
+
+        def rank0(proc, delay=delay_ns * 1e-9):
+            buf = np.zeros(2)
+            req = yield from proc.comm_world.Irecv(buf, source=1, tag=1)
+            yield proc.sim.timeout(delay)
+            outcomes["cancelled"] = req.cancel()
+            if not outcomes["cancelled"]:
+                status = yield from req.wait()
+                outcomes["count"] = status.count
+                outcomes["data"] = buf.copy()
+            else:
+                status = yield from req.wait()
+                assert status.cancelled
+                outcomes["count"] = status.count
+
+        def rank1(proc):
+            yield from proc.comm_world.Send(np.arange(2.0), dest=0, tag=1)
+
+        run_ranks(world, rank0, rank1)
+        if outcomes["cancelled"]:
+            assert outcomes["count"] == 0
+        else:
+            assert outcomes["count"] == 2
+            assert np.array_equal(outcomes["data"], np.arange(2.0))
+
+
+def test_cancel_is_idempotent_and_visible_via_test_and_waitall():
+    world = World(num_nodes=1, procs_per_node=1)
+    outcomes = {}
+
+    def rank0(proc):
+        bufs = [np.zeros(1), np.zeros(1)]
+        r_stuck = yield from proc.comm_world.Irecv(bufs[0], source=0,
+                                                   tag=99)
+        r_ok = yield from proc.comm_world.Irecv(bufs[1], source=0, tag=1)
+        yield from proc.comm_world.Send(np.array([7.0]), dest=0, tag=1)
+        assert r_stuck.cancel() is True
+        assert r_stuck.cancel() is False          # second cancel: no-op
+        outcomes["test"] = r_stuck.test()
+        statuses = yield from waitall([r_stuck, r_ok])
+        outcomes["statuses"] = statuses
+        outcomes["data"] = bufs[1].copy()
+
+    run_same(world, rank0)
+    assert outcomes["test"].cancelled is True
+    stuck, ok = outcomes["statuses"]
+    assert stuck.cancelled is True and ok.cancelled is False
+    assert np.array_equal(outcomes["data"], np.array([7.0]))
+
+
+def test_cancel_works_on_lossy_fabric():
+    """Cancelling an unmatched receive must not confuse the reliable
+    transport (its in-order delivery is per-flow, not per-request)."""
+    from repro.faults import FaultPlan
+    world = World(num_nodes=2, procs_per_node=1,
+                  faults=FaultPlan(drop=0.2, dup=0.1), seed=4)
+    seen = {}
+
+    def rank0(proc):
+        doomed = np.zeros(1)
+        req = yield from proc.comm_world.Irecv(doomed, source=1, tag=42)
+        buf = np.zeros(4)
+        yield from proc.comm_world.Recv(buf, source=1, tag=0)
+        seen["data"] = buf.copy()
+        seen["cancelled"] = req.cancel()
+        status = yield from req.wait()
+        seen["cancel_status"] = status
+
+    def rank1(proc):
+        yield from proc.comm_world.Send(np.arange(4.0), dest=0, tag=0)
+
+    run_ranks(world, rank0, rank1)
+    assert np.array_equal(seen["data"], np.arange(4.0))
+    assert seen["cancelled"] is True
+    assert seen["cancel_status"].cancelled is True
