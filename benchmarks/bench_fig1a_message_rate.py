@@ -6,7 +6,7 @@ stays flat. This bench regenerates the same series on the simulated
 Omni-Path-like fabric and asserts the shape.
 """
 
-from _common import bench_once, ratio
+from _common import bench_once, ratio, sweep_points
 
 from repro.bench import MsgRateConfig, Table, run_msgrate, write_results
 from repro.netsim import NetworkConfig
@@ -16,15 +16,17 @@ MODES = ("everywhere", "threads-original", "threads-tags",
          "threads-comms", "threads-endpoints")
 
 
+def _point(mode, cores):
+    r = run_msgrate(MsgRateConfig(mode=mode, cores=cores, msgs_per_core=64),
+                    net=NetworkConfig.omnipath())
+    return r.rate
+
+
 def _sweep():
-    net = NetworkConfig.omnipath()
-    rates = {}
-    for mode in MODES:
-        for cores in CORES:
-            r = run_msgrate(MsgRateConfig(mode=mode, cores=cores,
-                                          msgs_per_core=64), net=net)
-            rates[(mode, cores)] = r.rate
-    return rates
+    points = [{"mode": m, "cores": c} for m in MODES for c in CORES]
+    results = sweep_points(_point, points)
+    return {(p["mode"], p["cores"]): rate
+            for p, rate in zip(points, results)}
 
 
 def test_fig1a_message_rate(benchmark):

@@ -1,0 +1,251 @@
+"""Host-performance microbenchmarks: the simulator as the artifact.
+
+Unlike the ``bench_fig*`` modules, which regenerate the paper's *simulated*
+results, this suite measures how fast the simulator itself runs on the
+host — the "runs as fast as the hardware allows" axis of the roadmap. It
+writes ``benchmarks/results/BENCH_kernel.json`` with:
+
+- ``events_per_sec`` — raw kernel throughput (timeout churn through the
+  heap, free-list and callback dispatch);
+- ``matches_per_sec`` — indexed matching-engine throughput at depth, with
+  the linear reference engine's throughput and the resulting speedup;
+- ``messages_per_sec`` — end-to-end simulated messages per host second
+  through the full MPI + fabric stack (``run_msgrate``);
+- ``fig1a_sweep`` — wall-clock of the full Fig 1(a) mode×cores sweep,
+  serial and across ``--jobs`` worker processes.
+
+Standalone (this is what CI's perf-smoke job runs)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py \
+        --out benchmarks/results/BENCH_kernel.json \
+        --check-against benchmarks/baselines/bench_kernel_baseline.json
+
+``--check-against`` fails (exit 1) if ``events_per_sec`` regressed more
+than 30% against the committed baseline. ``--quick`` shrinks every
+workload for smoke runs.
+
+See ``docs/performance.md`` for how to read the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Optional
+
+import numpy as np
+
+#: Committed reference numbers (see --check-against).
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "baselines", "bench_kernel_baseline.json")
+RESULTS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "results", "BENCH_kernel.json")
+
+#: Maximum tolerated events/sec regression vs the baseline (fraction).
+REGRESSION_BUDGET = 0.30
+
+
+# ---------------------------------------------------------------------------
+# events/sec: raw kernel throughput
+# ---------------------------------------------------------------------------
+def bench_events(n_procs: int = 8, timeouts_per_proc: int = 50_000,
+                 repeats: int = 3) -> float:
+    from repro.sim.core import Simulator
+
+    def ping(sim, n):
+        for _ in range(n):
+            yield sim.timeout(1e-9)
+
+    best = 0.0
+    for _ in range(repeats):
+        sim = Simulator()
+        for _ in range(n_procs):
+            sim.spawn(ping(sim, timeouts_per_proc))
+        t0 = time.perf_counter()
+        sim.run()
+        best = max(best, sim.steps / (time.perf_counter() - t0))
+    return best
+
+
+# ---------------------------------------------------------------------------
+# matches/sec: matching-engine throughput at queue depth
+# ---------------------------------------------------------------------------
+def _matching_workload(engine_cls, depth: int, rounds: int) -> float:
+    """Post ``depth`` receives, then ``rounds`` arrivals that match the
+    queue *tail* (the linear engine's worst case); returns ops/sec."""
+    from repro.mpi.matching import PostedRecv
+    from repro.netsim.message import MessageKind, WireMessage
+
+    engine = engine_cls()
+    buf = np.zeros(1, dtype=np.uint8)
+
+    def post(tag):
+        engine.post_recv(PostedRecv(req=None, buf=buf, count=1,
+                                    context_id=0, source=0, tag=tag,
+                                    dst_addr=0))
+
+    def arrive(tag):
+        return engine.incoming(WireMessage(
+            kind=MessageKind.EAGER, src_node=0, dst_node=0, src_rank=0,
+            dst_rank=0, context_id=0, tag=tag, size=1, payload=None,
+            meta={"src_addr": 0, "dst_addr": 0}))
+
+    for tag in range(depth):
+        post(tag)
+    tail = depth - 1  # each round matches the newest post, then re-posts
+    ops = 0
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        entry, scanned = arrive(tail)
+        assert entry is not None and scanned == depth
+        post(tail)
+        ops += 2
+    return ops / (time.perf_counter() - t0)
+
+
+def bench_matching(depth: int = 512, rounds: int = 2_000,
+                   repeats: int = 3) -> dict:
+    from repro.mpi.matching import LinearMatchingEngine, MatchingEngine
+
+    indexed = max(_matching_workload(MatchingEngine, depth, rounds)
+                  for _ in range(repeats))
+    linear = max(_matching_workload(LinearMatchingEngine, depth, rounds)
+                 for _ in range(repeats))
+    return {"depth": depth,
+            "matches_per_sec": round(indexed),
+            "linear_matches_per_sec": round(linear),
+            "indexed_vs_linear": round(indexed / linear, 2)}
+
+
+# ---------------------------------------------------------------------------
+# messages/sec: the full stack
+# ---------------------------------------------------------------------------
+def bench_messages(cores: int = 8, msgs_per_core: int = 256,
+                   repeats: int = 3) -> float:
+    from repro.bench import MsgRateConfig, run_msgrate
+    from repro.netsim import NetworkConfig
+
+    best = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        r = run_msgrate(MsgRateConfig(mode="threads-endpoints", cores=cores,
+                                      msgs_per_core=msgs_per_core),
+                        net=NetworkConfig.omnipath())
+        best = max(best, r.messages / (time.perf_counter() - t0))
+    return best
+
+
+# ---------------------------------------------------------------------------
+# fig1a sweep wall-clock, serial and fanned out
+# ---------------------------------------------------------------------------
+def _fig1a_point(mode: str, cores: int, msgs_per_core: int) -> float:
+    from repro.bench import MsgRateConfig, run_msgrate
+    from repro.netsim import NetworkConfig
+
+    return run_msgrate(MsgRateConfig(mode=mode, cores=cores,
+                                     msgs_per_core=msgs_per_core),
+                       net=NetworkConfig.omnipath()).rate
+
+
+def bench_fig1a_sweep(jobs_list=(1, 2, 4), msgs_per_core: int = 64) -> dict:
+    from repro.bench import scaling_run
+
+    modes = ("everywhere", "threads-original", "threads-tags",
+             "threads-comms", "threads-endpoints")
+    cores = (1, 2, 4, 8, 16, 32, 64)
+    points = [{"mode": m, "cores": c, "msgs_per_core": msgs_per_core}
+              for m in modes for c in cores]
+    walls = scaling_run(_fig1a_point, points, jobs_list)
+    serial = walls.get(1, walls[min(walls)])
+    return {"points": len(points),
+            "wall_sec": {str(j): round(w, 3) for j, w in walls.items()},
+            "speedup_vs_serial": {str(j): round(serial / w, 2)
+                                  for j, w in walls.items()},
+            "cpu_count": os.cpu_count()}
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
+    scale = 10 if quick else 1
+    events = bench_events(timeouts_per_proc=50_000 // scale,
+                          repeats=2 if quick else 3)
+    matching = bench_matching(rounds=2_000 // scale,
+                              repeats=2 if quick else 3)
+    messages = bench_messages(msgs_per_core=256 // scale,
+                              repeats=2 if quick else 3)
+    sweep = bench_fig1a_sweep(jobs_list=jobs_list,
+                              msgs_per_core=64 // (scale if quick else 1))
+    return {
+        "schema": 1,
+        "python": sys.version.split()[0],
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "events_per_sec": round(events),
+        "matching": matching,
+        "messages_per_sec": round(messages),
+        "fig1a_sweep": sweep,
+    }
+
+
+def check_against(result: dict, baseline_path: str) -> bool:
+    """True when events/sec is within the regression budget of baseline."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    ref = baseline["events_per_sec"]
+    got = result["events_per_sec"]
+    floor = ref * (1.0 - REGRESSION_BUDGET)
+    ok = got >= floor
+    print(f"events/sec: measured {got:,} vs baseline {ref:,} "
+          f"(floor {floor:,.0f}) -> {'OK' if ok else 'REGRESSION'}")
+    return ok
+
+
+def main(argv: Optional[list] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--out", default=RESULTS,
+                    help="where to write BENCH_kernel.json")
+    ap.add_argument("--check-against", metavar="PATH", default=None,
+                    help="baseline JSON; exit 1 if events/sec regressed "
+                         f">{REGRESSION_BUDGET:.0%}")
+    ap.add_argument("--quick", action="store_true",
+                    help="shrink workloads ~10x (CI smoke)")
+    ap.add_argument("--jobs", nargs="+", type=int, default=[1, 2, 4],
+                    help="worker counts to time the fig1a sweep at")
+    args = ap.parse_args(argv)
+
+    result = run_suite(quick=args.quick, jobs_list=tuple(args.jobs))
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(f"[written to {args.out}]")
+    if args.check_against:
+        return 0 if check_against(result, args.check_against) else 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (quick variant, so `pytest benchmarks/` covers it)
+# ---------------------------------------------------------------------------
+def test_kernel_microbench(benchmark, tmp_path):
+    out = tmp_path / "BENCH_kernel.json"
+    assert main(["--quick", "--jobs", "1", "2",
+                 "--out", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert data["events_per_sec"] > 0
+    assert data["matching"]["indexed_vs_linear"] > 1.0
+    assert data["messages_per_sec"] > 0
+    benchmark.extra_info["events_per_sec"] = data["events_per_sec"]
+    benchmark.pedantic(bench_events, kwargs={"timeouts_per_proc": 5_000,
+                                             "repeats": 1},
+                       rounds=2, iterations=1, warmup_rounds=0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,10 @@
-"""Benchmark harness: workload generators and reporting."""
+"""Benchmark harness: workload generators, parallel execution, reporting."""
 
 from .msgrate import MODES, MsgRateConfig, MsgRateResult, run_msgrate
+from .parallel import default_jobs, run_points, scaling_run
 from .report import Table, write_results
 from .sweep import Sweep, SweepRow
 
 __all__ = ["MODES", "MsgRateConfig", "MsgRateResult", "Sweep", "SweepRow",
-           "Table", "run_msgrate", "write_results"]
+           "Table", "default_jobs", "run_msgrate", "run_points",
+           "scaling_run", "write_results"]

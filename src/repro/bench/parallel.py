@@ -1,0 +1,89 @@
+"""Parallel execution of independent sweep points.
+
+Every sweep point is a self-contained simulation: it builds its own
+:class:`~repro.sim.core.Simulator`, seeds its own RNGs, and shares no
+mutable state with any other point. Results are therefore bit-identical
+whether points run serially or fanned out across worker processes — the
+executor only changes *host* wall-clock, never simulated results (the
+same simulated-cost vs host-cost separation as the indexed matching
+engine; see ``docs/performance.md``).
+
+The executor uses the ``fork`` start method so workers inherit the parent's
+imported modules (no per-worker interpreter/numpy start-up, and functions
+defined in script-style modules such as the ``benchmarks/`` suite remain
+reachable). Where ``fork`` is unavailable (non-POSIX hosts) or a single
+job is requested, points run serially in-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+__all__ = ["default_jobs", "run_points", "scaling_run"]
+
+
+def default_jobs(env: str = "REPRO_BENCH_JOBS") -> int:
+    """Worker count from the environment (``REPRO_BENCH_JOBS``), else 1.
+
+    The benchmark suite stays serial unless explicitly told otherwise:
+    parallel workers skew per-point host-time measurements on busy
+    machines, so fan-out is opt-in.
+    """
+    try:
+        return max(1, int(os.environ.get(env, "1")))
+    except ValueError:
+        return 1
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return None
+
+
+def run_points(fn: Callable[..., Any], points: Sequence[dict],
+               jobs: int = 1,
+               progress: Optional[Callable[[dict], None]] = None
+               ) -> list[Any]:
+    """Run ``fn(**point)`` for every point; returns results in point order.
+
+    ``jobs > 1`` fans the points across a ``fork`` process pool. Results
+    are returned in the order of ``points`` regardless of completion
+    order, so the output is deterministic for deterministic ``fn``.
+    ``progress`` (serial path only) is called with each point before it
+    runs — worker processes cannot usefully stream progress to the
+    parent's terminal.
+    """
+    points = list(points)
+    if jobs <= 1 or len(points) <= 1:
+        results = []
+        for point in points:
+            if progress is not None:
+                progress(point)
+            results.append(fn(**point))
+        return results
+    ctx = _fork_context()
+    if ctx is None:  # pragma: no cover - non-POSIX hosts
+        return run_points(fn, points, jobs=1, progress=progress)
+    jobs = min(jobs, len(points))
+    with ctx.Pool(processes=jobs) as pool:
+        async_results = [pool.apply_async(fn, kwds=point) for point in points]
+        return [r.get() for r in async_results]
+
+
+def scaling_run(fn: Callable[..., Any], points: Iterable[dict],
+                jobs_list: Sequence[int]) -> dict[int, float]:
+    """Time the full point set at each worker count; returns seconds by
+    jobs. Used by ``benchmarks/bench_kernel.py`` to record the ``--jobs``
+    scaling trajectory."""
+    import time
+    points = list(points)
+    walls: dict[int, float] = {}
+    for jobs in jobs_list:
+        t0 = time.perf_counter()
+        run_points(fn, points, jobs=jobs)
+        walls[jobs] = time.perf_counter() - t0
+    return walls

@@ -65,17 +65,20 @@ class Sweep:
                 for combo in itertools.product(*self.params.values())]
 
     def run(self, fn: Callable[..., Mapping[str, Any]],
-            progress: Optional[Callable[[dict], None]] = None
-            ) -> list[SweepRow]:
+            progress: Optional[Callable[[dict], None]] = None,
+            jobs: int = 1) -> list[SweepRow]:
         """Run ``fn(**point)`` for every point; ``fn`` returns an output
         mapping. ``progress`` (if given) is called with each point before
-        it runs."""
+        it runs. ``jobs > 1`` fans independent points across worker
+        processes (see :mod:`repro.bench.parallel`); each point is a
+        self-contained simulation, so rows are identical to a serial run
+        and are returned in point order."""
+        from .parallel import run_points
+        outputs_list = run_points(fn, self.points, jobs=jobs,
+                                  progress=progress)
         rows = []
-        for point in self.points:
-            if progress is not None:
-                progress(point)
-            outputs = dict(fn(**point))
-            row = SweepRow(params=point, outputs=outputs)
+        for point, outputs in zip(self.points, outputs_list):
+            row = SweepRow(params=point, outputs=dict(outputs))
             row.flat()  # validates output/parameter name collisions
             rows.append(row)
         return rows

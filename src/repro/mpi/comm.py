@@ -246,8 +246,12 @@ class Communicator:
 
         vci = lib.vci_pool.get(self.vci_map.recv_vci(self.rank, source, tag))
         req.vci = vci
-        was_contended = vci.lock.locked
-        yield from vci.lock.acquire()
+        lock = vci.lock
+        was_contended = lock.locked
+        if was_contended:
+            yield from lock.acquire()
+        else:
+            lock.try_acquire()
         context_id = self.context_id if _context_id is None else _context_id
         # Matching is scan-until-match: a receive that matches the head of
         # the unexpected queue is O(1) even when the queue is deep.
@@ -263,7 +267,9 @@ class Communicator:
         if msg is not None:
             if msg.kind is MessageKind.EAGER:
                 yield lib.sim.timeout(lib.cpu.request_completion)
-                lib._complete_recv(entry, msg)
+                # Inline is safe: the request has not been returned yet, so
+                # its done event has no waiters to resume early.
+                lib._complete_recv(entry, msg, _inline=True)
             else:  # unexpected RNDV_RTS: grant it now
                 lib._send_cts(vci, entry, msg)
         vci.lock.release()
@@ -355,18 +361,8 @@ class Communicator:
         cost = lib.cpu.lock_acquire \
             + (lib.cpu.lock_handoff if was_contended else 0.0)
         # claim = a removing scan of the unexpected queue
-        probe_entry = PostedRecv(req=None, buf=None, count=0,
-                                 context_id=self.context_id, source=source,
-                                 tag=tag, dst_addr=self.rank)
-        found = None
-        scanned = 0
-        for i, msg in enumerate(vci.engine.unexpected):
-            scanned += 1
-            if probe_entry.matches(msg):
-                del vci.engine.unexpected[i]
-                found = msg
-                break
-        vci.engine.total_scans += scanned
+        found, scanned = vci.engine.claim_unexpected(
+            self.context_id, source, tag, self.rank)
         cost += lib.cpu.match_base + lib.cpu.match_per_element * scanned
         yield lib.sim.timeout(cost)
         vci.lock.release()
@@ -396,7 +392,7 @@ class Communicator:
                                context_id=msg.context_id,
                                source=msg.meta.get("src_addr", msg.src_rank),
                                tag=msg.tag, dst_addr=self.rank)
-            lib._complete_recv(entry, msg)
+            lib._complete_recv(entry, msg, _inline=True)
         else:  # a rendezvous RTS: grant it now
             entry = PostedRecv(req=req, buf=flat, count=n,
                                context_id=msg.context_id,

@@ -81,7 +81,7 @@ def check_buffer(buf, count: int | None = None) -> np.ndarray:
             f"communication buffers must be numpy arrays, got {type(buf).__name__}")
     if not buf.flags.c_contiguous:
         raise MpiUsageError("communication buffers must be C-contiguous")
-    flat = buf.reshape(-1)
+    flat = buf if buf.ndim == 1 else buf.reshape(-1)
     if count is not None:
         if count < 0:
             raise MpiUsageError(f"negative element count: {count}")

@@ -123,13 +123,21 @@ class MpiLibrary:
             tracer.emit(TraceCategory.ISSUE_BEGIN,
                         self._trace_payload(vci, msg, span))
         t_post = self.sim.now
-        was_contended = vci.lock.locked
-        yield from vci.lock.acquire()
+        lock = vci.lock
+        was_contended = lock.locked
+        if was_contended:
+            yield from lock.acquire()
+        else:
+            lock.try_acquire()
         t_lock = self.sim.now
         cost = cpu.lock_acquire + (cpu.lock_handoff if was_contended else 0.0)
         ctx = vci.hw_context
-        db_contended = ctx.doorbell_lock.locked
-        yield from ctx.doorbell_lock.acquire()
+        db_lock = ctx.doorbell_lock
+        db_contended = db_lock.locked
+        if db_contended:
+            yield from db_lock.acquire()
+        else:
+            db_lock.try_acquire()
         t_doorbell = self.sim.now
         cost += nicp.doorbell
         shared = ctx.is_shared
@@ -179,12 +187,15 @@ class MpiLibrary:
             # Intra-node transport bypasses the fabric: shared-memory copy.
             delay = max(0.0, depart - self.sim.now) \
                 + self.cpu.shm_copy_base + msg.size / self.cpu.shm_bandwidth
-            event = Event(self.sim)
-            event._triggered = True
+            event = Event.__new__(Event)
+            event.sim = self.sim
+            event.callbacks = [
+                lambda e: self.world.proc(msg.dst_rank).lib.deliver(e._value)]
             event._value = msg
+            event._exc = None
+            event._triggered = True
+            event._processed = False
             self.sim._enqueue(event, delay, priority=1)
-            event.add_callback(
-                lambda e: self.world.proc(msg.dst_rank).lib.deliver(e._value))
         elif self.transport is not None:
             # Reliable transport: sequence + checksum the message, track
             # it for ACK/retransmission, then hand it to the fabric.
@@ -245,12 +256,21 @@ class MpiLibrary:
         if entry is None:
             return  # parked in the unexpected queue
         if msg.kind is MessageKind.EAGER:
-            self._complete_recv(entry, msg)
+            self._complete_recv(entry, msg, _inline=True)
         else:  # RNDV_RTS matched by a pre-posted receive
             self._send_cts(vci, entry, msg)
 
-    def _complete_recv(self, entry: PostedRecv, msg: WireMessage) -> None:
-        """Copy an eager/rendezvous-data payload and complete the recv."""
+    def _complete_recv(self, entry: PostedRecv, msg: WireMessage, *,
+                       _inline: bool = False) -> None:
+        """Copy an eager/rendezvous-data payload and complete the recv.
+
+        ``_inline=True`` dispatches the request's completion synchronously
+        (see :meth:`Request._complete_inline`); callers must be the last
+        action of the current event dispatch. The rendezvous-DATA arrival
+        path must NOT use it: the reliable transport can flush several
+        buffered arrivals back-to-back in one dispatch, and inlining would
+        resume the first waiter before the later messages are delivered.
+        """
         payload = msg.payload
         recv_bytes = entry.count * entry.buf.dtype.itemsize
         if msg.size > recv_bytes:
@@ -267,8 +287,11 @@ class MpiLibrary:
         vci = self.vci_pool.get(msg.dst_vci)
         vci.recvs += 1
         self.recvs_completed += 1
-        entry.req.complete(source=msg.meta.get("src_addr", msg.src_rank),
-                           tag=msg.tag, count=count)
+        source = msg.meta.get("src_addr", msg.src_rank)
+        if _inline:
+            entry.req._complete_inline(source, msg.tag, count)
+        else:
+            entry.req.complete(source=source, tag=msg.tag, count=count)
 
     # -- rendezvous ------------------------------------------------------
     def _send_cts(self, vci: Vci, entry: PostedRecv, rts: WireMessage) -> None:
@@ -305,12 +328,8 @@ class MpiLibrary:
         )
         depart = self.issue_async(vci, data)
         # The send request completes locally once the payload has left.
-        req: Request = state["req"]
-        done = Event(self.sim)
-        done._triggered = True
-        self.sim._enqueue(done, depart - self.sim.now, priority=1)
-        done.add_callback(lambda e: req.complete(
-            source=state["dst_addr"], tag=state["tag"], count=state["count"]))
+        self.complete_at(state["req"], depart, source=state["dst_addr"],
+                         tag=state["tag"], count=state["count"])
 
     def _on_rndv_data(self, msg: WireMessage) -> None:
         """Receiver side: rendezvous payload arrived — no matching needed."""
@@ -333,9 +352,25 @@ class MpiLibrary:
 
     def complete_at(self, req: Request, when: float, *, source: int,
                     tag: int, count: int) -> None:
-        """Complete ``req`` at absolute time ``when`` (>= now)."""
-        done = Event(self.sim)
+        """Complete ``req`` at absolute time ``when`` (>= now).
+
+        Schedules the request's ``_done`` event itself at ``when`` instead
+        of an intermediate shell event whose callback triggers ``_done``
+        as a second (urgent, same-time) heap entry. Nothing can interpose
+        between a shell and the urgent completion it enqueues, so merging
+        the two preserves the processing order of every other event — only
+        the host-side event count changes, never simulated timings. The
+        request is finalized (``_completed`` set) by the first callback,
+        before any waiter resumes.
+        """
+        if req._completed or req._done._triggered:
+            raise MpiUsageError(f"request {req.rid} completed twice")
+        status = req.status
+        status.source = source
+        status.tag = tag
+        status.count = count
+        done = req._done
         done._triggered = True
+        done._value = status
+        done.callbacks.insert(0, req._finalize)
         self.sim._enqueue(done, max(0.0, when - self.sim.now), priority=1)
-        done.add_callback(lambda e: req.complete(source=source, tag=tag,
-                                                 count=count))

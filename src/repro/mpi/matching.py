@@ -22,13 +22,31 @@ which implements MPI's non-overtaking matching order. The
 changes which *channels* operations may be spread over (see
 :mod:`repro.mpi.vci`), because once traffic is spread over independent
 channels arrival order between them is unconstrained.
+
+Simulated cost vs host cost
+---------------------------
+
+The O(n) scan is a *modelled* cost: the cost model charges
+``match_per_element`` per element the linear scan would visit, and
+``total_scans``/the ``match.scan`` histograms record exactly those counts.
+Paying that O(n) a second time as real Python iteration on the host is
+pure overhead, so :class:`MatchingEngine` is an **indexed** engine: hash
+buckets keyed on ``(context_id, dst_addr, source, tag)`` (with side
+buckets for the ``ANY_SOURCE``/``ANY_TAG`` wildcard combinations) find the
+earliest candidate in O(1)-ish host time, and the ``scanned`` count the
+linear scan *would* have produced is recovered analytically from the
+position of the matched element's sequence number among the live queue —
+so every simulated timing, ``total_scans`` and histogram is byte-identical
+to the reference :class:`LinearMatchingEngine` kept below (the property
+tests assert this under randomized interleavings; see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
 
-import itertools
+from bisect import bisect_left, bisect_right
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -36,18 +54,34 @@ import numpy as np
 from ..netsim.message import WireMessage
 from .request import Request
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "PostedRecv", "MatchingEngine"]
+__all__ = ["ANY_SOURCE", "ANY_TAG", "PostedRecv", "MatchingEngine",
+           "LinearMatchingEngine", "key_matches"]
 
 #: Wildcards (MPI_ANY_SOURCE / MPI_ANY_TAG).
 ANY_SOURCE = -1
 ANY_TAG = -1
 
-_post_seq = itertools.count()
+
+def key_matches(context_id: int, source: int, tag: int, dst_addr: int,
+                msg: WireMessage) -> bool:
+    """The matching predicate, without a throwaway :class:`PostedRecv`."""
+    meta = msg.meta
+    return (msg.context_id == context_id
+            and meta.get("dst_addr", msg.dst_rank) == dst_addr
+            and (source == ANY_SOURCE
+                 or source == meta.get("src_addr", msg.src_rank))
+            and (tag == ANY_TAG or tag == msg.tag))
 
 
 @dataclass
 class PostedRecv:
-    """One posted receive awaiting a message."""
+    """One posted receive awaiting a message.
+
+    ``seq`` is the receive's position in its engine's posted stream; it is
+    assigned by the engine when the receive is appended to the posted
+    queue (engines number their queues independently, so unrelated Worlds
+    in one host process never interleave sequence numbers).
+    """
 
     req: Request
     buf: np.ndarray
@@ -56,34 +90,22 @@ class PostedRecv:
     source: int
     tag: int
     dst_addr: int
-    seq: int = field(default_factory=lambda: next(_post_seq))
+    seq: int = -1
 
     def matches(self, msg: WireMessage) -> bool:
-        return (msg.context_id == self.context_id
-                and msg.meta.get("dst_addr", msg.dst_rank) == self.dst_addr
-                and (self.source == ANY_SOURCE
-                     or self.source == msg.meta.get("src_addr", msg.src_rank))
-                and (self.tag == ANY_TAG or self.tag == msg.tag))
+        return key_matches(self.context_id, self.source, self.tag,
+                           self.dst_addr, msg)
 
 
-class MatchingEngine:
-    """Posted-receive and unexpected-message queues for one channel.
+class _EngineBase:
+    """Counters, depth high-water marks and metric handles shared by the
+    indexed engine and the linear reference engine."""
 
-    When constructed with a :class:`repro.obs.MetricsRegistry`, every
-    match records its scan length and the queue depth it left behind —
-    the per-match observability of the O(n) serial-matching cost
-    (Section II-C); ``labels`` (typically ``rank``/``vci``) tag the
-    series.
-    """
-
-    __slots__ = ("posted", "unexpected", "max_posted_depth",
-                 "max_unexpected_depth", "total_scans",
+    __slots__ = ("max_posted_depth", "max_unexpected_depth", "total_scans",
                  "_h_scan_posted", "_h_scan_unexpected",
                  "_h_posted_depth", "_h_unexpected_depth")
 
     def __init__(self, metrics=None, labels: Optional[dict] = None):
-        self.posted: deque[PostedRecv] = deque()
-        self.unexpected: deque[WireMessage] = deque()
         self.max_posted_depth = 0
         self.max_unexpected_depth = 0
         #: Total queue elements scanned over the engine's lifetime — the
@@ -107,15 +129,376 @@ class MatchingEngine:
             self._h_posted_depth = None
             self._h_unexpected_depth = None
 
+
+# Bucket-record field indices: a record is the mutable triple
+# ``[seq, item, alive]`` shared by every bucket that indexes the item.
+_SEQ, _ITEM, _ALIVE = 0, 1, 2
+
+
+def _live_head(bucket: Optional[deque]) -> Optional[list]:
+    """Drop dead records off the bucket head; return the live head."""
+    if not bucket:
+        return None
+    while bucket:
+        rec = bucket[0]
+        if rec[_ALIVE]:
+            return rec
+        bucket.popleft()
+    return None
+
+
+class MatchingEngine(_EngineBase):
+    """Posted-receive and unexpected-message queues for one channel.
+
+    When constructed with a :class:`repro.obs.MetricsRegistry`, every
+    match records its scan length and the queue depth it left behind —
+    the per-match observability of the O(n) serial-matching cost
+    (Section II-C); ``labels`` (typically ``rank``/``vci``) tag the
+    series.
+
+    Host-side lookups are O(1)-ish hash-bucket operations; the reported
+    ``scanned`` counts are exactly those of a linear scan-until-match
+    (see the module docstring). Wildcard side-indexes for the unexpected
+    queue are built lazily on the first wildcard lookup, so engines that
+    never see a wildcard maintain a single bucket per message; live
+    wildcard-receive counters let arrivals skip the wildcard posted
+    buckets entirely when none are pending.
+    """
+
+    __slots__ = ("_po_seq", "_po_seqs", "_po_buckets", "_po_by_req",
+                 "_po_dead", "_po_w_src", "_po_w_tag", "_po_w_both",
+                 "_ux_seq", "_ux_seqs", "_ux_full", "_ux_by_src",
+                 "_ux_by_tag", "_ux_any", "_ux_wild", "_ux_dead")
+
+    def __init__(self, metrics=None, labels: Optional[dict] = None):
+        super().__init__(metrics, labels)
+        # -- posted-receive queue ------------------------------------------
+        self._po_seq = 0
+        #: Live sequence numbers in ascending order — the FIFO order of the
+        #: queue and the order-statistics structure behind the analytic
+        #: scan counts (appends are monotonic, so the list stays sorted).
+        self._po_seqs: list[int] = []
+        #: (context, dst_addr, source, tag) -> deque of records; wildcard
+        #: receives live under their literal ANY_* key, so an incoming
+        #: message has at most four candidate buckets.
+        self._po_buckets: dict[tuple, deque] = {}
+        self._po_by_req: dict[Request, list] = {}
+        self._po_dead = 0
+        #: Live posted receives per wildcard class; arrivals only consult
+        #: a wildcard bucket when its class has live entries.
+        self._po_w_src = 0   # ANY_SOURCE, concrete tag
+        self._po_w_tag = 0   # concrete source, ANY_TAG
+        self._po_w_both = 0  # ANY_SOURCE and ANY_TAG
+        # -- unexpected-message queue --------------------------------------
+        self._ux_seq = 0
+        self._ux_seqs: list[int] = []
+        #: Concrete key -> records; the wildcard side-indexes below are
+        #: only populated once a wildcard pattern has been looked up.
+        self._ux_full: dict[tuple, deque] = {}
+        self._ux_by_src: dict[tuple, deque] = {}
+        self._ux_by_tag: dict[tuple, deque] = {}
+        self._ux_any: dict[tuple, deque] = {}
+        self._ux_wild = False
+        self._ux_dead = 0
+
+    # -- bucket plumbing ---------------------------------------------------
+    def _enable_ux_wild(self) -> None:
+        """First wildcard lookup: build the side-indexes from the full
+        buckets; they are maintained incrementally from here on."""
+        self._ux_wild = True
+        live = []
+        for bucket in self._ux_full.values():
+            live.extend(rec for rec in bucket if rec[_ALIVE])
+        live.sort(key=lambda rec: rec[_SEQ])
+        for rec in live:
+            self._index_ux_wild(rec)
+
+    def _index_ux_wild(self, rec: list) -> None:
+        msg = rec[_ITEM]
+        meta = msg.meta
+        ctx = msg.context_id
+        dst = meta.get("dst_addr", msg.dst_rank)
+        src = meta.get("src_addr", msg.src_rank)
+        for index, key in ((self._ux_by_src, (ctx, dst, src)),
+                           (self._ux_by_tag, (ctx, dst, msg.tag)),
+                           (self._ux_any, (ctx, dst))):
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = bucket = deque()
+            bucket.append(rec)
+
+    def _find_unexpected(self, context_id: int, source: int, tag: int,
+                         dst_addr: int) -> Optional[list]:
+        """Earliest live unexpected record matching the pattern."""
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            return _live_head(self._ux_full.get((context_id, dst_addr,
+                                                 source, tag)))
+        if not self._ux_wild:
+            self._enable_ux_wild()
+        if source != ANY_SOURCE:
+            bucket = self._ux_by_src.get((context_id, dst_addr, source))
+        elif tag != ANY_TAG:
+            bucket = self._ux_by_tag.get((context_id, dst_addr, tag))
+        else:
+            bucket = self._ux_any.get((context_id, dst_addr))
+        return _live_head(bucket)
+
+    def _remove_unexpected(self, rec: list) -> None:
+        rec[_ALIVE] = False
+        seqs = self._ux_seqs
+        seqs.pop(bisect_left(seqs, rec[_SEQ]))
+        self._ux_dead += 1
+        if self._ux_dead > len(seqs) + 64:
+            self._compact_unexpected()
+
+    def _compact_unexpected(self) -> None:
+        """Rebuild the unexpected buckets without dead records (removals
+        are lazy tombstones; this bounds their accumulation)."""
+        live = []
+        for bucket in self._ux_full.values():
+            live.extend(rec for rec in bucket if rec[_ALIVE])
+        live.sort(key=lambda rec: rec[_SEQ])
+        self._ux_full = {}
+        self._ux_by_src = {}
+        self._ux_by_tag = {}
+        self._ux_any = {}
+        self._ux_dead = 0
+        for rec in live:
+            self._index_unexpected(rec)
+
+    def _index_unexpected(self, rec: list) -> None:
+        msg = rec[_ITEM]
+        meta = msg.meta
+        key = (msg.context_id, meta.get("dst_addr", msg.dst_rank),
+               meta.get("src_addr", msg.src_rank), msg.tag)
+        bucket = self._ux_full.get(key)
+        if bucket is None:
+            self._ux_full[key] = bucket = deque()
+        bucket.append(rec)
+        if self._ux_wild:
+            self._index_ux_wild(rec)
+
+    def _find_posted(self, msg: WireMessage) -> Optional[list]:
+        """Earliest live posted receive matching a concrete message: the
+        minimum-seq live head over the (up to four) candidate buckets."""
+        meta = msg.meta
+        ctx = msg.context_id
+        dst = meta.get("dst_addr", msg.dst_rank)
+        src = meta.get("src_addr", msg.src_rank)
+        tag = msg.tag
+        buckets = self._po_buckets
+        best = _live_head(buckets.get((ctx, dst, src, tag)))
+        if self._po_w_tag:
+            rec = _live_head(buckets.get((ctx, dst, src, ANY_TAG)))
+            if rec is not None and (best is None or rec[_SEQ] < best[_SEQ]):
+                best = rec
+        if self._po_w_src:
+            rec = _live_head(buckets.get((ctx, dst, ANY_SOURCE, tag)))
+            if rec is not None and (best is None or rec[_SEQ] < best[_SEQ]):
+                best = rec
+        if self._po_w_both:
+            rec = _live_head(buckets.get((ctx, dst, ANY_SOURCE, ANY_TAG)))
+            if rec is not None and (best is None or rec[_SEQ] < best[_SEQ]):
+                best = rec
+        return best
+
+    def _uncount_posted(self, entry: PostedRecv) -> None:
+        if entry.source == ANY_SOURCE:
+            if entry.tag == ANY_TAG:
+                self._po_w_both -= 1
+            else:
+                self._po_w_src -= 1
+        elif entry.tag == ANY_TAG:
+            self._po_w_tag -= 1
+
+    def _remove_posted(self, rec: list) -> None:
+        rec[_ALIVE] = False
+        seqs = self._po_seqs
+        seqs.pop(bisect_left(seqs, rec[_SEQ]))
+        entry = rec[_ITEM]
+        self._uncount_posted(entry)
+        if entry.req is not None:
+            self._po_by_req.pop(entry.req, None)
+        self._po_dead += 1
+        if self._po_dead > len(seqs) + 64:
+            self._compact_posted()
+
+    def _compact_posted(self) -> None:
+        buckets = {}
+        for key, bucket in self._po_buckets.items():
+            live = deque(rec for rec in bucket if rec[_ALIVE])
+            if live:
+                buckets[key] = live
+        self._po_buckets = buckets
+        self._po_dead = 0
+
     # -- receive side ------------------------------------------------------
     def post_recv(self, entry: PostedRecv) -> tuple[Optional[WireMessage], int]:
         """Try to match ``entry`` against the unexpected queue.
 
         Returns ``(message, scanned)``: the matched (and removed) message
         or None — in which case the receive has been appended to the posted
-        queue — plus the number of queue elements scanned (for the cost
-        model).
+        queue — plus the number of queue elements the linear scan would
+        have visited (for the cost model).
         """
+        rec = self._find_unexpected(entry.context_id, entry.source,
+                                    entry.tag, entry.dst_addr)
+        if rec is not None:
+            scanned = bisect_right(self._ux_seqs, rec[_SEQ])
+            self._remove_unexpected(rec)
+            self.total_scans += scanned
+            if self._h_scan_unexpected is not None:
+                self._h_scan_unexpected.observe(scanned)
+                self._h_unexpected_depth.observe(len(self._ux_seqs))
+            return rec[_ITEM], scanned
+        scanned = len(self._ux_seqs)
+        entry.seq = seq = self._po_seq
+        self._po_seq = seq + 1
+        posted_rec = [seq, entry, True]
+        key = (entry.context_id, entry.dst_addr, entry.source, entry.tag)
+        bucket = self._po_buckets.get(key)
+        if bucket is None:
+            self._po_buckets[key] = bucket = deque()
+        bucket.append(posted_rec)
+        self._po_seqs.append(seq)
+        if entry.source == ANY_SOURCE:
+            if entry.tag == ANY_TAG:
+                self._po_w_both += 1
+            else:
+                self._po_w_src += 1
+        elif entry.tag == ANY_TAG:
+            self._po_w_tag += 1
+        if entry.req is not None:
+            self._po_by_req[entry.req] = posted_rec
+        depth = len(self._po_seqs)
+        if depth > self.max_posted_depth:
+            self.max_posted_depth = depth
+        self.total_scans += scanned
+        if self._h_scan_unexpected is not None:
+            self._h_scan_unexpected.observe(scanned)
+            self._h_posted_depth.observe(depth)
+        return None, scanned
+
+    def probe(self, context_id: int, source: int, tag: int,
+              dst_addr: int) -> tuple[Optional[WireMessage], int]:
+        """Non-destructive unexpected-queue search (MPI_Iprobe)."""
+        rec = self._find_unexpected(context_id, source, tag, dst_addr)
+        if rec is not None:
+            scanned = bisect_right(self._ux_seqs, rec[_SEQ])
+            self.total_scans += scanned
+            return rec[_ITEM], scanned
+        scanned = len(self._ux_seqs)
+        self.total_scans += scanned
+        return None, scanned
+
+    def claim_unexpected(self, context_id: int, source: int, tag: int,
+                         dst_addr: int) -> tuple[Optional[WireMessage], int]:
+        """Destructive probe (MPI_Improbe): atomically remove and return
+        the earliest matching unexpected message."""
+        rec = self._find_unexpected(context_id, source, tag, dst_addr)
+        if rec is not None:
+            scanned = bisect_right(self._ux_seqs, rec[_SEQ])
+            self._remove_unexpected(rec)
+            self.total_scans += scanned
+            return rec[_ITEM], scanned
+        scanned = len(self._ux_seqs)
+        self.total_scans += scanned
+        return None, scanned
+
+    def scan_cost_unexpected(self, context_id: int, source: int, tag: int,
+                             dst_addr: int) -> int:
+        """Elements a matching scan of the unexpected queue would visit
+        (scan-until-match, or the whole queue on a miss) — used by the
+        cost model without mutating the queues."""
+        rec = self._find_unexpected(context_id, source, tag, dst_addr)
+        if rec is not None:
+            return bisect_right(self._ux_seqs, rec[_SEQ])
+        return len(self._ux_seqs)
+
+    def scan_cost_posted(self, msg: WireMessage) -> int:
+        """Elements a matching scan of the posted queue would visit."""
+        rec = self._find_posted(msg)
+        if rec is not None:
+            return bisect_right(self._po_seqs, rec[_SEQ])
+        return len(self._po_seqs)
+
+    # -- arrival side --------------------------------------------------------
+    def incoming(self, msg: WireMessage) -> tuple[Optional[PostedRecv], int]:
+        """Try to match an arriving message against the posted queue.
+
+        Returns ``(posted_recv, scanned)``; when no receive matches, the
+        message has been appended to the unexpected queue.
+        """
+        rec = self._find_posted(msg)
+        if rec is not None:
+            scanned = bisect_right(self._po_seqs, rec[_SEQ])
+            self._remove_posted(rec)
+            self.total_scans += scanned
+            if self._h_scan_posted is not None:
+                self._h_scan_posted.observe(scanned)
+                self._h_posted_depth.observe(len(self._po_seqs))
+            return rec[_ITEM], scanned
+        scanned = len(self._po_seqs)
+        seq = self._ux_seq
+        self._ux_seq = seq + 1
+        ux_rec = [seq, msg, True]
+        self._index_unexpected(ux_rec)
+        self._ux_seqs.append(seq)
+        depth = len(self._ux_seqs)
+        if depth > self.max_unexpected_depth:
+            self.max_unexpected_depth = depth
+        self.total_scans += scanned
+        if self._h_scan_posted is not None:
+            self._h_scan_posted.observe(scanned)
+            self._h_unexpected_depth.observe(depth)
+        return None, scanned
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def posted_depth(self) -> int:
+        return len(self._po_seqs)
+
+    @property
+    def unexpected_depth(self) -> int:
+        return len(self._ux_seqs)
+
+    def cancel_posted(self, req: Request) -> bool:
+        """Remove a posted receive by request (MPI_Cancel, simplified).
+
+        O(1) through the request index — ``del queue[i]`` on a deque is
+        O(n) and cancel storms are exactly when queues are deep."""
+        rec = self._po_by_req.pop(req, None)
+        if rec is None or not rec[_ALIVE]:
+            return False
+        rec[_ALIVE] = False
+        seqs = self._po_seqs
+        seqs.pop(bisect_left(seqs, rec[_SEQ]))
+        self._uncount_posted(rec[_ITEM])
+        self._po_dead += 1
+        if self._po_dead > len(seqs) + 64:
+            self._compact_posted()
+        return True
+
+
+class LinearMatchingEngine(_EngineBase):
+    """The reference O(n) engine: plain deques and scan-until-match.
+
+    Host-side cost equals the modelled cost — every lookup really walks
+    the queue. Kept as the behavioural reference for the indexed engine
+    (the equivalence property tests drive both through identical
+    interleavings) and for host-cost ablations.
+    """
+
+    __slots__ = ("posted", "unexpected", "_po_seq")
+
+    def __init__(self, metrics=None, labels: Optional[dict] = None):
+        super().__init__(metrics, labels)
+        self.posted: deque[PostedRecv] = deque()
+        self.unexpected: deque[WireMessage] = deque()
+        self._po_seq = 0
+
+    # -- receive side ------------------------------------------------------
+    def post_recv(self, entry: PostedRecv) -> tuple[Optional[WireMessage], int]:
         scanned = 0
         for i, msg in enumerate(self.unexpected):
             scanned += 1
@@ -126,6 +509,8 @@ class MatchingEngine:
                     self._h_scan_unexpected.observe(scanned)
                     self._h_unexpected_depth.observe(len(self.unexpected))
                 return msg, scanned
+        entry.seq = self._po_seq
+        self._po_seq += 1
         self.posted.append(entry)
         self.max_posted_depth = max(self.max_posted_depth, len(self.posted))
         self.total_scans += scanned
@@ -136,14 +521,22 @@ class MatchingEngine:
 
     def probe(self, context_id: int, source: int, tag: int,
               dst_addr: int) -> tuple[Optional[WireMessage], int]:
-        """Non-destructive unexpected-queue search (MPI_Iprobe)."""
-        probe_entry = PostedRecv(req=None, buf=None, count=0,
-                                 context_id=context_id, source=source,
-                                 tag=tag, dst_addr=dst_addr)
         scanned = 0
         for msg in self.unexpected:
             scanned += 1
-            if probe_entry.matches(msg):
+            if key_matches(context_id, source, tag, dst_addr, msg):
+                self.total_scans += scanned
+                return msg, scanned
+        self.total_scans += scanned
+        return None, scanned
+
+    def claim_unexpected(self, context_id: int, source: int, tag: int,
+                         dst_addr: int) -> tuple[Optional[WireMessage], int]:
+        scanned = 0
+        for i, msg in enumerate(self.unexpected):
+            scanned += 1
+            if key_matches(context_id, source, tag, dst_addr, msg):
+                del self.unexpected[i]
                 self.total_scans += scanned
                 return msg, scanned
         self.total_scans += scanned
@@ -151,21 +544,14 @@ class MatchingEngine:
 
     def scan_cost_unexpected(self, context_id: int, source: int, tag: int,
                              dst_addr: int) -> int:
-        """Elements a matching scan of the unexpected queue would visit
-        (scan-until-match, or the whole queue on a miss) — used by the
-        cost model without mutating the queues."""
-        probe_entry = PostedRecv(req=None, buf=None, count=0,
-                                 context_id=context_id, source=source,
-                                 tag=tag, dst_addr=dst_addr)
         scanned = 0
         for msg in self.unexpected:
             scanned += 1
-            if probe_entry.matches(msg):
+            if key_matches(context_id, source, tag, dst_addr, msg):
                 return scanned
         return scanned
 
     def scan_cost_posted(self, msg: WireMessage) -> int:
-        """Elements a matching scan of the posted queue would visit."""
         scanned = 0
         for entry in self.posted:
             scanned += 1
@@ -175,11 +561,6 @@ class MatchingEngine:
 
     # -- arrival side --------------------------------------------------------
     def incoming(self, msg: WireMessage) -> tuple[Optional[PostedRecv], int]:
-        """Try to match an arriving message against the posted queue.
-
-        Returns ``(posted_recv, scanned)``; when no receive matches, the
-        message has been appended to the unexpected queue.
-        """
         scanned = 0
         for i, entry in enumerate(self.posted):
             scanned += 1
@@ -209,7 +590,6 @@ class MatchingEngine:
         return len(self.unexpected)
 
     def cancel_posted(self, req: Request) -> bool:
-        """Remove a posted receive by request (MPI_Cancel, simplified)."""
         for i, entry in enumerate(self.posted):
             if entry.req is req:
                 del self.posted[i]

@@ -41,7 +41,16 @@ class Request:
         self.sim = sim
         self.kind = kind
         self.rid = next(_req_ids)
-        self._done: Event = sim.event()
+        # Hand-built pending Event: requests are the hot path's dominant
+        # allocation after timeouts, and the shell needs no __init__ logic.
+        done = Event.__new__(Event)
+        done.sim = sim
+        done.callbacks = []
+        done._value = None
+        done._exc = None
+        done._triggered = False
+        done._processed = False
+        self._done: Event = done
         self.status = Status()
         self._completed = False
         #: Scratch slot for library internals (e.g. matching bookkeeping).
@@ -60,6 +69,34 @@ class Request:
         self.status.tag = tag
         self.status.count = count
         self._done.succeed(self.status)
+
+    def _complete_inline(self, source: int, tag: int, count: int) -> None:
+        """Like :meth:`complete`, but processes ``_done`` synchronously
+        instead of via a same-time urgent heap event.
+
+        Only valid when the caller is the last action of the current event
+        dispatch (nothing else runs between it and the urgent completion
+        event the normal path would enqueue), so the waiters' resume point
+        in the global event order is identical either way. The eager
+        receive-completion path qualifies; see ``MpiLibrary._complete_recv``.
+        """
+        if self._completed:
+            raise MpiUsageError(f"request {self.rid} completed twice")
+        self._completed = True
+        status = self.status
+        status.source = source
+        status.tag = tag
+        status.count = count
+        done = self._done
+        done._triggered = True
+        done._value = status
+        done._process()
+
+    def _finalize(self, event: Event) -> None:
+        """First callback of a pre-scheduled completion (see
+        ``MpiLibrary.complete_at``): mark the request complete at the
+        moment the ``_done`` event processes, before waiters resume."""
+        self._completed = True
 
     def complete_with_error(self, exc: BaseException) -> None:
         if self._completed:

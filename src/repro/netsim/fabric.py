@@ -120,11 +120,15 @@ class Fabric:
             h = self._h_ingress.get(msg.dst_node)
             if h is not None:
                 h.observe(queued)
-        event = Event(self.sim)
-        event._triggered = True
+        # Hand-built pre-triggered event (one per wire message — hot path).
+        event = Event.__new__(Event)
+        event.sim = self.sim
+        event.callbacks = [self._on_arrival]
         event._value = msg
+        event._exc = None
+        event._triggered = True
+        event._processed = False
         self.sim._enqueue(event, arrival - self.sim.now, priority=1)
-        event.add_callback(self._on_arrival)
 
     def _on_arrival(self, event: Event) -> None:
         msg: WireMessage = event._value

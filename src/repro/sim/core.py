@@ -21,7 +21,9 @@ exact.
 
 from __future__ import annotations
 
+import gc
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -125,8 +127,12 @@ class Event:
         self._processed = True
         callbacks, self.callbacks = self.callbacks, None
         if callbacks:
-            for fn in callbacks:
-                fn(self)
+            # Most events have exactly one waiter; skip the loop setup.
+            if len(callbacks) == 1:
+                callbacks[0](self)
+            else:
+                for fn in callbacks:
+                    fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self._processed else (
@@ -157,7 +163,7 @@ class Process(Event):
     processes can ``yield`` other processes to join them.
     """
 
-    __slots__ = ("gen", "name", "_waiting_on")
+    __slots__ = ("gen", "name", "_waiting_on", "_pid")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         if not hasattr(gen, "send"):
@@ -168,15 +174,35 @@ class Process(Event):
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        sim._processes.append(self)
+        self._pid = sim._next_pid
+        sim._next_pid += 1
+        sim._processes[self._pid] = self
         # Bootstrap: start the generator at the current simulation time.
-        bootstrap = Event(sim)
-        bootstrap.succeed(priority=PRIORITY_NORMAL)
-        bootstrap.add_callback(self._resume)
+        # Built by hand (a pre-triggered bare Event carrying the resume
+        # callback) to keep spawn off the succeed/add_callback slow path.
+        bootstrap = Event.__new__(Event)
+        bootstrap.sim = sim
+        bootstrap.callbacks = [self._resume]
+        bootstrap._value = None
+        bootstrap._exc = None
+        bootstrap._triggered = True
+        bootstrap._processed = False
+        sim._enqueue(bootstrap, 0.0, PRIORITY_NORMAL)
 
     @property
     def is_alive(self) -> bool:
         return not self._triggered
+
+    # Completed processes are dropped from the simulator's task table (the
+    # deadlock report only needs live tasks; retaining every process ever
+    # spawned leaks memory over long sweeps).
+    def succeed(self, value: Any = None, priority: int = PRIORITY_URGENT) -> "Event":
+        self.sim._processes.pop(self._pid, None)
+        return super().succeed(value, priority)
+
+    def fail(self, exc: BaseException, priority: int = PRIORITY_URGENT) -> "Event":
+        self.sim._processes.pop(self._pid, None)
+        return super().fail(exc, priority)
 
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
@@ -205,7 +231,10 @@ class Process(Event):
                 "only yield Event instances from their own simulator"))
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        if target._processed:
+            self._resume(target)
+        else:
+            target.callbacks.append(self._resume)
 
 
 class AllOf(Event):
@@ -268,14 +297,21 @@ class AnyOf(Event):
 class Simulator:
     """The discrete-event loop: clock + scheduled-event heap."""
 
+    #: Maximum number of dead Timeout shells kept for reuse.
+    _POOL_MAX = 1024
+
     def __init__(self):
         self._now = 0.0
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.steps = 0
-        #: Every Process ever spawned (for deadlock diagnostics).
-        self._processes: list[Process] = []
+        #: Live processes by spawn id (for deadlock diagnostics); completed
+        #: processes remove themselves so long sweeps don't accumulate.
+        self._processes: dict[int, Process] = {}
+        self._next_pid = 0
+        #: Recycled Timeout shells (see :meth:`timeout` and :meth:`run`).
+        self._timeout_pool: list[Timeout] = []
         #: Extra report providers consulted when a deadlock is detected
         #: (see :meth:`add_diagnostic`).
         self._diagnostics: list[Callable[[], list[str]]] = []
@@ -294,6 +330,27 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Schedule a timeout — the kernel's dominant allocation.
+
+        Fast path: pop a recycled shell off the free-list (dead timeouts
+        are returned by the run loop once provably unreferenced) and
+        enqueue it directly, skipping ``Timeout.__init__``.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            t = pool.pop()
+            t.delay = delay
+            t._value = value
+            t._exc = None
+            t._triggered = True
+            t._processed = False
+            t.callbacks = []
+            self._seq += 1
+            heapq.heappush(self._heap,
+                           (self._now + delay, PRIORITY_NORMAL, self._seq, t))
+            return t
         return Timeout(self, delay, value)
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
@@ -324,7 +381,7 @@ class Simulator:
         """Build the deadlock diagnosis raised from :meth:`run`."""
         lines = ["simulation ran out of events before the awaited event "
                  "triggered (deadlock?)"]
-        blocked = [p for p in self._processes if p.is_alive]
+        blocked = [p for p in self._processes.values() if p.is_alive]
         if blocked:
             lines.append(f"blocked tasks ({len(blocked)}):")
             for p in blocked[:limit]:
@@ -369,23 +426,88 @@ class Simulator:
         runaway loops.
         """
         start_steps = self.steps
+        # The three loop variants below inline :meth:`step` — the heap pop,
+        # clock advance and callback dispatch are the kernel's innermost
+        # loop, and a method call per event is measurable across millions
+        # of events. Dead timeouts are recycled onto the free-list when the
+        # refcount proves nothing else holds them (exactly the pop'd local
+        # and the getrefcount argument), so pooling can never resurrect an
+        # event some process or user still watches.
+        #
+        # Cyclic GC is suspended for the duration of the loop: the kernel
+        # allocates one-or-more short-lived objects per event, and gen-0
+        # collections triggered mid-run cost real host time without freeing
+        # anything the free-list and refcounting don't already handle. This
+        # is purely a host-side optimization — collection timing can never
+        # affect simulated results. A collect() on exit reclaims the
+        # generator-frame cycles that completed processes leave behind.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(until, max_steps, start_steps)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+                gc.collect(0)
+
+    def _run(self, until: Optional[float | Event], max_steps: Optional[int],
+             start_steps: int) -> Any:
+        heap = self._heap
+        pop = heapq.heappop
+        pool = self._timeout_pool
+        pool_max = self._POOL_MAX
         if isinstance(until, Event):
             target = until
             while not target._processed:
-                if not self._heap:
+                if not heap:
                     raise SimulationError(self._deadlock_report())
                 if max_steps is not None and self.steps - start_steps >= max_steps:
                     raise SimulationError(f"exceeded max_steps={max_steps}")
-                self.step()
+                when, _prio, _seq, event = pop(heap)
+                if when < self._now:
+                    raise SimulationError("time went backwards")
+                self._now = when
+                self.steps += 1
+                event._processed = True
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for fn in callbacks:
+                            fn(event)
+                if type(event) is Timeout and len(pool) < pool_max \
+                        and getrefcount(event) == 2:
+                    event._value = None
+                    pool.append(event)
             return target.value
         if until is None:
-            while self._heap:
+            while heap:
                 if max_steps is not None and self.steps - start_steps >= max_steps:
                     raise SimulationError(f"exceeded max_steps={max_steps}")
-                self.step()
+                when, _prio, _seq, event = pop(heap)
+                if when < self._now:
+                    raise SimulationError("time went backwards")
+                self._now = when
+                self.steps += 1
+                event._processed = True
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for fn in callbacks:
+                            fn(event)
+                if type(event) is Timeout and len(pool) < pool_max \
+                        and getrefcount(event) == 2:
+                    event._value = None
+                    pool.append(event)
             return None
         horizon = float(until)
-        while self._heap and self._heap[0][0] <= horizon:
+        while heap and heap[0][0] <= horizon:
             if max_steps is not None and self.steps - start_steps >= max_steps:
                 raise SimulationError(f"exceeded max_steps={max_steps}")
             self.step()

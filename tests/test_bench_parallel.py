@@ -1,0 +1,85 @@
+"""The parallel sweep executor: identical results serial vs fanned out.
+
+Sweep points are independent simulations, so the executor may only change
+host wall-clock — never results or their order (see docs/performance.md).
+"""
+
+import pytest
+
+from repro.bench import (MsgRateConfig, Sweep, default_jobs, run_points,
+                        run_msgrate, scaling_run)
+
+
+def _square(x, offset=0):
+    return x * x + offset
+
+
+def _square_row(x, offset=0):
+    return {"y": x * x + offset}
+
+
+def _rate(mode, cores):
+    r = run_msgrate(MsgRateConfig(mode=mode, cores=cores, msgs_per_core=8))
+    return r.rate
+
+
+POINTS = [{"x": i, "offset": i % 3} for i in range(17)]
+
+
+def test_run_points_serial_order():
+    assert run_points(_square, POINTS, jobs=1) == \
+        [p["x"] ** 2 + p["offset"] for p in POINTS]
+
+
+def test_run_points_parallel_matches_serial():
+    serial = run_points(_square, POINTS, jobs=1)
+    for jobs in (2, 4):
+        assert run_points(_square, POINTS, jobs=jobs) == serial
+
+
+def test_parallel_simulation_results_identical():
+    """Full simulator runs fanned across workers return bit-identical
+    rates in point order."""
+    points = [{"mode": m, "cores": c}
+              for m in ("everywhere", "threads-original")
+              for c in (1, 4)]
+    serial = run_points(_rate, points, jobs=1)
+    fanned = run_points(_rate, points, jobs=2)
+    assert [repr(r) for r in fanned] == [repr(r) for r in serial]
+
+
+def test_sweep_run_jobs_matches_serial():
+    sweep = Sweep(name="t", params={"x": [1, 2, 3], "offset": [0, 1]})
+    rows_a = sweep.run(_square_row)
+    rows_b = sweep.run(_square_row, jobs=2)
+    assert [(r.params, r.outputs) for r in rows_a] == \
+        [(r.params, r.outputs) for r in rows_b]
+    assert rows_a[0].outputs == {"y": 1}
+
+
+def test_default_jobs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "4")
+    assert default_jobs() == 4
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
+    assert default_jobs() == 1  # clamped
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "banana")
+    assert default_jobs() == 1  # malformed -> serial
+
+
+def test_progress_called_serially():
+    seen = []
+    run_points(_square, POINTS[:4], jobs=1, progress=seen.append)
+    assert seen == POINTS[:4]
+
+
+def test_scaling_run_times_each_worker_count():
+    walls = scaling_run(_square, POINTS[:4], jobs_list=(1, 2))
+    assert set(walls) == {1, 2}
+    assert all(w >= 0 for w in walls.values())
+
+
+def test_worker_exception_propagates():
+    with pytest.raises(TypeError):
+        run_points(_square, [{"x": "nope"}, {"x": 1}], jobs=2)

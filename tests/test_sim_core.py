@@ -331,3 +331,74 @@ def test_deterministic_step_count():
         return sim.steps, sim.now
 
     assert build() == build()
+
+
+def test_completed_processes_are_pruned():
+    """The process table must not grow with completed tasks (it is only
+    needed for deadlock reporting, which concerns *alive* processes)."""
+    sim = Simulator()
+
+    def task():
+        yield sim.timeout(1.0)
+
+    for _ in range(100):
+        sim.spawn(task())
+    assert len(sim._processes) == 100
+    sim.run()
+    assert len(sim._processes) == 0
+
+
+def test_deadlock_report_still_sees_alive_processes():
+    sim = Simulator()
+
+    def finishes():
+        yield sim.timeout(1.0)
+
+    def stuck():
+        yield Event(sim)  # never triggered
+
+    for _ in range(10):
+        sim.spawn(finishes())
+    target = sim.spawn(stuck())
+    sim.spawn(stuck())
+    with pytest.raises(SimulationError, match=r"blocked tasks \(2\)"):
+        sim.run(until=target)
+    assert len(sim._processes) == 2  # only the stuck ones remain
+
+
+def test_timeout_pool_recycles_events():
+    """Processed timeouts are recycled through the free list, and a
+    recycled timeout behaves like a fresh one."""
+    sim = Simulator()
+
+    def task():
+        for _ in range(50):
+            yield sim.timeout(0.25)
+
+    sim.spawn(task())
+    sim.run()
+    assert 0 < len(sim._timeout_pool) <= sim._POOL_MAX
+    t0 = sim.now
+
+    def again():
+        yield sim.timeout(2.0)
+
+    sim.spawn(again())
+    sim.run()
+    assert sim.now == pytest.approx(t0 + 2.0)
+
+
+def test_timeout_pool_not_poisoned_by_held_references():
+    """A timeout the user still references must not be recycled."""
+    sim = Simulator()
+    held = []
+
+    def task():
+        t = sim.timeout(1.0)
+        held.append(t)
+        yield t
+
+    sim.spawn(task())
+    sim.run()
+    assert held[0].triggered
+    assert all(ev is not held[0] for ev in sim._timeout_pool)
