@@ -11,6 +11,11 @@ writes ``benchmarks/results/BENCH_kernel.json`` with:
   the linear reference engine's throughput and the resulting speedup;
 - ``messages_per_sec`` — end-to-end simulated messages per host second
   through the full MPI + fabric stack (``run_msgrate``);
+- ``checker`` — the same workload with ``repro.check`` off vs on: the
+  off point must track ``messages_per_sec`` (disabled checker = one
+  ``is not None`` test on the hot paths), the on point prices the
+  hooks, and the simulated message rate is asserted identical both
+  ways (observer-only invariant);
 - ``fig1a_sweep`` — wall-clock of the full Fig 1(a) mode×cores sweep,
   serial and across ``--jobs`` worker processes.
 
@@ -139,6 +144,51 @@ def bench_messages(cores: int = 8, msgs_per_core: int = 256,
 
 
 # ---------------------------------------------------------------------------
+# checker overhead: host cost of repro.check, zero simulated-time cost
+# ---------------------------------------------------------------------------
+def bench_checker(cores: int = 8, msgs_per_core: int = 256,
+                  repeats: int = 3) -> dict:
+    """Host throughput of the message workload with the correctness
+    checker off vs on.
+
+    With the checker off the hot paths test a single ``is not None`` —
+    the off point must track ``messages_per_sec``. The on point measures
+    the real host cost of the vector-clock and semantics hooks. Either
+    way the *simulated* result must be byte-identical (observer-only
+    invariant); this benchmark asserts it on every repeat.
+    """
+    from repro.bench import MsgRateConfig, run_msgrate
+    from repro.check import CheckConfig, checking
+    from repro.netsim import NetworkConfig
+
+    cfg = MsgRateConfig(mode="threads-endpoints", cores=cores,
+                        msgs_per_core=msgs_per_core)
+    net = NetworkConfig.omnipath()
+
+    best_off = best_on = 0.0
+    rate_off = rate_on = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        r = run_msgrate(cfg, net=net)
+        best_off = max(best_off, r.messages / (time.perf_counter() - t0))
+        rate_off = r.rate
+
+        t0 = time.perf_counter()
+        with checking(CheckConfig(emit_warnings=False)) as session:
+            r = run_msgrate(cfg, net=net)
+        best_on = max(best_on, r.messages / (time.perf_counter() - t0))
+        rate_on = r.rate
+        assert session.report().clean, session.report().render()
+        # observer-only invariant: identical simulated message rate
+        assert rate_on == rate_off, (rate_on, rate_off)
+
+    return {"messages_per_sec_off": round(best_off),
+            "messages_per_sec_on": round(best_on),
+            "host_overhead": round(best_off / best_on, 2),
+            "simulated_rate_identical": rate_on == rate_off}
+
+
+# ---------------------------------------------------------------------------
 # fig1a sweep wall-clock, serial and fanned out
 # ---------------------------------------------------------------------------
 def _fig1a_point(mode: str, cores: int, msgs_per_core: int) -> float:
@@ -178,6 +228,8 @@ def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
                               repeats=2 if quick else 3)
     messages = bench_messages(msgs_per_core=256 // scale,
                               repeats=2 if quick else 3)
+    checker = bench_checker(msgs_per_core=256 // scale,
+                            repeats=2 if quick else 3)
     sweep = bench_fig1a_sweep(jobs_list=jobs_list,
                               msgs_per_core=64 // (scale if quick else 1))
     return {
@@ -188,6 +240,7 @@ def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
         "events_per_sec": round(events),
         "matching": matching,
         "messages_per_sec": round(messages),
+        "checker": checker,
         "fig1a_sweep": sweep,
     }
 
@@ -241,6 +294,8 @@ def test_kernel_microbench(benchmark, tmp_path):
     assert data["events_per_sec"] > 0
     assert data["matching"]["indexed_vs_linear"] > 1.0
     assert data["messages_per_sec"] > 0
+    assert data["checker"]["simulated_rate_identical"]
+    assert data["checker"]["messages_per_sec_on"] > 0
     benchmark.extra_info["events_per_sec"] = data["events_per_sec"]
     benchmark.pedantic(bench_events, kwargs={"timeouts_per_proc": 5_000,
                                              "repeats": 1},

@@ -86,6 +86,7 @@ class ContentionReport:
         return (b.sends + b.recvs) / total
 
     def render(self) -> str:
+        """Format the per-VCI contention table as aligned text."""
         lines = [f"{'rank':>4} {'vci':>4} {'sends':>7} {'recvs':>7} "
                  f"{'lockwait(us)':>13} {'contended':>10} {'scans':>7} "
                  f"{'ctx':>4} {'shared':>7}"]

@@ -30,6 +30,8 @@ __all__ = ["UsabilityReport", "stencil_usability", "render_usability"]
 
 @dataclass(frozen=True)
 class UsabilityReport:
+    """Programming-effort scorecard for one communication mechanism."""
+
     mechanism: str
     #: One-time setup API calls per process.
     setup_calls: int
@@ -115,6 +117,7 @@ def stencil_usability(geom: StencilGeometry) -> dict[str, UsabilityReport]:
 
 
 def render_usability(reports: dict[str, UsabilityReport]) -> str:
+    """Render the usability scorecards as one comparison table."""
     headers = ["mechanism", "setup", "hints", "impl-hints", "calls/exch",
                "extra-sync", "mirroring", "concepts"]
     lines = ["  ".join(f"{h:>11}" for h in headers)]

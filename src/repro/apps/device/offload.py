@@ -61,6 +61,8 @@ class DeviceParams:
 
 @dataclass
 class DeviceConfig:
+    """Parameters for the GPU-offload boundary-exchange proxy."""
+
     num_nodes: int = 2
     #: GPU thread blocks driving communication per node.
     blocks: int = 8
@@ -79,6 +81,8 @@ class DeviceConfig:
 
 @dataclass
 class DeviceResult:
+    """Timing and correctness summary of one device-proxy run."""
+
     cfg: DeviceConfig
     wall_time: float
     time_per_step: float
@@ -102,6 +106,7 @@ class _DeviceNode:
 
     # -- host-driven -------------------------------------------------------
     def run_host_driven(self) -> Generator:
+        """Classic offload: host launches a kernel, then communicates."""
         cfg, proc, p = self.cfg, self.proc, self.cfg.params
         n = cfg.blocks * cfg.count
         send_buf = np.zeros(n)
@@ -122,6 +127,7 @@ class _DeviceNode:
 
     # -- device-partitioned --------------------------------------------------
     def run_device_partitioned(self) -> Generator:
+        """Device blocks signal partition readiness; host sets up once."""
         cfg, proc, p = self.cfg, self.proc, self.cfg.params
         n = cfg.blocks * cfg.count
         send_buf = np.zeros(n)
@@ -157,11 +163,14 @@ class _DeviceNode:
                     yield proc.compute(p.device_trigger)
                 yield from barrier.wait()
                 if bid == 0:
-                    # control returns to the host: Wait + restart
+                    # control returns to the host: Wait + restart (no
+                    # restart after the last step — it would leave an
+                    # open cycle dangling at finalize)
                     yield proc.compute(p.host_sync)
                     yield from waitall_partitioned([psend, precv])
                     self.recv_sums.append(float(recv_buf[0]))
-                    yield from startall([psend, precv])
+                    if step + 1 < cfg.timesteps:
+                        yield from startall([psend, precv])
                     gate(step).open()
                 yield from gate(step).wait()
 
@@ -170,6 +179,7 @@ class _DeviceNode:
 
     # -- device full MPI -------------------------------------------------------
     def run_device_mpi(self) -> Generator:
+        """Persistent kernel whose thread blocks call MPI directly."""
         cfg, proc, p = self.cfg, self.proc, self.cfg.params
         comm = proc.comm_world
         barrier = Barrier(proc.sim, cfg.blocks)
@@ -202,6 +212,7 @@ class _DeviceNode:
 
 def run_device(cfg: DeviceConfig,
                net: Optional[NetworkConfig] = None) -> DeviceResult:
+    """Run the device-offload proxy under the chosen mechanism."""
     world = World(num_nodes=2, procs_per_node=1,
                   threads_per_proc=cfg.blocks,
                   cfg=net or NetworkConfig())

@@ -42,6 +42,8 @@ MECHANISMS = ("original", "tags", "communicators", "endpoints")
 
 @dataclass
 class GraphConfig:
+    """Parameters for the Vite-style graph community-detection proxy."""
+
     num_nodes: int = 4
     threads_per_proc: int = 4
     #: Vertices in the generated power-law graph.
@@ -65,6 +67,8 @@ class GraphConfig:
 
 @dataclass
 class GraphResult:
+    """Timing and message-volume summary of one graph-proxy run."""
+
     cfg: GraphConfig
     wall_time: float
     exchange_time: float
@@ -236,6 +240,7 @@ class _GraphNode:
 def run_graph(cfg: GraphConfig,
               net: Optional[NetworkConfig] = None,
               max_vcis_per_proc: int = 64) -> GraphResult:
+    """Run the graph proxy under the configured mechanism."""
     from ...sim.sync import Barrier
 
     graph, owners = partition_graph(cfg)

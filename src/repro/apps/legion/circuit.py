@@ -26,6 +26,7 @@ import numpy as np
 from ...errors import MpiUsageError
 from ...mpi import ANY_SOURCE, ANY_TAG
 from ...mpi.endpoints import comm_create_endpoints
+from ...mpi.info import Info
 from ...mpi.request import waitall
 from ...netsim.config import NetworkConfig
 from ...runtime.world import MpiProcess, World
@@ -38,6 +39,8 @@ MECHANISMS = ("original", "communicators", "endpoints")
 
 @dataclass
 class CircuitConfig:
+    """Parameters for the Legion circuit-simulation proxy."""
+
     num_nodes: int = 4
     task_threads: int = 8
     #: Cut wires per (thread, remote node) — update messages per timestep.
@@ -62,6 +65,8 @@ class CircuitConfig:
 
 @dataclass
 class CircuitResult:
+    """Timing and correctness summary of one circuit-proxy run."""
+
     cfg: CircuitConfig
     wall_time: float
     time_per_step: float
@@ -78,6 +83,7 @@ class _CircuitNode:
         self.cfg = cfg
         self.task_comms = []
         self.eps = None
+        self.am_comm = None
         self.buckets: dict[int, int] = {}
         self.gates: dict[int, Gate] = {}
         self.received = 0
@@ -98,6 +104,13 @@ class _CircuitNode:
         elif cfg.mechanism == "endpoints":
             self.eps = yield from comm_create_endpoints(
                 self.proc.comm_world, cfg.task_threads + 1)
+        else:
+            # All task threads push active messages down one channel and
+            # the polling thread absorbs them in arrival order, so message
+            # order carries no meaning: assert it (MPI 4.0
+            # ``mpi_assert_allow_overtaking``).
+            self.am_comm = yield from self.proc.comm_world.Dup(
+                Info({"mpi_assert_allow_overtaking": "1"}), name="circ-am")
 
     def task_thread(self, tid: int) -> Generator:
         """One circuit piece owner: solve, ship updates, stay one step
@@ -124,7 +137,7 @@ class _CircuitNode:
                         req = yield from self.eps[tid].Isend(
                             update, poll_ep, tag=step)
                     else:
-                        req = yield from proc.comm_world.Isend(
+                        req = yield from self.am_comm.Isend(
                             update, target, tag=step)
                     pending.append(req)
             yield from waitall(pending)
@@ -161,9 +174,14 @@ class _CircuitNode:
                         break
                 if not progressed:
                     yield proc.compute(100e-9)
+            # cancel the final pre-posted receive on each channel; no
+            # further update will ever match it (MPI_Cancel at teardown)
+            for slot in slots:
+                if not slot[1].cancel():
+                    yield from slot[1].wait()
         else:
             comm = (self.eps[cfg.task_threads]
-                    if cfg.mechanism == "endpoints" else proc.comm_world)
+                    if cfg.mechanism == "endpoints" else self.am_comm)
             window = []
             for _ in range(min(self.POLL_WINDOW, expected_total)):
                 window.append((yield from self._post(comm)))
@@ -192,6 +210,7 @@ class _CircuitNode:
 def run_circuit(cfg: CircuitConfig,
                 net: Optional[NetworkConfig] = None,
                 max_vcis_per_proc: int = 64) -> CircuitResult:
+    """Run the circuit proxy under the configured mechanism."""
     world = World(num_nodes=cfg.num_nodes, procs_per_node=1,
                   threads_per_proc=cfg.task_threads + 1,
                   cfg=net or NetworkConfig(),

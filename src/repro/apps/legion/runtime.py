@@ -79,6 +79,8 @@ class LegionConfig:
 
 @dataclass
 class LegionResult:
+    """Timing summary of one Legion-runtime proxy run."""
+
     cfg: LegionConfig
     #: Simulated wall time of the whole run (slowest node).
     wall_time: float
@@ -128,6 +130,7 @@ class _LegionProcess:
 
     # ------------------------------------------------------------- tasks
     def task_thread(self, tid: int) -> Generator:
+        """Application task: exchange payloads with the peer node."""
         cfg = self.cfg
         proc = self.proc
         me = proc.rank
@@ -252,6 +255,12 @@ class _LegionProcess:
                     break
             if not progressed:
                 yield proc.compute(100e-9)
+        # Shutdown: every channel still holds one pre-posted wildcard
+        # receive that no further message will match — cancel it
+        # (MPI_Cancel), as Realm does at teardown.
+        for slot in slots:
+            if not slot[1].cancel():
+                yield from slot[1].wait()
 
 
 def run_legion(cfg: LegionConfig,

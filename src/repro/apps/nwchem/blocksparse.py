@@ -40,6 +40,8 @@ MECHANISMS = ("window", "window-relaxed", "endpoints")
 
 @dataclass
 class NwchemConfig:
+    """Parameters for the NWChem block-sparse RMA proxy."""
+
     num_nodes: int = 4
     threads_per_proc: int = 8
     #: Tiles hosted per process.
@@ -68,6 +70,8 @@ class NwchemConfig:
 
 @dataclass
 class NwchemResult:
+    """Timing summary of one NWChem-proxy run."""
+
     cfg: NwchemConfig
     wall_time: float
     #: Max accumulated RMA (get+acc+flush) time over threads.
@@ -102,6 +106,7 @@ def _tasks(cfg: NwchemConfig, rank: int, tid: int) -> list[tuple]:
 def run_nwchem(cfg: NwchemConfig,
                net: Optional[NetworkConfig] = None,
                max_vcis_per_proc: int = 64) -> NwchemResult:
+    """Run the block-sparse RMA proxy under the configured mechanism."""
     world = World(num_nodes=cfg.num_nodes, procs_per_node=1,
                   threads_per_proc=cfg.threads_per_proc,
                   cfg=net or NetworkConfig(),

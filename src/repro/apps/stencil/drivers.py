@@ -216,6 +216,7 @@ class StencilProcessRun:
 
     # -- the iteration skeleton ------------------------------------------------
     def thread_body(self, t: Coord) -> Generator:
+        """Per-thread iteration loop: compute, exchange halos, reduce."""
         cfg = self.cfg
         shape = (cfg.pny, cfg.pnx) if cfg.dim == 2 \
             else (cfg.pnz, cfg.pny, cfg.pnx)
@@ -258,6 +259,7 @@ class TagBasedRun(StencilProcessRun):
         self.resources_created = 1
 
     def exchange(self, t: Coord) -> Generator:
+        """Halo exchange with per-thread tag addressing."""
         geom, cfg = self.geom, self.cfg
         my_tid = geom.linear_tid(t)
         addr = EndpointAddressing(geom)
@@ -314,6 +316,7 @@ class CommunicatorRun(StencilProcessRun):
         self.resources_created = len(labels)
 
     def exchange(self, t: Coord) -> Generator:
+        """Halo exchange over per-direction duplicated communicators."""
         from ...mapping.communicators import Exchange
         geom = self.geom
         addr = EndpointAddressing(geom)
@@ -357,6 +360,7 @@ class EndpointRun(StencilProcessRun):
         self.resources_created = len(self.eps)
 
     def exchange(self, t: Coord) -> Generator:
+        """Halo exchange through this thread's endpoint."""
         geom = self.geom
         ep = self.eps[geom.linear_tid(t)]
         reqs = []
@@ -385,8 +389,13 @@ class PartitionedRun(StencilProcessRun):
         super().__init__(proc, pcoord, cfg)
         self.plan = PartitionPlan(self.geom)
         self.ops: dict[Coord, dict] = {}
+        #: Exchanges still to come; the completing thread restarts the
+        #: persistent requests only when another cycle will consume them
+        #: (a trailing start would leak an open cycle at finalize).
+        self._cycles_left = cfg.iters
 
     def setup(self) -> Generator:
+        """Initialize partitioned send/recv channels for every face once."""
         addr = EndpointAddressing(self.geom)
         comm = self.proc.comm_world
         all_reqs = []
@@ -410,6 +419,7 @@ class PartitionedRun(StencilProcessRun):
         self.resources_created = len(all_reqs)
 
     def exchange(self, t: Coord) -> Generator:
+        """Mark owned partitions ready, then wait for neighbor arrivals."""
         cfg = self.cfg
         # 1. pack my strips and mark partitions ready
         my_faces = [(d, op) for d, op in self.ops.items()
@@ -436,7 +446,9 @@ class PartitionedRun(StencilProcessRun):
             reqs = [op[k] for op in self.ops.values()
                     for k in ("psend", "precv")]
             yield from waitall_partitioned(reqs)
-            yield from startall(reqs)
+            self._cycles_left -= 1
+            if self._cycles_left > 0:
+                yield from startall(reqs)
 
 
 def make_run(proc: MpiProcess, pcoord: Coord,

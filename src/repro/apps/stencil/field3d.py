@@ -112,6 +112,7 @@ def make_patches_3d(geom: StencilGeometry, p: Coord, pnx: int, pny: int,
 def assemble_global_3d(geom: StencilGeometry,
                        all_patches: dict[Coord, dict[Coord, Patch3D]],
                        pnx: int, pny: int, pnz: int) -> np.ndarray:
+    """Stitch every rank's 3-D patches into one global array."""
     gx = geom.global_grid[0] * pnx
     gy = geom.global_grid[1] * pny
     gz = geom.global_grid[2] * pnz

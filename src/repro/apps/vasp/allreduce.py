@@ -47,6 +47,8 @@ MECHANISMS = ("funneled", "existing", "endpoints", "partitioned")
 
 @dataclass
 class VaspConfig:
+    """Parameters for the VASP multithreaded-allreduce proxy."""
+
     num_nodes: int = 4
     threads_per_proc: int = 8
     #: Elements (float64) in each thread's contribution.
@@ -65,6 +67,8 @@ class VaspConfig:
 
 @dataclass
 class VaspResult:
+    """Timing and memory summary of one VASP-proxy run."""
+
     cfg: VaspConfig
     wall_time: float
     time_per_allreduce: float
@@ -93,6 +97,7 @@ def _expected(cfg: VaspConfig) -> np.ndarray:
 def run_vasp(cfg: VaspConfig,
              net: Optional[NetworkConfig] = None,
              max_vcis_per_proc: int = 64) -> VaspResult:
+    """Run the threaded-allreduce proxy under the configured mechanism."""
     world = World(num_nodes=cfg.num_nodes, procs_per_node=1,
                   threads_per_proc=cfg.threads_per_proc,
                   cfg=net or NetworkConfig(),

@@ -49,6 +49,8 @@ MODES = ("everywhere", "threads-original", "threads-tags", "threads-comms",
 
 @dataclass
 class MsgRateConfig:
+    """Parameters for the message-rate microbenchmark."""
+
     mode: str = "everywhere"
     #: Communicating cores per node.
     cores: int = 8
@@ -69,6 +71,8 @@ class MsgRateConfig:
 
 @dataclass
 class MsgRateResult:
+    """Aggregate rate and span measured by one message-rate run."""
+
     cfg: MsgRateConfig
     #: Aggregate messages/second (completed receives / span).
     rate: float

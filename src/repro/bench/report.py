@@ -30,6 +30,7 @@ class Table:
         return str(c)
 
     def render(self) -> str:
+        """Format the table with aligned columns and a title rule."""
         fmt = "  ".join(f"{{:>{w}}}" for w in self.widths)
         lines = [f"== {self.title} ==", fmt.format(*self.headers)]
         lines.append("-" * (sum(self.widths) + 2 * (len(self.widths) - 1)))

@@ -37,6 +37,7 @@ class SweepRow:
     outputs: dict[str, Any]
 
     def flat(self) -> dict[str, Any]:
+        """Merge params and outputs into one row dict (keys must not clash)."""
         out = dict(self.params)
         for k, v in self.outputs.items():
             if k in out:
@@ -85,6 +86,7 @@ class Sweep:
 
     # -- output ----------------------------------------------------------
     def columns(self, rows: list[SweepRow]) -> list[str]:
+        """Column order: sweep params first, then outputs as discovered."""
         cols = list(self.params)
         for row in rows:
             for k in row.outputs:
@@ -93,6 +95,7 @@ class Sweep:
         return cols
 
     def to_table(self, rows: list[SweepRow]) -> str:
+        """Render sweep rows as an aligned text table."""
         cols = self.columns(rows)
         table = Table(self.name, cols)
         for row in rows:
@@ -101,6 +104,7 @@ class Sweep:
         return table.render()
 
     def to_csv(self, rows: list[SweepRow], path: str) -> str:
+        """Write sweep rows to ``path`` as CSV; returns the path."""
         cols = self.columns(rows)
         with open(path, "w", newline="") as fh:
             writer = csv.DictWriter(fh, fieldnames=cols)

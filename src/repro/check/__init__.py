@@ -1,0 +1,46 @@
+"""repro.check: an MPI+threads correctness analyzer for the simulator.
+
+Two sides, one rule catalog (:mod:`repro.check.rules`):
+
+- **dynamic** — enable with ``World(check=CheckConfig(...))`` (or wrap a
+  whole program with ``python -m repro check program.py``). A
+  vector-clock happens-before engine, a lock-order graph and an MPI
+  semantics validator observe the simulated run and report races on
+  shared MPI objects, potential deadlocks, hint violations, partitioned
+  and RMA protocol errors, and leaked resources — with rank/VCI/simulated
+  time context. Observer-only: simulated timings are byte-identical with
+  the checker on or off.
+- **static** — ``python -m repro lint`` runs the repository's own AST
+  lint (host nondeterminism in simulated paths, raw trace-category
+  strings, hygiene rules).
+
+See ``docs/checking.md`` for the rule catalog and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from .checker import CheckConfig, Checker
+from .lint import Finding, run_lint
+from .report import CheckReport, CheckWarning, Violation
+from .rules import ALL_RULES, DYNAMIC_RULES, LINT_RULES, Rule, rule
+from .session import checking, collect_report, default_check, \
+    set_default_check
+
+__all__ = [
+    "CheckConfig",
+    "Checker",
+    "CheckReport",
+    "CheckWarning",
+    "Violation",
+    "Rule",
+    "rule",
+    "ALL_RULES",
+    "DYNAMIC_RULES",
+    "LINT_RULES",
+    "Finding",
+    "run_lint",
+    "checking",
+    "collect_report",
+    "default_check",
+    "set_default_check",
+]

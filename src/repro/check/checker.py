@@ -1,0 +1,512 @@
+"""The dynamic correctness analyzer: hooks, state machines, verdicts.
+
+One :class:`Checker` observes one :class:`~repro.sim.core.Simulator`. It is
+installed by ``World(check=CheckConfig(...))`` as ``sim.checker`` and fed
+by narrow hook sites in the kernel (task spawn/resume), the sync
+primitives (lock, barrier, gate, mailbox), and the MPI layer
+(channels, requests, partitioned protocol, RMA windows).
+
+Design constraints, in order:
+
+1. **Observer-only**: hooks never schedule events or charge simulated
+   time, so a checked run's simulated timings are byte-identical to an
+   unchecked run (tested). The only behavioural difference is opt-in:
+   raise mode turns detections into :class:`~repro.errors.CheckError`.
+2. **Zero-cost when off**: every hook site guards on
+   ``sim.checker is not None``; with no checker the added work is one
+   attribute load per site (benchmarked in ``benchmarks/bench_kernel.py``).
+3. **Epoch-cheap when on**: per-object access checks use the FastTrack
+   epoch shortcut (see :mod:`repro.check.hb`); full vector-clock
+   snapshots happen only at release points.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..errors import CheckError
+from ..sim.core import AllOf, Process, Simulator
+from .hb import Access, LockOrderGraph, TaskClock
+from .report import CheckReport, CheckWarning, Violation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mpi.comm import Communicator
+    from ..mpi.request import Request
+    from ..sim.sync import Barrier, Gate, Lock, Mailbox
+
+__all__ = ["CheckConfig", "Checker"]
+
+#: Library-internal request kinds that persist by design and must not be
+#: reported as leaks (the partitioned-init marker sits in the posted queue
+#: for the lifetime of the persistent operation).
+_INTERNAL_REQUEST_KINDS = frozenset({"precv-init"})
+
+#: Cap on per-rule detail in the finalize leak scans.
+_LEAK_DETAIL_LIMIT = 10
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Configuration for the dynamic checker.
+
+    ``mode="warn"`` records violations (and emits :class:`CheckWarning`)
+    while letting the run continue on a safe path; ``mode="raise"`` turns
+    the first detection into a :class:`~repro.errors.CheckError` inside
+    the offending task. Rules marked *hard* in the catalog and the
+    finalize-time scans (lock cycles, leaks) always only record.
+    """
+
+    mode: str = "warn"
+    #: Happens-before race rules (CHK101, CHK102, CHK108).
+    races: bool = True
+    #: Lock-order cycle detection (CHK103).
+    lock_order: bool = True
+    #: MPI semantics state machines (CHK104-CHK107, CHK111).
+    semantics: bool = True
+    #: Finalize leak scans (CHK109, CHK110).
+    leaks: bool = True
+    #: Emit a Python ``CheckWarning`` per violation in warn mode.
+    emit_warnings: bool = True
+    #: Stop recording detail beyond this many violations (counts continue).
+    max_violations: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("warn", "raise"):
+            raise ValueError(f"check mode must be 'warn' or 'raise', "
+                             f"got {self.mode!r}")
+
+
+class Checker:
+    """Dynamic analysis state for one simulator."""
+
+    def __init__(self, sim: Simulator, config: Optional[CheckConfig] = None):
+        self.sim = sim
+        self.config = config or CheckConfig()
+        self.violations: list[Violation] = []
+        self.dropped = 0
+        self._finalized = False
+        # -- happens-before state --------------------------------------
+        self._tasks: dict[int, TaskClock] = {}
+        self._lock_clocks: dict[int, dict[int, int]] = {}
+        self._gate_clocks: dict[int, dict[int, int]] = {}
+        self._barrier_pending: dict[int, dict[int, int]] = {}
+        self._barrier_release: dict[int, dict[int, int]] = {}
+        self._mailbox_clocks: dict[int, deque] = {}
+        # -- lock-order graph ------------------------------------------
+        self._lock_graph = LockOrderGraph()
+        self._held: dict[int, list[tuple[int, str]]] = {}
+        # -- channels (CHK102) -----------------------------------------
+        self._channels: dict[tuple, Access] = {}
+        # -- requests (CHK101, CHK109) ---------------------------------
+        self._live_requests: dict[int, dict[str, Any]] = {}
+        self._req_access: dict[int, Access] = {}
+        self._req_joins: dict[int, dict[int, int]] = {}
+        # -- RMA (CHK107, CHK108, CHK110) ------------------------------
+        self._windows: list[Any] = []
+        self._rma_epochs: dict[int, dict[str, Any]] = {}
+        self._rma_last_write: dict[tuple, tuple[Access, int, int]] = {}
+        self._rma_last_read: dict[tuple, tuple[Access, int, int]] = {}
+        from . import session
+        session.register(self)
+
+    # ------------------------------------------------------------------
+    # verdicts
+    # ------------------------------------------------------------------
+    def violation(self, rule_id: str, message: str, *,
+                  task: Optional[str] = None, rank: Optional[int] = None,
+                  vci: Optional[int] = None, hard: bool = False,
+                  **extra: Any) -> Violation:
+        """Record one violation; raise in raise mode (unless ``hard``).
+
+        ``hard=True`` marks detections whose call site must raise its own
+        library error regardless of mode (the simulation cannot continue
+        safely), and finalize-time scans (there is no task to raise in).
+        """
+        st = self.sim._active_process
+        v = Violation(rule_id, message, time=self.sim.now,
+                      task=task or (st.name if st is not None else None),
+                      rank=rank, vci=vci, extra=extra)
+        if len(self.violations) < self.config.max_violations:
+            self.violations.append(v)
+        else:
+            self.dropped += 1
+        if hard:
+            return v
+        if self.config.mode == "raise":
+            raise CheckError(v.describe(), violation=v)
+        if self.config.emit_warnings:
+            warnings.warn(v.describe(), CheckWarning, stacklevel=3)
+        return v
+
+    # ------------------------------------------------------------------
+    # task / clock plumbing
+    # ------------------------------------------------------------------
+    def _task(self, proc: Process) -> TaskClock:
+        st = self._tasks.get(proc._pid)
+        if st is None:
+            st = TaskClock(proc._pid, proc.name)
+            self._tasks[proc._pid] = st
+        return st
+
+    def _active(self) -> Optional[TaskClock]:
+        proc = self.sim._active_process
+        if proc is None:
+            return None
+        return self._task(proc)
+
+    def _snapshot(self) -> Optional[dict[int, int]]:
+        st = self._active()
+        return st.snapshot() if st is not None else None
+
+    # -- kernel hooks ----------------------------------------------------
+    def on_spawn(self, proc: Process) -> None:
+        """A task was spawned: it inherits its spawner's clock."""
+        parent = self.sim._active_process
+        pstate = self._tasks.get(parent._pid) if parent is not None else None
+        self._tasks[proc._pid] = TaskClock(proc._pid, proc.name,
+                                           parent=pstate)
+
+    def on_resume(self, proc: Process, trigger: Any) -> None:
+        """A task resumed: joining a finished task merges its clock."""
+        if isinstance(trigger, Process):
+            other = self._tasks.get(trigger._pid)
+            if other is not None:
+                self._task(proc).join(other.clock)
+        elif isinstance(trigger, AllOf):
+            children = trigger._children
+            if children:
+                st = self._task(proc)
+                for ev in children:
+                    if isinstance(ev, Process):
+                        other = self._tasks.get(ev._pid)
+                        if other is not None:
+                            st.join(other.clock)
+
+    # -- sync-primitive hooks --------------------------------------------
+    def lock_acquired(self, lock: "Lock") -> None:
+        """Join the releaser's clock; record lock-order edges for held locks."""
+        st = self._active()
+        if st is None:
+            return
+        st.join(self._lock_clocks.get(id(lock)))
+        if self.config.lock_order:
+            held = self._held.setdefault(st.pid, [])
+            lid = id(lock)
+            for hid, hname in held:
+                if hid != lid:
+                    self._lock_graph.add(hid, hname, lid, lock.name,
+                                         st.name, self.sim.now)
+            held.append((lid, lock.name))
+
+    def lock_released(self, lock: "Lock") -> None:
+        """Publish this task's clock for the next acquirer; pop held state."""
+        st = self._active()
+        if st is None:
+            return
+        self._lock_clocks[id(lock)] = st.snapshot()
+        held = self._held.get(st.pid)
+        if held:
+            lid = id(lock)
+            for i in range(len(held) - 1, -1, -1):
+                if held[i][0] == lid:
+                    del held[i]
+                    break
+
+    def gate_opened(self, gate: "Gate") -> None:
+        snap = self._snapshot()
+        if snap is not None:
+            self._gate_clocks[id(gate)] = snap
+
+    def gate_passed(self, gate: "Gate") -> None:
+        st = self._active()
+        if st is not None:
+            st.join(self._gate_clocks.get(id(gate)))
+
+    def barrier_arrive(self, barrier: "Barrier") -> None:
+        """Merge this arriver's clock into the barrier's pending snapshot."""
+        snap = self._snapshot()
+        if snap is None:
+            return
+        pending = self._barrier_pending.setdefault(id(barrier), {})
+        for pid, c in snap.items():
+            if pending.get(pid, 0) < c:
+                pending[pid] = c
+
+    def barrier_release(self, barrier: "Barrier") -> None:
+        """Called by the last arriver: publish the merged clock."""
+        self._barrier_release[id(barrier)] = \
+            self._barrier_pending.pop(id(barrier), {})
+
+    def barrier_depart(self, barrier: "Barrier") -> None:
+        st = self._active()
+        if st is not None:
+            st.join(self._barrier_release.get(id(barrier)))
+
+    def mailbox_put(self, mailbox: "Mailbox") -> None:
+        # FIFO clock queue mirrors item order across both the queued and
+        # the direct-handoff path; a put from a non-task context (NIC
+        # callback) contributes an empty clock to keep the queues aligned.
+        snap = self._snapshot()
+        self._mailbox_clocks.setdefault(id(mailbox),
+                                        deque()).append(snap or {})
+
+    def mailbox_got(self, mailbox: "Mailbox") -> None:
+        """Join the clock the matching put published (FIFO pairing)."""
+        clocks = self._mailbox_clocks.get(id(mailbox))
+        if not clocks:
+            return
+        clock = clocks.popleft()
+        st = self._active()
+        if st is not None:
+            st.join(clock)
+
+    def meet_arrive(self, meeting: Any) -> None:
+        """Merge this participant's clock into the meeting's shared clock."""
+        snap = self._snapshot()
+        if snap is None:
+            return
+        if meeting.hb_clock is None:
+            meeting.hb_clock = {}
+        merged = meeting.hb_clock
+        for pid, c in snap.items():
+            if merged.get(pid, 0) < c:
+                merged[pid] = c
+
+    def meet_depart(self, meeting: Any) -> None:
+        st = self._active()
+        if st is not None:
+            st.join(meeting.hb_clock)
+
+    # ------------------------------------------------------------------
+    # point-to-point channels (CHK102, CHK104 context)
+    # ------------------------------------------------------------------
+    def on_channel_send(self, comm: "Communicator", dest: int, tag: int,
+                        context_id: int) -> Optional[dict[int, int]]:
+        """A send is being posted; returns the sender clock snapshot to
+        ride in the message meta (for the receive-completion join)."""
+        st = self._active()
+        if st is None:
+            return None
+        if self.config.races and not comm.hints.allow_overtaking:
+            key = ("s", context_id, comm.rank, dest, tag)
+            self._channel_access(key, st, comm, tag, dest, "send")
+        return st.snapshot()
+
+    def on_channel_recv(self, comm: "Communicator", source: int, tag: int,
+                        context_id: int, vci: Optional[int] = None) -> None:
+        """Record a posted-receive channel access (CHK102 collision check)."""
+        st = self._active()
+        if st is None or not self.config.races:
+            return
+        if comm.hints.allow_overtaking:
+            return
+        key = ("r", context_id, comm.rank, source, tag)
+        self._channel_access(key, st, comm, tag, source, "recv", vci=vci)
+
+    def _channel_access(self, key: tuple, st: TaskClock,
+                        comm: "Communicator", tag: int, peer: int,
+                        direction: str, vci: Optional[int] = None) -> None:
+        last = self._channels.get(key)
+        if last is not None and last.pid != st.pid and not st.saw(last):
+            self.violation(
+                "CHK102",
+                f"tasks {last.task!r} and {st.name!r} both {direction} on "
+                f"channel (comm {comm.name!r} ctx={key[1]}, tag={tag}, "
+                f"peer={peer}) with no ordering edge between them — "
+                f"message order on this channel is undefined",
+                rank=comm.lib.rank, vci=vci, comm=comm.name, tag=tag,
+                peer=peer, other_task=last.task)
+        self._channels[key] = st.access(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # requests (CHK101, CHK109)
+    # ------------------------------------------------------------------
+    def on_request_new(self, req: "Request") -> None:
+        if req.kind in _INTERNAL_REQUEST_KINDS:
+            return
+        st = self._active()
+        self._live_requests[req.rid] = {
+            "kind": req.kind, "time": self.sim.now,
+            "task": st.name if st is not None else None,
+        }
+
+    def on_msg_join(self, req: "Request", hb: dict[int, int]) -> None:
+        """The message completing ``req`` carried the sender's clock."""
+        j = self._req_joins.get(req.rid)
+        if j is None:
+            self._req_joins[req.rid] = dict(hb)
+        else:
+            for pid, c in hb.items():
+                if j.get(pid, 0) < c:
+                    j[pid] = c
+
+    def on_request_complete(self, req: "Request") -> None:
+        self._live_requests.pop(req.rid, None)
+        st = self._active()
+        if st is not None:
+            self.on_msg_join(req, st.snapshot())
+
+    def on_request_access(self, req: "Request") -> None:
+        """wait/test/cancel entered on ``req`` by the active task."""
+        st = self._active()
+        if st is None:
+            return
+        if self.config.races and req.kind not in _INTERNAL_REQUEST_KINDS:
+            last = self._req_access.get(req.rid)
+            if last is not None and last.pid != st.pid and not st.saw(last):
+                self.violation(
+                    "CHK101",
+                    f"tasks {last.task!r} and {st.name!r} both wait/test "
+                    f"request #{req.rid} ({req.kind}) with no "
+                    f"happens-before edge; MPI forbids concurrent "
+                    f"completion calls on one request",
+                    vci=req.vci.index if req.vci is not None else None,
+                    rid=req.rid, other_task=last.task)
+            self._req_access[req.rid] = st.access(self.sim.now)
+
+    def on_request_join(self, req: "Request") -> None:
+        """``req`` observed complete: join the completion-side clock."""
+        st = self._active()
+        if st is not None:
+            st.join(self._req_joins.get(req.rid))
+
+    # ------------------------------------------------------------------
+    # RMA (CHK107, CHK108, CHK110)
+    # ------------------------------------------------------------------
+    def register_window(self, win: Any) -> None:
+        self._windows.append(win)
+
+    def _epoch_state(self, win: Any) -> dict[str, Any]:
+        st = self._rma_epochs.get(id(win))
+        if st is None:
+            st = {"locked": set(), "used": False}
+            self._rma_epochs[id(win)] = st
+        return st
+
+    def on_rma_sync(self, win: Any, op: str, target: Optional[int]) -> None:
+        """Track lock/unlock epoch transitions on a window (CHK107)."""
+        if not self.config.semantics:
+            return
+        ep = self._epoch_state(win)
+        locked: set = ep["locked"]
+        token = "all" if target is None else target
+        if op == "lock":
+            ep["used"] = True
+            if token in locked:
+                self.violation(
+                    "CHK107",
+                    f"double Lock of target {token} on window "
+                    f"{win.win_id} (epoch already open)",
+                    rank=win.comm.lib.rank, win=win.win_id, target=target)
+            else:
+                locked.add(token)
+        elif op == "unlock":
+            if token not in locked:
+                self.violation(
+                    "CHK107",
+                    f"Unlock of target {token} on window {win.win_id} "
+                    f"without a matching Lock",
+                    rank=win.comm.lib.rank, win=win.win_id, target=target)
+            else:
+                locked.discard(token)
+
+    def on_rma_op(self, win: Any, op: str, target: int, disp: int,
+                  count: int, *, atomic: bool, write: bool) -> None:
+        """Check epoch discipline (CHK107) and overlapping-range races (CHK108)."""
+        ep = self._epoch_state(win)
+        if self.config.semantics and ep["used"] and \
+                target not in ep["locked"] and "all" not in ep["locked"]:
+            # Mixed discipline: this handle opens explicit epochs but
+            # issued an operation outside any. Flush-only handles (the
+            # paper's NWChem pattern) never set "used" and are exempt.
+            self.violation(
+                "CHK107",
+                f"{op} to target {target} outside any epoch on window "
+                f"{win.win_id}, which elsewhere uses explicit Lock/Unlock "
+                f"epochs",
+                rank=win.comm.lib.rank, win=win.win_id, target=target)
+        if not self.config.races or atomic:
+            return
+        st = self._active()
+        if st is None:
+            return
+        key = (id(win), target)
+        lo, hi = disp, disp + count
+        conflict = self._rma_last_write.get(key)
+        if write and conflict is None:
+            conflict = self._rma_last_read.get(key)
+        if conflict is not None:
+            last, llo, lhi = conflict
+            if last.pid != st.pid and llo < hi and lo < lhi \
+                    and not st.saw(last):
+                self.violation(
+                    "CHK108",
+                    f"nonatomic {op} to window {win.win_id} target "
+                    f"{target} [{lo}, {hi}) conflicts with task "
+                    f"{last.task!r}'s access [{llo}, {lhi}) — no "
+                    f"happens-before edge between them",
+                    rank=win.comm.lib.rank, win=win.win_id, target=target,
+                    other_task=last.task)
+        rec = (st.access(self.sim.now), lo, hi)
+        if write:
+            self._rma_last_write[key] = rec
+        else:
+            self._rma_last_read[key] = rec
+
+    # ------------------------------------------------------------------
+    # finalize
+    # ------------------------------------------------------------------
+    def finalize(self) -> CheckReport:
+        """Run the end-of-run scans and return the report (idempotent)."""
+        if not self._finalized:
+            self._finalized = True
+            if self.config.lock_order:
+                self._scan_lock_cycles()
+            if self.config.leaks:
+                self._scan_request_leaks()
+                self._scan_window_leaks()
+        return CheckReport(self.violations, mode=self.config.mode)
+
+    @property
+    def report(self) -> CheckReport:
+        return self.finalize()
+
+    def _scan_lock_cycles(self) -> None:
+        for cycle in self._lock_graph.cycles():
+            self.violation(
+                "CHK103",
+                "lock acquisition order forms a cycle (potential "
+                "deadlock): " + self._lock_graph.describe_cycle(cycle),
+                hard=True, edges=len(cycle))
+
+    def _scan_request_leaks(self) -> None:
+        leaked = sorted(self._live_requests.items())
+        for rid, info in leaked[:_LEAK_DETAIL_LIMIT]:
+            self.violation(
+                "CHK109",
+                f"request #{rid} ({info['kind']}, created at "
+                f"t={info['time']:.9f} by {info['task']!r}) never "
+                f"completed before finalize",
+                hard=True, rid=rid, kind=info["kind"])
+        if len(leaked) > _LEAK_DETAIL_LIMIT:
+            self.violation(
+                "CHK109",
+                f"... and {len(leaked) - _LEAK_DETAIL_LIMIT} more leaked "
+                f"request(s)",
+                hard=True, count=len(leaked) - _LEAK_DETAIL_LIMIT)
+
+    def _scan_window_leaks(self) -> None:
+        for win in self._windows:
+            pending = {t: n for t, n in win._outstanding.items() if n}
+            if pending:
+                total = sum(pending.values())
+                self.violation(
+                    "CHK110",
+                    f"window {win.win_id} (rank {win.comm.rank}) has "
+                    f"{total} unflushed operation(s) to target(s) "
+                    f"{sorted(pending)} at finalize",
+                    hard=True, rank=win.comm.lib.rank, win=win.win_id,
+                    outstanding=total)

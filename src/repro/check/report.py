@@ -1,0 +1,133 @@
+"""Violations and the CheckReport (text + JSON rendering).
+
+Companion to :mod:`repro.faults.report`: where that module answers "what
+went wrong on the wire", this one answers "what did the application do
+that MPI's contract forbids". The same report object backs the
+``python -m repro check`` CLI, `World.check_report()` and the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .rules import rule
+
+__all__ = ["Violation", "CheckReport", "CheckWarning"]
+
+
+class CheckWarning(UserWarning):
+    """Python warning emitted for each violation in warn mode."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected correctness violation, with simulation context."""
+
+    rule_id: str
+    message: str
+    #: Simulated time of detection in seconds (finalize-scan violations
+    #: carry the end-of-run time).
+    time: float = 0.0
+    #: Name of the simulated task that triggered the detection, if any.
+    task: Optional[str] = None
+    rank: Optional[int] = None
+    vci: Optional[int] = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rule_name(self) -> str:
+        return rule(self.rule_id).name
+
+    def describe(self) -> str:
+        """One-line human rendering used by reports and exceptions."""
+        where = []
+        if self.rank is not None:
+            where.append(f"rank {self.rank}")
+        if self.vci is not None:
+            where.append(f"vci {self.vci}")
+        if self.task:
+            where.append(f"task {self.task!r}")
+        ctx = ", ".join(where)
+        loc = f" [{ctx}]" if ctx else ""
+        return (f"{self.rule_id} ({self.rule_name}) at t={self.time:.9f}"
+                f"{loc}: {self.message}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize the violation for the JSON report."""
+        d: dict[str, Any] = {
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "message": self.message,
+            "time": self.time,
+        }
+        if self.task is not None:
+            d["task"] = self.task
+        if self.rank is not None:
+            d["rank"] = self.rank
+        if self.vci is not None:
+            d["vci"] = self.vci
+        if self.extra:
+            d["extra"] = dict(self.extra)
+        return d
+
+
+class CheckReport:
+    """Aggregated result of one checked run (or several merged runs)."""
+
+    def __init__(self, violations: list[Violation], mode: str = "warn",
+                 finalized: bool = True):
+        self.violations = list(violations)
+        self.mode = mode
+        self.finalized = finalized
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        """Violation count per rule id, sorted by id."""
+        out: dict[str, int] = {}
+        for v in sorted(self.violations, key=lambda v: v.rule_id):
+            out[v.rule_id] = out.get(v.rule_id, 0) + 1
+        return out
+
+    def by_rule(self, rule_id: str) -> list[Violation]:
+        return [v for v in self.violations if v.rule_id == rule_id]
+
+    def merge(self, other: "CheckReport") -> "CheckReport":
+        """Combine two reports (used by the CLI across several Worlds)."""
+        return CheckReport(self.violations + other.violations,
+                           mode=self.mode,
+                           finalized=self.finalized and other.finalized)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": 1,
+            "mode": self.mode,
+            "clean": self.clean,
+            "counts": self.counts(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self, limit: int = 50) -> str:
+        """Plain-text report in the house style of the faults report."""
+        if self.clean:
+            return "== check ==\nno violations detected"
+        lines = [f"== check: {len(self.violations)} violation(s) =="]
+        for rid, n in self.counts().items():
+            lines.append(f"  {rid} ({rule(rid).name}): {n}")
+        lines.append("")
+        for v in self.violations[:limit]:
+            lines.append("  " + v.describe())
+        if len(self.violations) > limit:
+            lines.append(f"  ... and {len(self.violations) - limit} more")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CheckReport {len(self.violations)} violation(s) "
+                f"mode={self.mode}>")

@@ -1,0 +1,108 @@
+"""The rule catalog of the correctness analyzer.
+
+Every diagnostic the subsystem can produce has a stable identifier so that
+reports, suppressions and CI output can refer to rules precisely:
+
+- ``CHK1xx`` — *dynamic* rules, detected by :class:`repro.check.Checker`
+  while a simulated run executes (races, deadlock potential, MPI
+  semantics);
+- ``L2xx`` — *static* rules, detected by the AST lint
+  (``python -m repro lint``) over the repository's own sources.
+
+The catalog is data, not behaviour: detection lives in
+:mod:`repro.check.checker` and :mod:`repro.check.lint`. See
+``docs/checking.md`` for the prose version of this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rule", "DYNAMIC_RULES", "LINT_RULES", "ALL_RULES", "rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One diagnostic the analyzer can emit."""
+
+    id: str
+    name: str
+    summary: str
+    #: Hard rules cannot be downgraded to a warning: the library must
+    #: still raise because continuing would corrupt the simulation itself
+    #: (e.g. two collectives interleaving on one matching stream).
+    hard: bool = False
+
+
+#: Dynamic (run-time) rules, detected by the vector-clock engine, the
+#: lock-order graph and the MPI semantics validator.
+DYNAMIC_RULES: tuple[Rule, ...] = (
+    Rule("CHK101", "request-race",
+         "concurrent wait/test/cancel on one request from two simulated "
+         "threads with no happens-before edge between the accesses"),
+    Rule("CHK102", "channel-collision",
+         "two simulated threads drive the same (communicator, tag, peer) "
+         "point-to-point channel without an ordering edge, so message "
+         "order on the channel is undefined"),
+    Rule("CHK103", "lock-order-cycle",
+         "the lock acquisition-order graph contains a cycle: the locks "
+         "involved can deadlock under an adversarial schedule"),
+    Rule("CHK104", "hint-violation",
+         "a wildcard (ANY_SOURCE/ANY_TAG) was used on a communicator that "
+         "asserted mpi_assert_no_any_source/no_any_tag"),
+    Rule("CHK105", "partitioned-inactive",
+         "Pready/Parrived/wait on a partitioned request with no active "
+         "cycle (start() not called, or the cycle already completed)"),
+    Rule("CHK106", "partitioned-double-ready",
+         "Pready called twice for the same partition within one cycle"),
+    Rule("CHK107", "rma-epoch",
+         "RMA epoch discipline broken: Unlock without a matching Lock, "
+         "double Lock of one target, or an operation issued outside any "
+         "epoch on a window handle that uses explicit epochs"),
+    Rule("CHK108", "rma-race",
+         "conflicting nonatomic RMA accesses (Put/Get) to overlapping "
+         "target memory from two simulated threads with no happens-before "
+         "edge"),
+    Rule("CHK109", "request-leak",
+         "a request was still incomplete at finalize: the operation never "
+         "matched or its completion was never awaited"),
+    Rule("CHK110", "window-leak",
+         "an RMA window still had unacknowledged (unflushed) operations "
+         "at finalize"),
+    Rule("CHK111", "collective-overlap",
+         "a second collective was issued on a communicator while another "
+         "was in flight; MPI requires collectives on one communicator to "
+         "be serial", hard=True),
+)
+
+#: Static (lint) rules over the repository sources.
+LINT_RULES: tuple[Rule, ...] = (
+    Rule("L200", "bare-suppression",
+         "a lint suppression comment without a justification; write "
+         "`# lint: ignore[RULE] -- why`"),
+    Rule("L201", "host-nondeterminism",
+         "host time/randomness (time.time, random, np.random module "
+         "calls, uuid4, os.urandom) inside simulated-path code; simulated "
+         "results must be a pure function of parameters and seed"),
+    Rule("L202", "trace-literal",
+         "a raw string literal passed as the category of Tracer.emit(); "
+         "use the typed repro.sim.trace.TraceCategory constants"),
+    Rule("L203", "bare-except",
+         "a bare `except:` clause; catch specific exceptions (a bare "
+         "except swallows KeyboardInterrupt and kernel errors)"),
+    Rule("L204", "missing-docstring",
+         "a public module, class or function in src/repro without a "
+         "docstring"),
+    Rule("L205", "missing-annotations",
+         "a public function/method in src/repro whose signature carries "
+         "no type annotations at all"),
+)
+
+ALL_RULES: tuple[Rule, ...] = DYNAMIC_RULES + LINT_RULES
+
+_BY_ID = {r.id: r for r in ALL_RULES}
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule by id (raises ``KeyError`` for unknown ids)."""
+    return _BY_ID[rule_id]

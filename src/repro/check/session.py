@@ -1,0 +1,81 @@
+"""Process-wide checker session: defaults and the live-checker registry.
+
+Programs under ``python -m repro check <program>`` are ordinary scripts
+that build their own :class:`~repro.runtime.world.World`; the CLI cannot
+pass ``check=`` through them. Instead it installs a *session default*
+here, and ``World(check=None)`` consults it. Every :class:`Checker`
+registers itself on construction so the CLI (and the corpus tests) can
+collect reports from all Worlds a program created, however many.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .checker import Checker, CheckConfig
+    from .report import CheckReport
+
+__all__ = ["checking", "default_check", "set_default_check",
+           "register", "live_checkers", "collect_report"]
+
+_default_config: Optional["CheckConfig"] = None
+_live: list["Checker"] = []
+
+
+def set_default_check(config: Optional["CheckConfig"]) -> None:
+    """Install (or clear, with ``None``) the session-default CheckConfig."""
+    global _default_config
+    _default_config = config
+
+
+def default_check() -> Optional["CheckConfig"]:
+    """The CheckConfig a ``World(check=None)`` should adopt, if any."""
+    return _default_config
+
+
+def register(checker: "Checker") -> None:
+    """Called by every Checker on construction."""
+    _live.append(checker)
+
+
+def live_checkers() -> list["Checker"]:
+    return list(_live)
+
+
+def collect_report(since: int = 0) -> "CheckReport":
+    """Finalize and merge every checker registered at index >= ``since``."""
+    from .report import CheckReport
+    report = CheckReport([], mode=(_default_config.mode
+                                   if _default_config else "warn"))
+    for checker in _live[since:]:
+        report = report.merge(checker.finalize())
+    return report
+
+
+class Session:
+    """Handle returned by :func:`checking`: collects this block's reports."""
+
+    def __init__(self, mark: int):
+        self._mark = mark
+
+    def report(self) -> "CheckReport":
+        return collect_report(since=self._mark)
+
+
+@contextmanager
+def checking(config: Optional["CheckConfig"] = None) -> Iterator[Session]:
+    """Enable checking-by-default for every World built in this block.
+
+    >>> with checking(CheckConfig(mode="warn")) as session:
+    ...     main()                      # builds Worlds with check=None
+    >>> print(session.report().render())
+    """
+    from .checker import CheckConfig
+    prev = _default_config
+    set_default_check(config or CheckConfig())
+    try:
+        yield Session(mark=len(_live))
+    finally:
+        set_default_check(prev)

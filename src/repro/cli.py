@@ -15,6 +15,8 @@ Reproduce any of the paper's experiments without pytest::
     python -m repro device
     python -m repro scope
     python -m repro resources --grid 4 4 4
+    python -m repro check examples/quickstart.py
+    python -m repro lint
 
 Every command prints a plain-text table; add ``--seed`` where supported.
 """
@@ -308,7 +310,54 @@ def _cmd_resources(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    """Run a program with the correctness checker on every World."""
+    import runpy
+
+    from .check import CheckConfig, checking
+
+    config = CheckConfig(mode=args.mode, races=not args.no_races,
+                         lock_order=not args.no_lock_order,
+                         semantics=not args.no_semantics,
+                         leaks=not args.no_leaks,
+                         emit_warnings=False)
+    from .errors import CheckError
+    status = 0
+    with checking(config) as session:
+        sys.argv = [args.program] + list(args.args)
+        try:
+            runpy.run_path(args.program, run_name="__main__")
+        except CheckError as exc:
+            print(f"stopped at first violation (raise mode): {exc}",
+                  file=sys.stderr)
+            status = 1
+        except SystemExit as exc:
+            if exc.code not in (None, 0):
+                print(f"[program exited with status {exc.code}]",
+                      file=sys.stderr)
+                status = exc.code if isinstance(exc.code, int) else 1
+    report = session.report()
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render(limit=args.limit))
+    return status or (0 if report.clean else 1)
+
+
+def _cmd_lint(args) -> int:
+    """Run the repository's own AST lint (rules L200-L205)."""
+    import pathlib
+
+    from .check.lint import render_json, render_text, run_lint
+
+    roots = [pathlib.Path(p) for p in args.paths] if args.paths else None
+    findings = run_lint(roots, select=args.select)
+    print(render_json(findings) if args.json else render_text(findings))
+    return 0 if not findings else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argparse parser with all subcommands."""
     p = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce experiments from 'Lessons Learned on "
@@ -451,6 +500,50 @@ def build_parser() -> argparse.ArgumentParser:
     rs = sub.add_parser("resources", help="Lesson 3 closed-form counts")
     rs.add_argument("--grid", nargs=3, type=int, default=[4, 4, 4])
     rs.set_defaults(fn=_cmd_resources)
+
+    ck = sub.add_parser(
+        "check",
+        help="run a program under the MPI+threads correctness checker",
+        description="Execute a Python program with the dynamic checker "
+                    "(races on shared MPI objects, lock-order cycles, "
+                    "hint/partitioned/RMA semantics, leaks) enabled on "
+                    "every World it creates; prints the merged report and "
+                    "exits 1 if any violation was detected. See "
+                    "docs/checking.md for the rule catalog.")
+    ck.add_argument("program", help="path to the Python program to run")
+    ck.add_argument("args", nargs="*", help="arguments for the program")
+    ck.add_argument("--mode", choices=("warn", "raise"), default="warn",
+                    help="warn: record and continue; raise: stop at the "
+                         "first violation (default: warn)")
+    ck.add_argument("--no-races", action="store_true",
+                    help="disable the happens-before race rules")
+    ck.add_argument("--no-lock-order", action="store_true",
+                    help="disable lock-order cycle detection")
+    ck.add_argument("--no-semantics", action="store_true",
+                    help="disable the MPI semantics state machines")
+    ck.add_argument("--no-leaks", action="store_true",
+                    help="disable the finalize leak scans")
+    ck.add_argument("--json", action="store_true",
+                    help="print the report as JSON")
+    ck.add_argument("--limit", type=int, default=50,
+                    help="max violations detailed in the text report")
+    ck.set_defaults(fn=_cmd_check)
+
+    lt = sub.add_parser(
+        "lint",
+        help="run the repository's AST lint (rules L200-L205)",
+        description="Static checks specific to this codebase: host "
+                    "nondeterminism in simulated paths, raw trace-category "
+                    "strings, bare except, public docstring/annotation "
+                    "coverage. Exits 1 on findings. Suppress per line with "
+                    "`# lint: ignore[RULE] -- reason`.")
+    lt.add_argument("paths", nargs="*",
+                    help="files/directories to lint (default: src/repro)")
+    lt.add_argument("--select", nargs="+", metavar="RULE",
+                    help="only report these rule ids (e.g. L201 L202)")
+    lt.add_argument("--json", action="store_true",
+                    help="machine-readable output for CI")
+    lt.set_defaults(fn=_cmd_lint)
     return p
 
 

@@ -12,6 +12,7 @@ __all__ = [
     "RmaSemanticsError",
     "TransportError",
     "FaultPlanError",
+    "CheckError",
 ]
 
 
@@ -72,3 +73,15 @@ class TransportError(MpiError):
 
 class FaultPlanError(MpiError):
     """A fault-injection plan spec is malformed or inconsistent."""
+
+
+class CheckError(MpiError):
+    """A correctness violation detected by :mod:`repro.check` in raise mode.
+
+    Carries the :class:`repro.check.Violation` that triggered it as
+    ``violation`` so callers can inspect rule id, simulated time and task.
+    """
+
+    def __init__(self, message: str, violation=None):
+        super().__init__(message)
+        self.violation = violation

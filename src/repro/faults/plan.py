@@ -152,6 +152,7 @@ class FaultPlan:
         return not self.any_message_faults and not self.stalls
 
     def describe(self) -> str:
+        """One-line summary of the plan's fault rates and schedules."""
         parts = [f"drop={self.drop:g}", f"dup={self.dup:g}",
                  f"corrupt={self.corrupt:g}", f"delay={self.delay:g}"]
         if self.stalls:
@@ -169,6 +170,7 @@ class FaultPlan:
 
     @staticmethod
     def from_dict(data: dict[str, Any]) -> "FaultPlan":
+        """Rebuild a FaultPlan from its ``to_dict()`` form."""
         data = dict(data)
         stalls = tuple(
             s if isinstance(s, CtxStall) else CtxStall(

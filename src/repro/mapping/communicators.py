@@ -127,6 +127,7 @@ class StencilGeometry:
         return all(0 <= gi < ni for gi, ni in zip(g, self.global_grid))
 
     def linear_tid(self, t: Coord) -> int:
+        """Row-major linear index of a thread coordinate."""
         tid = 0
         for c, n in zip(t, self.thread_grid):
             tid = tid * n + c
@@ -176,6 +177,7 @@ class StencilGeometry:
                 yield t, "recv", Exchange(g_src, g)
 
     def communicating_threads(self, p: Coord) -> set[Coord]:
+        """Threads of process ``p`` that touch at least one exchange."""
         out = set()
         for t in self.threads():
             if any(True for _ in self.exchanges_from(p, t)):
@@ -201,6 +203,7 @@ class CommMap:
         raise NotImplementedError
 
     def all_labels(self) -> set[Hashable]:
+        """Every distinct label this scheme assigns across the geometry."""
         seen = set()
         for p in self.geom.procs():
             for t in self.geom.threads():
@@ -235,6 +238,7 @@ class MirroredCommMap(CommMap):
     """
 
     def label(self, ex: Exchange) -> Hashable:
+        """Parity-based label keeping opposite directions distinct."""
         fam = ex.family
         g = ex.gmin
         residues = []

@@ -28,6 +28,7 @@ class EndpointAddressing:
             self.threads_per_proc *= n
 
     def linear_proc(self, p: Coord) -> int:
+        """Row-major linear rank of a process coordinate."""
         rank = 0
         for c, n in zip(p, self.geom.proc_grid):
             rank = rank * n + c

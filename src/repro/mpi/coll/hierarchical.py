@@ -86,6 +86,7 @@ class ThreadTeamBcast:
         self._root_buf: Optional[np.ndarray] = None
 
     def bcast(self, tid: int, buf: np.ndarray) -> Generator:
+        """Node-local broadcast: root publishes, others copy after barrier."""
         if tid == 0:
             self._root_buf = buf
         yield from self._barrier.wait()

@@ -43,6 +43,13 @@ def start_nonblocking_collective(comm: "Communicator", opname: str,
     """
     comm._check_alive()
     if comm._collective_active is not None:
+        chk = comm.sim.checker
+        if chk is not None:
+            chk.violation(
+                "CHK111",
+                f"nonblocking collective {opname!r} overlaps "
+                f"{comm._collective_active!r} on communicator {comm.name!r}",
+                rank=comm.lib.rank, comm=comm.name, hard=True)
         raise MpiUsageError(
             f"collective {opname!r} issued on communicator {comm.name!r} "
             f"while {comm._collective_active!r} is in flight: MPI requires "

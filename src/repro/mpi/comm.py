@@ -146,6 +146,18 @@ class Communicator:
             if not wildcard_ok:
                 raise MpiUsageError("ANY_SOURCE is invalid for sends")
             if self.hints.no_any_source:
+                chk = self.lib.sim.checker
+                if chk is not None:
+                    # Raise mode raises CheckError inside violation();
+                    # warn mode records and lets the wildcard through
+                    # (the simulation handles it fine — the hint is a
+                    # contract with the real MPI library, not with us).
+                    chk.violation(
+                        "CHK104",
+                        f"ANY_SOURCE used on communicator {self.name!r} "
+                        f"asserting mpi_assert_no_any_source",
+                        rank=self.lib.rank, comm=self.name)
+                    return
                 raise HintViolationError(
                     "ANY_SOURCE used on a communicator asserting "
                     "mpi_assert_no_any_source")
@@ -159,6 +171,14 @@ class Communicator:
             if not wildcard_ok:
                 raise MpiUsageError("ANY_TAG is invalid for sends")
             if self.hints.no_any_tag:
+                chk = self.lib.sim.checker
+                if chk is not None:
+                    chk.violation(
+                        "CHK104",
+                        f"ANY_TAG used on communicator {self.name!r} "
+                        f"asserting mpi_assert_no_any_tag",
+                        rank=self.lib.rank, comm=self.name)
+                    return
                 raise HintViolationError(
                     "ANY_TAG used on a communicator asserting "
                     "mpi_assert_no_any_tag")
@@ -199,6 +219,13 @@ class Communicator:
         context_id = self.context_id if _context_id is None else _context_id
         payload = flat[:n].copy()
         meta = {"src_addr": self.rank, "dst_addr": dest}
+        chk = lib.sim.checker
+        if chk is not None:
+            # The sender's clock rides in the message meta so the
+            # receiver's completion inherits a happens-before edge.
+            hb = chk.on_channel_send(self, dest, tag, context_id)
+            if hb is not None:
+                meta["_hb"] = hb
 
         if size <= lib.cfg.fabric.eager_threshold:
             msg = WireMessage(
@@ -223,6 +250,7 @@ class Communicator:
                 "dst_node": dst_proc.node.node_id, "dst_rank": dst_world,
                 "dst_vci": remote_vci_idx,
                 "src_addr": self.rank, "dst_addr": dest,
+                "hb": meta.get("_hb"),
             })
             # The RTS is a header-only control message on the wire.
             rts.size = 0
@@ -253,6 +281,9 @@ class Communicator:
         else:
             lock.try_acquire()
         context_id = self.context_id if _context_id is None else _context_id
+        if lib.sim.checker is not None:
+            lib.sim.checker.on_channel_recv(self, source, tag, context_id,
+                                            vci.index)
         # Matching is scan-until-match: a receive that matches the head of
         # the unexpected queue is O(1) even when the queue is deep.
         scan = vci.engine.scan_cost_unexpected(context_id, source, tag,
@@ -512,6 +543,17 @@ class Communicator:
             def __enter__(self):
                 comm._check_alive()
                 if comm._collective_active is not None:
+                    chk = comm.lib.sim.checker
+                    if chk is not None:
+                        # Hard rule: recorded for the report, but the
+                        # library must still raise — interleaving two
+                        # collectives would corrupt the matching stream.
+                        chk.violation(
+                            "CHK111",
+                            f"collective {opname!r} overlaps "
+                            f"{comm._collective_active!r} on communicator "
+                            f"{comm.name!r}",
+                            rank=comm.lib.rank, comm=comm.name, hard=True)
                     raise MpiUsageError(
                         f"collective {opname!r} issued on communicator "
                         f"{comm.name!r} while {comm._collective_active!r} is "
@@ -529,18 +571,21 @@ class Communicator:
         return _Guard()
 
     def Barrier(self) -> Generator[Event, Any, None]:
+        """Blocking barrier (dissemination algorithm)."""
         from .coll.algorithms import barrier_dissemination
         with self._collective("Barrier"):
             yield from barrier_dissemination(self)
 
     def Bcast(self, buf: np.ndarray, root: int = 0,
               count: Optional[int] = None) -> Generator[Event, Any, None]:
+        """Blocking broadcast from ``root`` (binomial tree)."""
         from .coll.algorithms import bcast_binomial
         with self._collective("Bcast"):
             yield from bcast_binomial(self, buf, root, count)
 
     def Reduce(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
                op=None, root: int = 0) -> Generator[Event, Any, None]:
+        """Blocking reduction to ``root`` (binomial tree)."""
         from .coll.algorithms import reduce_binomial
         from .coll.ops import SUM
         with self._collective("Reduce"):
@@ -553,6 +598,7 @@ class Communicator:
 
     def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
                   op=None) -> Generator[Event, Any, None]:
+        """Blocking allreduce; ring beyond ALLREDUCE_RING_THRESHOLD."""
         from .coll.algorithms import (
             allreduce_recursive_doubling,
             allreduce_ring,
@@ -569,30 +615,35 @@ class Communicator:
 
     def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray
                   ) -> Generator[Event, Any, None]:
+        """Blocking allgather (ring)."""
         from .coll.algorithms import allgather_ring
         with self._collective("Allgather"):
             yield from allgather_ring(self, sendbuf, recvbuf)
 
     def Alltoall(self, sendbuf: np.ndarray, recvbuf: np.ndarray
                  ) -> Generator[Event, Any, None]:
+        """Blocking all-to-all (pairwise exchange)."""
         from .coll.algorithms import alltoall_pairwise
         with self._collective("Alltoall"):
             yield from alltoall_pairwise(self, sendbuf, recvbuf)
 
     def Gather(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
                root: int = 0) -> Generator[Event, Any, None]:
+        """Blocking gather to ``root`` (binomial tree)."""
         from .coll.algorithms import gather_binomial
         with self._collective("Gather"):
             yield from gather_binomial(self, sendbuf, recvbuf, root)
 
     def Scatter(self, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray,
                 root: int = 0) -> Generator[Event, Any, None]:
+        """Blocking scatter from ``root`` (binomial tree)."""
         from .coll.algorithms import scatter_binomial
         with self._collective("Scatter"):
             yield from scatter_binomial(self, sendbuf, recvbuf, root)
 
     def Scan(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
              op=None) -> Generator[Event, Any, None]:
+        """Blocking inclusive prefix reduction (linear)."""
         from .coll.algorithms import scan_linear
         from .coll.ops import SUM
         with self._collective("Scan"):
@@ -601,6 +652,7 @@ class Communicator:
     def Reduce_scatter_block(self, sendbuf: np.ndarray,
                              recvbuf: np.ndarray, op=None
                              ) -> Generator[Event, Any, None]:
+        """Blocking reduce-then-scatter of equal blocks."""
         from .coll.algorithms import reduce_scatter_block
         from .coll.ops import SUM
         with self._collective("Reduce_scatter_block"):
@@ -610,12 +662,14 @@ class Communicator:
     def Gatherv(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
                 counts: Optional[list] = None, root: int = 0
                 ) -> Generator[Event, Any, None]:
+        """Blocking variable-count gather to ``root``."""
         from .coll.algorithms import gatherv_linear
         with self._collective("Gatherv"):
             yield from gatherv_linear(self, sendbuf, recvbuf, counts, root)
 
     def Allgatherv(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
                    counts: list) -> Generator[Event, Any, None]:
+        """Blocking variable-count allgather (ring)."""
         from .coll.algorithms import allgatherv_ring
         with self._collective("Allgatherv"):
             yield from allgatherv_ring(self, sendbuf, recvbuf, counts)
@@ -624,6 +678,7 @@ class Communicator:
     # nonblocking collectives (MPI-3 I... variants)
     # ------------------------------------------------------------------
     def Ibarrier(self) -> Generator[Event, Any, Request]:
+        """Nonblocking barrier; returns a waitable Request."""
         from .coll.algorithms import barrier_dissemination
         from .coll.nonblocking import start_nonblocking_collective
         req = yield from start_nonblocking_collective(
@@ -633,6 +688,7 @@ class Communicator:
     def Ibcast(self, buf: np.ndarray, root: int = 0,
                count: Optional[int] = None
                ) -> Generator[Event, Any, Request]:
+        """Nonblocking broadcast; returns a waitable Request."""
         from .coll.algorithms import bcast_binomial
         from .coll.nonblocking import start_nonblocking_collective
         req = yield from start_nonblocking_collective(
@@ -641,6 +697,7 @@ class Communicator:
 
     def Iallreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
                    op=None) -> Generator[Event, Any, Request]:
+        """Nonblocking allreduce; returns a waitable Request."""
         from .coll.algorithms import allreduce_recursive_doubling
         from .coll.nonblocking import start_nonblocking_collective
         from .coll.ops import SUM

@@ -22,6 +22,8 @@ from .info import Info
 from .vci import EndpointVciMap
 
 if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
     from .library import MpiLibrary
 
 __all__ = ["Endpoint", "comm_create_endpoints",
@@ -52,7 +54,8 @@ class Endpoint(Communicator):
             "endpoint communicators cannot be duplicated; create a new set "
             "of endpoints from the parent communicator instead")
 
-    def Allreduce(self, sendbuf, recvbuf, op=None):
+    def Allreduce(self, sendbuf: "np.ndarray", recvbuf: "np.ndarray",
+                  op: Any = None) -> Generator[Event, Any, None]:
         """One-step allreduce: the library performs both the intranode and
         the internode portions (Lesson 18) via the hierarchical
         endpoint-aware algorithm."""

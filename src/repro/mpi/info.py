@@ -206,6 +206,7 @@ class WindowHints:
 
 
 def parse_window_hints(info: Optional[Info]) -> WindowHints:
+    """Extract window-creation hints from an Info object."""
     if info is None:
         return WindowHints()
     kw = {}

@@ -272,6 +272,12 @@ class MpiLibrary:
         resume the first waiter before the later messages are delivered.
         """
         payload = msg.payload
+        if self.sim.checker is not None:
+            hb = msg.meta.get("_hb")
+            if hb is not None:
+                # The sender's clock rode in the meta; the receive's
+                # completion inherits the send's happens-before edges.
+                self.sim.checker.on_msg_join(entry.req, hb)
         recv_bytes = entry.count * entry.buf.dtype.itemsize
         if msg.size > recv_bytes:
             entry.req.complete_with_error(TruncationError(
@@ -315,6 +321,11 @@ class MpiLibrary:
         """Sender side: CTS arrived — stream the payload."""
         state = self._rndv_sends.pop(msg.meta["rid"])
         vci = self.vci_pool.get(msg.dst_vci)
+        meta = {"rid": msg.meta["rid"],
+                "src_addr": state["src_addr"],
+                "dst_addr": state["dst_addr"]}
+        if state.get("hb") is not None:
+            meta["_hb"] = state["hb"]
         data = WireMessage(
             kind=MessageKind.RNDV_DATA,
             src_node=self.node.node_id, dst_node=state["dst_node"],
@@ -322,9 +333,7 @@ class MpiLibrary:
             context_id=state["context_id"], tag=state["tag"],
             size=state["size"], payload=state["payload"],
             src_vci=vci.index, dst_vci=state["dst_vci"],
-            meta={"rid": msg.meta["rid"],
-                  "src_addr": state["src_addr"],
-                  "dst_addr": state["dst_addr"]},
+            meta=meta,
         )
         depart = self.issue_async(vci, data)
         # The send request completes locally once the payload has left.
@@ -373,4 +382,9 @@ class MpiLibrary:
         done._triggered = True
         done._value = status
         done.callbacks.insert(0, req._finalize)
+        if self.sim.checker is not None:
+            # The completion is scheduled, not immediate, but the
+            # happens-before contribution is the scheduling task's clock
+            # (a local send completion), so record it here.
+            self.sim.checker.on_request_complete(req)
         self.sim._enqueue(done, max(0.0, when - self.sim.now), priority=1)

@@ -499,6 +499,7 @@ class LinearMatchingEngine(_EngineBase):
 
     # -- receive side ------------------------------------------------------
     def post_recv(self, entry: PostedRecv) -> tuple[Optional[WireMessage], int]:
+        """Scan unexpected linearly for a match, else append to posted."""
         scanned = 0
         for i, msg in enumerate(self.unexpected):
             scanned += 1
@@ -521,6 +522,7 @@ class LinearMatchingEngine(_EngineBase):
 
     def probe(self, context_id: int, source: int, tag: int,
               dst_addr: int) -> tuple[Optional[WireMessage], int]:
+        """Non-destructive linear scan of the unexpected queue."""
         scanned = 0
         for msg in self.unexpected:
             scanned += 1
@@ -532,6 +534,7 @@ class LinearMatchingEngine(_EngineBase):
 
     def claim_unexpected(self, context_id: int, source: int, tag: int,
                          dst_addr: int) -> tuple[Optional[WireMessage], int]:
+        """Linearly find, remove and return a matching unexpected message."""
         scanned = 0
         for i, msg in enumerate(self.unexpected):
             scanned += 1
@@ -544,6 +547,7 @@ class LinearMatchingEngine(_EngineBase):
 
     def scan_cost_unexpected(self, context_id: int, source: int, tag: int,
                              dst_addr: int) -> int:
+        """Entries a matching scan of the unexpected queue would visit."""
         scanned = 0
         for msg in self.unexpected:
             scanned += 1
@@ -552,6 +556,7 @@ class LinearMatchingEngine(_EngineBase):
         return scanned
 
     def scan_cost_posted(self, msg: WireMessage) -> int:
+        """Entries a matching scan of the posted queue would visit."""
         scanned = 0
         for entry in self.posted:
             scanned += 1
@@ -561,6 +566,7 @@ class LinearMatchingEngine(_EngineBase):
 
     # -- arrival side --------------------------------------------------------
     def incoming(self, msg: WireMessage) -> tuple[Optional[PostedRecv], int]:
+        """Linearly match an arrival against posted, else enqueue unexpected."""
         scanned = 0
         for i, entry in enumerate(self.posted):
             scanned += 1
@@ -590,6 +596,7 @@ class LinearMatchingEngine(_EngineBase):
         return len(self.unexpected)
 
     def cancel_posted(self, req: Request) -> bool:
+        """Linear-scan removal of the posted entry for ``req``."""
         for i, entry in enumerate(self.posted):
             if entry.req is req:
                 del self.posted[i]

@@ -94,10 +94,25 @@ class _PartitionedOp:
         return (self.base_vci + i % self.num_vcis) \
             % self.lib.vci_pool.max_vcis
 
-    def _check_active(self, what: str) -> None:
-        if not self.active:
-            raise MpiUsageError(f"{what} on an inactive partitioned request "
-                                "(call start() first)")
+    def _check_active(self, what: str) -> bool:
+        """True iff the operation has an active cycle.
+
+        Without one this is a protocol error: recorded as CHK105 when the
+        checker is on (warn mode lets the caller take a safe no-op path),
+        otherwise the historical MpiUsageError.
+        """
+        if self.active:
+            return True
+        chk = self.sim.checker
+        if chk is not None:
+            chk.violation(
+                "CHK105",
+                f"{what} on an inactive partitioned request (call start() "
+                f"first)",
+                rank=self.lib.rank, tag=self.tag, peer=self.peer)
+            return False
+        raise MpiUsageError(f"{what} on an inactive partitioned request "
+                            "(call start() first)")
 
     def wait(self) -> Generator[Event, Any, None]:
         """Complete the active cycle (MPI_Wait on the partitioned request).
@@ -105,7 +120,8 @@ class _PartitionedOp:
         After wait() the operation is inactive again and may be
         re-started — persistence in action.
         """
-        self._check_active("wait")
+        if not self._check_active("wait"):
+            return
         yield from self.request.wait()
         self.active = False
 
@@ -162,7 +178,8 @@ class PsendRequest(_PartitionedOp):
     def pready(self, i: int) -> Generator[Event, Any, None]:
         """Mark partition ``i`` ready (MPI_Pready) — callable from any
         thread. Contends on the shared request lock."""
-        self._check_active("pready")
+        if not self._check_active("pready"):
+            return
         if not 0 <= i < self.partitions:
             raise MpiUsageError(f"partition {i} out of range")
         lib = self.lib
@@ -175,6 +192,16 @@ class PsendRequest(_PartitionedOp):
         yield self.sim.timeout(cost)
         if self._ready[i]:
             self.shared_lock.release()
+            chk = self.sim.checker
+            if chk is not None:
+                # Warn mode: the duplicate pready becomes a no-op (the
+                # partition is already on its way).
+                chk.violation(
+                    "CHK106",
+                    f"partition {i} marked ready twice in cycle "
+                    f"{self.cycle}",
+                    rank=self.lib.rank, part=i, tag=self.tag)
+                return
             raise MpiUsageError(f"partition {i} marked ready twice")
         self._ready[i] = True
         deferred = not self.channel_ready
@@ -266,6 +293,7 @@ class PrecvRequest(_PartitionedOp):
         self._buffered: dict[tuple[int, int], WireMessage] = {}
 
     def start(self) -> Generator[Event, Any, None]:
+        """Begin a new reception cycle; reposts partition receives."""
         if self.active:
             raise MpiUsageError("start on an already-active partitioned recv")
         self.active = True
@@ -306,7 +334,8 @@ class PrecvRequest(_PartitionedOp):
     def parrived(self, i: int) -> Generator[Event, Any, bool]:
         """Check arrival of partition ``i`` (MPI_Parrived): a lightweight
         flag read, no lock."""
-        self._check_active("parrived")
+        if not self._check_active("parrived"):
+            return False
         if not 0 <= i < self.partitions:
             raise MpiUsageError(f"partition {i} out of range")
         yield self.sim.timeout(self.lib.cpu.parrived)

@@ -97,12 +97,14 @@ def recv_init(comm: "Communicator", buf: np.ndarray, source: int, tag: int,
 
 def start_all_persistent(reqs: list[PersistentRequest]
                          ) -> Generator[Event, Any, None]:
+    """Start every persistent request (MPI_Startall)."""
     for r in reqs:
         yield from r.start()
 
 
 def wait_all_persistent(reqs: list[PersistentRequest]
                         ) -> Generator[Event, Any, list]:
+    """Wait on every persistent request; returns their results in order."""
     out = []
     for r in reqs:
         out.append((yield from r.wait()))

@@ -58,6 +58,8 @@ class Request:
         #: The VCI the operation was posted on (set by the posting path);
         #: MPI_Test on the request serializes on this channel's lock.
         self.vci = None
+        if sim.checker is not None:
+            sim.checker.on_request_new(self)
 
     # -- library side ------------------------------------------------------
     def complete(self, source: int = -1, tag: int = -1, count: int = 0) -> None:
@@ -68,6 +70,8 @@ class Request:
         self.status.source = source
         self.status.tag = tag
         self.status.count = count
+        if self.sim.checker is not None:
+            self.sim.checker.on_request_complete(self)
         self._done.succeed(self.status)
 
     def _complete_inline(self, source: int, tag: int, count: int) -> None:
@@ -87,6 +91,8 @@ class Request:
         status.source = source
         status.tag = tag
         status.count = count
+        if self.sim.checker is not None:
+            self.sim.checker.on_request_complete(self)
         done = self._done
         done._triggered = True
         done._value = status
@@ -99,10 +105,13 @@ class Request:
         self._completed = True
 
     def complete_with_error(self, exc: BaseException) -> None:
+        """Complete the request carrying ``exc`` in its status."""
         if self._completed:
             raise MpiUsageError(f"request {self.rid} completed twice")
         self._completed = True
         self.status.error = exc
+        if self.sim.checker is not None:
+            self.sim.checker.on_request_complete(self)
         self._done.fail(exc)
 
     # -- user side ----------------------------------------------------------
@@ -117,12 +126,16 @@ class Request:
         completes immediately with ``status.cancelled`` set — visible
         through :meth:`test`, :meth:`wait`, and :func:`waitall`.
         """
+        if self.sim.checker is not None:
+            self.sim.checker.on_request_access(self)
         if self._completed:
             return False
         if self.vci is None or not self.vci.engine.cancel_posted(self):
             return False
         self._completed = True
         self.status.cancelled = True
+        if self.sim.checker is not None:
+            self.sim.checker.on_request_complete(self)
         self._done.succeed(self.status)
         return True
 
@@ -136,7 +149,12 @@ class Request:
 
     def test(self) -> Optional[Status]:
         """Nonblocking completion check (MPI_Test): Status or None."""
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_request_access(self)
         if self._completed:
+            if chk is not None:
+                chk.on_request_join(self)
             if self.status.error is not None:
                 raise self.status.error
             return self.status
@@ -144,8 +162,13 @@ class Request:
 
     def wait(self) -> Generator[Event, Any, Status]:
         """Block (in simulated time) until complete; returns the Status."""
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_request_access(self)
         if not self._completed:
             yield self._done
+        if chk is not None:
+            chk.on_request_join(self)
         if self.status.error is not None:
             raise self.status.error
         return self.status

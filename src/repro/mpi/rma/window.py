@@ -159,6 +159,9 @@ class Window:
         flat = check_buffer(origin, count)
         n = flat.size if count is None else count
         self._check_target(target, disp, n)
+        if self.sim.checker is not None:
+            self.sim.checker.on_rma_op(self, "Put", target, disp, n,
+                                       atomic=False, write=True)
         lib = self.lib
         yield lib.sim.timeout(lib.cpu.send_post)
         vci, msg = self._build(MessageKind.RMA_PUT, target, disp,
@@ -175,6 +178,9 @@ class Window:
         flat = check_buffer(origin, count)
         n = flat.size if count is None else count
         self._check_target(target, disp, n)
+        if self.sim.checker is not None:
+            self.sim.checker.on_rma_op(self, "Get", target, disp, n,
+                                       atomic=False, write=False)
         lib = self.lib
         req = Request(lib.sim, "rma-get")
         req.user_data = flat[:n]
@@ -197,6 +203,9 @@ class Window:
         flat = check_buffer(origin, count)
         n = flat.size if count is None else count
         self._check_target(target, disp, n)
+        if self.sim.checker is not None:
+            self.sim.checker.on_rma_op(self, "Accumulate", target, disp, n,
+                                       atomic=True, write=True)
         lib = self.lib
         yield lib.sim.timeout(lib.cpu.send_post)
         vci, msg = self._build(MessageKind.RMA_ACC, target, disp,
@@ -213,6 +222,9 @@ class Window:
         val = check_buffer(value, 1)
         res = check_buffer(result, 1)
         self._check_target(target, disp, 1)
+        if self.sim.checker is not None:
+            self.sim.checker.on_rma_op(self, "Fetch_and_op", target, disp,
+                                       1, atomic=True, write=True)
         lib = self.lib
         req = Request(lib.sim, "rma-fop")
         req.user_data = res
@@ -239,6 +251,9 @@ class Window:
         n = flat.size if count is None else count
         res = check_buffer(result, n)
         self._check_target(target, disp, n)
+        if self.sim.checker is not None:
+            self.sim.checker.on_rma_op(self, "Get_accumulate", target,
+                                       disp, n, atomic=True, write=True)
         lib = self.lib
         req = Request(lib.sim, "rma-getacc")
         req.user_data = res[:n]
@@ -268,6 +283,9 @@ class Window:
         org = check_buffer(origin, 1)
         res = check_buffer(result, 1)
         self._check_target(target, disp, 1)
+        if self.sim.checker is not None:
+            self.sim.checker.on_rma_op(self, "Compare_and_swap", target,
+                                       disp, 1, atomic=True, write=True)
         lib = self.lib
         req = Request(lib.sim, "rma-cas")
         req.user_data = res[:1]
@@ -311,18 +329,26 @@ class Window:
 
     def Lock(self, target: int) -> Generator[Event, Any, None]:
         """Passive-target lock (modelled as an epoch open: local cost only)."""
+        if self.sim.checker is not None:
+            self.sim.checker.on_rma_sync(self, "lock", target)
         yield self.sim.timeout(self.lib.cpu.lock_acquire)
 
     def Unlock(self, target: int) -> Generator[Event, Any, None]:
         """Close a passive epoch: flush the target."""
+        if self.sim.checker is not None:
+            self.sim.checker.on_rma_sync(self, "unlock", target)
         yield from self.Flush(target)
 
     def Lock_all(self) -> Generator[Event, Any, None]:
         """Open a passive epoch to every target (MPI_Win_lock_all)."""
+        if self.sim.checker is not None:
+            self.sim.checker.on_rma_sync(self, "lock", None)
         yield self.sim.timeout(self.lib.cpu.lock_acquire)
 
     def Unlock_all(self) -> Generator[Event, Any, None]:
         """Close the all-target passive epoch: flush everything."""
+        if self.sim.checker is not None:
+            self.sim.checker.on_rma_sync(self, "unlock", None)
         yield from self.Flush_all()
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -448,4 +474,6 @@ def win_create(comm: "Communicator", memory: np.ndarray,
     sizes = [meeting.contributions[r] for r in range(comm.size)]
     win = Window(comm, flat, win_id, sizes, hints)
     lib.rma_windows[(win_id, comm.rank)] = win
+    if lib.sim.checker is not None:
+        lib.sim.checker.register_window(win)
     return win

@@ -191,13 +191,13 @@ class SingleVciMap(VciMap):
     def __init__(self, index: int):
         self.index = index
 
-    def send_local(self, src_addr, dst_addr, tag):
+    def send_local(self, src_addr: int, dst_addr: int, tag: int) -> int:
         return self.index
 
-    def send_remote(self, src_addr, dst_addr, tag):
+    def send_remote(self, src_addr: int, dst_addr: int, tag: int) -> int:
         return self.index
 
-    def recv_vci(self, dst_addr, source, tag):
+    def recv_vci(self, dst_addr: int, source: int, tag: int) -> int:
         return self.index
 
     def describe(self) -> str:
@@ -248,21 +248,22 @@ class TagBitsVciMap(VciMap):
         return self.base + value % self.n
 
     # -- policy ---------------------------------------------------------------
-    def send_local(self, src_addr, dst_addr, tag):
+    def send_local(self, src_addr: int, dst_addr: int, tag: int) -> int:
         if not self.hints.send_side_spreading:
             return self.base
         if self.one_to_one:
             return self._spread(self.src_field(tag))
         return self._spread(mix_hash(tag))
 
-    def send_remote(self, src_addr, dst_addr, tag):
+    def send_remote(self, src_addr: int, dst_addr: int, tag: int) -> int:
         if not self.hints.recv_side_spreading:
             return self.base
         if self.one_to_one:
             return self._spread(self.dst_field(tag))
         return self._spread(mix_hash(tag))
 
-    def recv_vci(self, dst_addr, source, tag):
+    def recv_vci(self, dst_addr: int, source: int, tag: int) -> int:
+        """VCI whose queues a posted receive with this tag lives on."""
         if not self.hints.recv_side_spreading:
             return self.base
         if tag == ANY_TAG:
@@ -288,13 +289,13 @@ class EndpointVciMap(VciMap):
         #: that endpoint. Shared by all endpoints of the communicator.
         self.table = ep_vci_table
 
-    def send_local(self, src_addr, dst_addr, tag):
+    def send_local(self, src_addr: int, dst_addr: int, tag: int) -> int:
         return self.my_vci
 
-    def send_remote(self, src_addr, dst_addr, tag):
+    def send_remote(self, src_addr: int, dst_addr: int, tag: int) -> int:
         return self.table[dst_addr]
 
-    def recv_vci(self, dst_addr, source, tag):
+    def recv_vci(self, dst_addr: int, source: int, tag: int) -> int:
         # Matching lives on the endpoint's own VCI regardless of source or
         # tag — wildcards remain legal (Lesson 11).
         return self.my_vci

@@ -45,6 +45,7 @@ class _TrackInterner:
         self.metadata: list[dict[str, Any]] = []
 
     def track(self, record: TraceRecord) -> tuple[int, int]:
+        """Map a record to stable Chrome (pid, tid) track ids."""
         payload = _payload_dict(record)
         pid = int(payload.get("rank", payload.get("pid", 0)))
         name = payload.get("task")

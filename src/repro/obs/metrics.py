@@ -94,6 +94,7 @@ class Gauge:
         self._samples = 0
 
     def set(self, value: float) -> None:
+        """Set the gauge, folding the old value into the time-weighted mean."""
         t = self._now()
         self._weighted_sum += self.value * (t - self._last_time)
         self._last_time = t
@@ -146,6 +147,7 @@ class Histogram:
         self.max_value = float("-inf")
 
     def observe(self, value: float, weight: float = 1.0) -> None:
+        """Record one sample into count/total/min/max and its bucket."""
         self.count += 1
         self.total += value
         self.weight += weight
@@ -213,6 +215,7 @@ class MetricsRegistry:
 
     # -- series construction ----------------------------------------------
     def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create the counter with this name and label set."""
         key = (name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
@@ -221,6 +224,7 @@ class MetricsRegistry:
         return metric
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create the gauge with this name and label set."""
         key = (name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
@@ -231,6 +235,7 @@ class MetricsRegistry:
     def histogram(self, name: str,
                   bounds: tuple[float, ...] = DURATION_BUCKETS,
                   **labels: Any) -> Histogram:
+        """Get or create the histogram with this name, bounds and labels."""
         key = (name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:

@@ -21,6 +21,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..check.checker import CheckConfig, Checker
+from ..check.report import CheckReport
+from ..check.session import default_check
 from ..errors import MpiUsageError
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
@@ -109,6 +112,8 @@ class _Meeting:
     contributions: dict[int, Any] = field(default_factory=dict)
     shared: dict[str, Any] = field(default_factory=dict)
     arrived: int = 0
+    #: Merged vector clock of all arrivers (checker-only, else None).
+    hb_clock: Optional[dict[int, int]] = None
 
 
 class World:
@@ -131,6 +136,12 @@ class World:
     neither affects simulated timings when enabled: metric recording
     schedules no events, so instrumented and bare runs of the same seed
     produce identical timings.
+
+    A third hook, ``check=``, enables the correctness analyzer
+    (:mod:`repro.check`): pass a :class:`repro.check.CheckConfig` (or
+    ``True`` for defaults) and read :meth:`check_report` after the run.
+    Like the instruments it is observer-only — simulated timings are
+    byte-identical with checking on or off.
     """
 
     def __init__(self, num_nodes: int = 2, procs_per_node: int = 1,
@@ -140,10 +151,24 @@ class World:
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
                  faults: Optional[FaultPlan] = None,
-                 transport: Optional[TransportParams] = None):
+                 transport: Optional[TransportParams] = None,
+                 check: Optional[CheckConfig | bool] = None):
         if num_nodes < 1 or procs_per_node < 1 or threads_per_proc < 1:
             raise MpiUsageError("world dimensions must be positive")
         self.sim = Simulator()
+        # -- correctness checking (opt-in) ------------------------------
+        # check=None adopts the session default (set by `python -m repro
+        # check`), check=False forces it off, check=True/CheckConfig(...)
+        # turns it on for this world. Installed before any simulation
+        # object exists so every task spawn is observed.
+        if check is None:
+            check = default_check()
+        if check is True:
+            check = CheckConfig()
+        self.checker: Optional[Checker] = None
+        if check:
+            self.checker = Checker(self.sim, check)
+            self.sim.checker = self.checker
         # `is None`, not truthiness: both instruments are falsy when empty.
         if metrics is None:
             metrics = MetricsRegistry(enabled=False)
@@ -283,6 +308,9 @@ class World:
             raise MpiUsageError(f"rank {rank} joined meeting {key!r} twice")
         meeting.contributions[rank] = contribution
         meeting.arrived += 1
+        chk = self.sim.checker
+        if chk is not None:
+            chk.meet_arrive(meeting)
         if meeting.arrived == meeting.expected:
             del self._meetings[key]
             if finalize is not None:
@@ -290,6 +318,8 @@ class World:
             meeting.gate.open()
         else:
             yield from meeting.gate.wait()
+        if chk is not None:
+            chk.meet_depart(meeting)
         return meeting
 
     # ------------------------------------------------------------------
@@ -321,6 +351,17 @@ class World:
             return
         collect_world(self, self.metrics)
         self._metrics_finalized = True
+
+    def check_report(self) -> CheckReport:
+        """The correctness checker's report for this world.
+
+        Runs the end-of-run scans (lock-order cycles, leaked requests and
+        windows) on first call; idempotent afterwards. Without
+        ``check=`` the report is trivially clean.
+        """
+        if self.checker is None:
+            return CheckReport([], mode="warn")
+        return self.checker.finalize()
 
     def run_all(self, tasks: Iterable[Process],
                 max_steps: Optional[int] = None) -> list[Any]:

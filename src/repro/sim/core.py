@@ -177,6 +177,8 @@ class Process(Event):
         self._pid = sim._next_pid
         sim._next_pid += 1
         sim._processes[self._pid] = self
+        if sim.checker is not None:
+            sim.checker.on_spawn(self)
         # Bootstrap: start the generator at the current simulation time.
         # Built by hand (a pre-triggered bare Event carrying the resume
         # callback) to keep spawn off the succeed/add_callback slow path.
@@ -206,6 +208,8 @@ class Process(Event):
 
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
+        if self.sim.checker is not None:
+            self.sim.checker.on_resume(self, trigger)
         self.sim._active_process = self
         try:
             if trigger._exc is not None:
@@ -245,11 +249,15 @@ class AllOf(Event):
     wins).
     """
 
-    __slots__ = ("_pending", "_results", "_failed")
+    __slots__ = ("_pending", "_results", "_failed", "_children")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         events = list(events)
+        # The checker joins the clocks of joined child processes when a
+        # task resumes from an AllOf; without a checker the reference is
+        # dropped so completed children stay collectable.
+        self._children = events if sim.checker is not None else None
         self._results: list[Any] = [None] * len(events)
         self._pending = len(events)
         self._failed = False
@@ -305,6 +313,10 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Installed by ``World(check=...)``: a :class:`repro.check.Checker`
+        #: observing this simulator, or None. Hook sites guard on this so
+        #: an unchecked run pays one attribute test per site.
+        self.checker = None
         self.steps = 0
         #: Live processes by spawn id (for deadlock diagnostics); completed
         #: processes remove themselves so long sweeps don't accumulate.

@@ -83,6 +83,8 @@ class Lock:
             self._acquired_at = self.sim.now
             if self.observer is not None:
                 self.observer("acquire", 0.0, 0)
+            if self.sim.checker is not None:
+                self.sim.checker.lock_acquired(self)
             return
         self.stats.contended_acquisitions += 1
         waiter = self.sim.event()
@@ -97,6 +99,8 @@ class Lock:
         self._acquired_at = self.sim.now
         if self.observer is not None:
             self.observer("acquire", wait, queue_position)
+        if self.sim.checker is not None:
+            self.sim.checker.lock_acquired(self)
 
     def try_acquire(self) -> bool:
         """Non-blocking acquire; returns True on success."""
@@ -107,15 +111,22 @@ class Lock:
         self._acquired_at = self.sim.now
         if self.observer is not None:
             self.observer("acquire", 0.0, 0)
+        if self.sim.checker is not None:
+            self.sim.checker.lock_acquired(self)
         return True
 
     def release(self) -> None:
+        """Release the lock, accounting hold time; wakes one waiter."""
         if not self.locked:
             raise SimulationError(f"release of unheld lock {self.name!r}")
         hold = self.sim.now - self._acquired_at
         self.stats.total_hold_time += hold
         if self.observer is not None:
             self.observer("hold", hold, len(self._waiters))
+        # Publish before any handoff so a directly-resumed waiter joins
+        # this holder's clock when its acquire() continues.
+        if self.sim.checker is not None:
+            self.sim.checker.lock_released(self)
         if self._waiters:
             # Hand the lock to the next waiter; it stays locked.
             self._acquired_at = self.sim.now
@@ -142,16 +153,25 @@ class Semaphore:
         self.stats = ContentionStats()
 
     def post(self, n: int = 1) -> None:
+        """Add ``n`` units, waking up to ``n`` blocked waiters in FIFO order."""
+        chk = self.sim.checker
         for _ in range(n):
+            # The checker's FIFO clock queue gives each wait() a
+            # happens-before edge from the post() that fed it.
+            if chk is not None:
+                chk.mailbox_put(self)
             if self._waiters:
                 self._waiters.popleft().succeed()
             else:
                 self.count += 1
 
     def wait(self) -> Generator[Event, Any, None]:
+        """Take one unit, blocking FIFO while the count is zero."""
         self.stats.acquisitions += 1
         if self.count > 0:
             self.count -= 1
+            if self.sim.checker is not None:
+                self.sim.checker.mailbox_got(self)
             return
         self.stats.contended_acquisitions += 1
         waiter = self.sim.event()
@@ -159,6 +179,8 @@ class Semaphore:
         t0 = self.sim.now
         yield waiter
         self.stats.total_wait_time += self.sim.now - t0
+        if self.sim.checker is not None:
+            self.sim.checker.mailbox_got(self)
 
 
 class Barrier:
@@ -184,14 +206,21 @@ class Barrier:
         self.stats = ContentionStats()
 
     def wait(self) -> Generator[Event, Any, None]:
+        """Block until all parties arrive; last arriver opens the gate."""
         if self.per_entry_cost:
             yield self.sim.timeout(self.per_entry_cost)
+        chk = self.sim.checker
+        if chk is not None:
+            chk.barrier_arrive(self)
         self.stats.acquisitions += 1
         self._count += 1
         if self._count == self.parties:
             gate, self._gate = self._gate, self.sim.event()
             self._count = 0
             self.generation += 1
+            if chk is not None:
+                chk.barrier_release(self)
+                chk.barrier_depart(self)
             gate.succeed()
             return
         self.stats.contended_acquisitions += 1
@@ -199,6 +228,8 @@ class Barrier:
         gate = self._gate
         yield gate
         self.stats.total_wait_time += self.sim.now - t0
+        if chk is not None:
+            chk.barrier_depart(self)
 
 
 class Gate:
@@ -217,6 +248,8 @@ class Gate:
 
     def open(self, value: Any = None) -> None:
         if not self._open:
+            if self.sim.checker is not None:
+                self.sim.checker.gate_opened(self)
             self._open = True
             self._event.succeed(value)
 
@@ -226,9 +259,14 @@ class Gate:
             self._event = self.sim.event()
 
     def wait(self) -> Generator[Event, Any, Any]:
+        """Return immediately if the gate is open, else block for open()."""
         if self._open:
+            if self.sim.checker is not None:
+                self.sim.checker.gate_passed(self)
             return None
         value = yield self._event
+        if self.sim.checker is not None:
+            self.sim.checker.gate_passed(self)
         return value
 
 
@@ -248,22 +286,33 @@ class Mailbox:
         self._getters: Deque[Event] = deque()
 
     def put(self, item: Any) -> None:
+        if self.sim.checker is not None:
+            self.sim.checker.mailbox_put(self)
         if self._getters:
             self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
 
     def get(self) -> Generator[Event, Any, Any]:
+        """Take the oldest item, blocking while the mailbox is empty."""
         if self._items:
-            return self._items.popleft()
+            item = self._items.popleft()
+            if self.sim.checker is not None:
+                self.sim.checker.mailbox_got(self)
+            return item
         waiter = self.sim.event()
         self._getters.append(waiter)
         item = yield waiter
+        if self.sim.checker is not None:
+            self.sim.checker.mailbox_got(self)
         return item
 
     def try_get(self) -> tuple[bool, Optional[Any]]:
         if self._items:
-            return True, self._items.popleft()
+            item = self._items.popleft()
+            if self.sim.checker is not None:
+                self.sim.checker.mailbox_got(self)
+            return True, item
         return False, None
 
     def __len__(self) -> int:

@@ -174,6 +174,8 @@ class TraceCategory(metaclass=_FrozenNamespace):
 
 @dataclass(frozen=True)
 class TraceRecord:
+    """One timestamped trace event: (time, category, payload)."""
+
     time: float
     category: Category
     payload: Any

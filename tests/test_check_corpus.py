@@ -1,0 +1,147 @@
+"""The clean corpus: every example program and every app driver runs
+under the dynamic checker with zero violations.
+
+This is the analyzer's false-positive regression net — new hooks or rules
+that misfire on correct MPI+threads code fail here first.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.apps.device.offload import DeviceConfig, run_device
+from repro.apps.graph.vite import GraphConfig, run_graph
+from repro.apps.legion.circuit import CircuitConfig, run_circuit
+from repro.apps.legion.runtime import (
+    MECHANISMS as LEGION_MECHANISMS,
+    LegionConfig,
+    run_legion,
+)
+from repro.apps.nwchem.blocksparse import NwchemConfig, run_nwchem
+from repro.apps.stencil.drivers import (
+    MECHANISMS as STENCIL_MECHANISMS,
+    StencilConfig,
+)
+from repro.apps.stencil.runner import run_stencil
+from repro.apps.vasp.allreduce import VaspConfig, run_vasp
+from repro.check import CheckConfig, checking
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+EXAMPLES = [
+    "quickstart.py",
+    "stencil_halo_exchange.py",
+    "legion_event_runtime.py",
+    "nwchem_rma.py",
+    "vasp_collectives.py",
+    "device_offload.py",
+]
+
+QUIET = CheckConfig(emit_warnings=False)
+
+
+def run_checked(fn):
+    """Run ``fn`` with the session-default checker on; return the report."""
+    with checking(QUIET) as session:
+        fn()
+    return session.report()
+
+
+def assert_clean(report):
+    assert report.clean, report.render()
+    # at least one World must actually have been checked
+    assert report.finalized
+
+
+# ------------------------------------------------------------- examples
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_is_violation_free(script):
+    """``python -m repro check examples/<script>`` exits 0 (clean)."""
+    path = os.path.join(ROOT, "examples", script)
+    env = dict(os.environ, PYTHONPATH=os.path.join(ROOT, "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "check", path],
+        capture_output=True, text=True, timeout=600, cwd=ROOT, env=env)
+    assert proc.returncode == 0, (proc.stdout[-2000:], proc.stderr[-2000:])
+    assert "no violations detected" in proc.stdout
+
+
+# ---------------------------------------------------------- app drivers
+
+@pytest.mark.parametrize("mechanism", STENCIL_MECHANISMS)
+def test_stencil_driver_clean(mechanism):
+    cfg = StencilConfig(proc_grid=(2, 1), thread_grid=(2, 2),
+                        pnx=4, pny=4, iters=2, mechanism=mechanism)
+    report = run_checked(lambda: run_stencil(cfg))
+    assert_clean(report)
+
+
+def test_msgrate_driver_clean():
+    from repro.bench.msgrate import MsgRateConfig, run_msgrate
+    cfg = MsgRateConfig(mode="everywhere", cores=2, msgs_per_core=4)
+    report = run_checked(lambda: run_msgrate(cfg))
+    assert_clean(report)
+
+
+def test_nwchem_driver_clean():
+    cfg = NwchemConfig(num_nodes=2, threads_per_proc=2, tiles_per_proc=2,
+                       tile_dim=4, tasks_per_thread=2)
+    report = run_checked(lambda: run_nwchem(cfg))
+    assert_clean(report)
+
+
+def test_vasp_driver_clean():
+    cfg = VaspConfig(num_nodes=2, threads_per_proc=2, elems=64)
+    report = run_checked(lambda: run_vasp(cfg))
+    assert_clean(report)
+
+
+@pytest.mark.parametrize("mechanism", LEGION_MECHANISMS)
+def test_legion_driver_clean(mechanism):
+    cfg = LegionConfig(num_nodes=2, task_threads=2, msgs_per_thread=2,
+                       mechanism=mechanism)
+    report = run_checked(lambda: run_legion(cfg))
+    assert_clean(report)
+
+
+@pytest.mark.parametrize("mechanism", LEGION_MECHANISMS)
+def test_circuit_driver_clean(mechanism):
+    cfg = CircuitConfig(num_nodes=2, task_threads=2, wires_per_thread=2,
+                        timesteps=2, mechanism=mechanism)
+    report = run_checked(lambda: run_circuit(cfg))
+    assert_clean(report)
+
+
+def test_graph_driver_clean():
+    cfg = GraphConfig(num_nodes=2, threads_per_proc=2, graph_vertices=32,
+                      iters=2)
+    report = run_checked(lambda: run_graph(cfg))
+    assert_clean(report)
+
+
+def test_device_driver_clean():
+    cfg = DeviceConfig(blocks=2, count=8, timesteps=2)
+    report = run_checked(lambda: run_device(cfg))
+    assert_clean(report)
+
+
+def test_explicit_world_check_matches_session_default():
+    """A driver checked via World(check=...) agrees with the session path."""
+    from repro.runtime import World
+
+    import numpy as np
+
+    world = World(num_nodes=2, procs_per_node=1, check=QUIET)
+
+    def rank0(proc):
+        yield from proc.comm_world.Send(np.ones(4), dest=1, tag=0)
+
+    def rank1(proc):
+        yield from proc.comm_world.Recv(np.zeros(4), source=0, tag=0)
+
+    from tests.helpers import run_ranks
+    run_ranks(world, rank0, rank1)
+    assert world.check_report().clean

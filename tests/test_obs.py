@@ -8,7 +8,6 @@ lint rule banning raw string categories at ``Tracer.emit`` call sites.
 
 import json
 import pathlib
-import re
 
 import pytest
 
@@ -293,20 +292,14 @@ def test_profile_cli(tmp_path, capsys):
 
 def test_no_raw_string_categories_at_emit_sites():
     """``Tracer.emit`` call sites must pass ``TraceCategory`` members, not
-    string literals; only trace.py itself (which defines the coercion) is
-    exempt."""
+    string literals — enforced by lint rule L202 over src and tests."""
+    from repro.check.lint import run_lint
     root = pathlib.Path(__file__).resolve().parent.parent
-    pattern = re.compile(r"\.emit\(\s*[\"']")
-    offenders = []
-    for base in ("src", "tests"):
-        for path in sorted((root / base).rglob("*.py")):
-            if path.name == "trace.py" \
-                    or path == pathlib.Path(__file__).resolve():
-                continue
-            for ln, line in enumerate(path.read_text().splitlines(), 1):
-                if pattern.search(line):
-                    offenders.append(f"{path.relative_to(root)}:{ln}: "
-                                     f"{line.strip()}")
-    assert not offenders, (
-        "raw string categories passed to Tracer.emit (use TraceCategory "
-        "members or TraceCategory.custom()):\n" + "\n".join(offenders))
+    findings = run_lint(roots=[root / "src", root / "tests"],
+                        select=["L202"])
+    findings = [f for f in findings
+                if f.path != "tests/test_lint.py"]  # fixture strings
+    assert not findings, (
+        "raw string categories passed to .emit() (use TraceCategory "
+        "members or TraceCategory.custom()):\n"
+        + "\n".join(f.describe() for f in findings))
