@@ -18,7 +18,7 @@ from typing import Any, Callable, Sequence
 from repro.bench import default_jobs, run_points
 
 
-def bench_once(benchmark, fn):
+def bench_once(benchmark, fn: Callable[[], Any]) -> None:
     """Time ``fn`` once per round with pytest-benchmark (2 rounds)."""
     benchmark.pedantic(fn, rounds=2, iterations=1, warmup_rounds=0)
 

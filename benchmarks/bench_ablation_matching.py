@@ -16,7 +16,8 @@ from repro.apps.stencil import StencilConfig, run_stencil
 from repro.bench import Table, write_results
 
 
-def test_ablation_matching(benchmark):
+def test_ablation_matching(benchmark) -> None:
+    """Matching ablation: O(n) shared matching vs persistent channels."""
     grids = ((2, 2), (4, 4), (6, 6), (8, 8))
     rows = {}
     for tg in grids:

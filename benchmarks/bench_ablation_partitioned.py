@@ -113,7 +113,8 @@ def _run_endpoints():
     return max(world.run_all(tasks, max_steps=None)) / CYCLES
 
 
-def test_ablation_partitioned(benchmark):
+def test_ablation_partitioned(benchmark) -> None:
+    """Partitioned-sync ablation: buffering depth vs full independence."""
     t1, lock1 = _run_partitioned(1)
     t2, lock2 = _run_partitioned(2)
     t3, lock3 = _run_partitioned(3)

@@ -24,7 +24,8 @@ LABELS = {"threads-original": "no hints",
 CORES = (8, 16)
 
 
-def test_ablation_tag_hints(benchmark):
+def test_ablation_tag_hints(benchmark) -> None:
+    """Tag-hint ablation: each Listing 2 ingredient's contribution."""
     rates = {}
     for stage in STAGES:
         for cores in CORES:

@@ -29,7 +29,8 @@ def _sweep():
             for p, rate in zip(points, results)}
 
 
-def test_fig1a_message_rate(benchmark):
+def test_fig1a_message_rate(benchmark) -> None:
+    """Regenerate Fig 1(a) and assert the paper's scaling shape."""
     rates = _sweep()
 
     table = Table("Fig 1(a): aggregate message rate (M msg/s) vs cores",

@@ -22,7 +22,8 @@ def _run(mech, tg):
     return run_stencil(cfg, net=NetworkConfig.omnipath())
 
 
-def test_fig1b_stencil(benchmark):
+def test_fig1b_stencil(benchmark) -> None:
+    """Regenerate Fig 1(b) and assert the halo-time ordering."""
     results = {(m, tg): _run(m, tg) for m in MECHS for tg in GRIDS}
 
     table = Table("Fig 1(b): 2D 9-pt halo time (us) vs threads/process",

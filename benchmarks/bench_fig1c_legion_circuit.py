@@ -22,7 +22,8 @@ def _run(mech, nthreads):
                                      compute_per_step=1e-6, mechanism=mech))
 
 
-def test_fig1c_legion_circuit(benchmark):
+def test_fig1c_legion_circuit(benchmark) -> None:
+    """Regenerate Fig 1(c): circuit proxy, original vs parallel comm."""
     results = {(m, n): _run(m, n) for m in MECHS for n in THREADS}
 
     table = Table("Fig 1(c): circuit proxy, time per timestep (us)",

@@ -30,7 +30,8 @@ def _simulate(map_kind):
     return run_stencil(cfg, max_vcis_per_proc=128)
 
 
-def test_fig4_comm_map(benchmark):
+def test_fig4_comm_map(benchmark) -> None:
+    """Regenerate Fig 4: communicator maps vs exposed parallelism."""
     geom = StencilGeometry((3, 3), (3, 3), STENCIL_2D_9PT)
     reports = {name: analyze_map(cls(geom)) for name, cls in MAPS}
     sims = {name: _simulate(name) for name, _ in MAPS}

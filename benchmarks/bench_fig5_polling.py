@@ -22,7 +22,8 @@ def _run(mech, nthreads):
         mechanism=mech, task_work=1.25e-6 * nthreads * 2))
 
 
-def test_fig5_polling(benchmark):
+def test_fig5_polling(benchmark) -> None:
+    """Regenerate Fig 5: polling-thread cost per event by mechanism."""
     rows = {}
     for n in THREADS:
         rows[n] = {m: _run(m, n)

@@ -21,7 +21,8 @@ def _run(mech, nthreads):
         tile_dim=12, tasks_per_thread=6, mechanism=mech))
 
 
-def test_fig6_rma(benchmark):
+def test_fig6_rma(benchmark) -> None:
+    """Regenerate Fig 6: RMA get-compute-update wall time by mechanism."""
     rows = {(m, n): _run(m, n) for m in MECHS for n in THREADS}
 
     table = Table("Fig 6: get-compute-update wall time (us)",

@@ -20,7 +20,8 @@ def _run(mech, elems):
                                elems=elems, repeats=2, mechanism=mech))
 
 
-def test_fig7_collectives(benchmark):
+def test_fig7_collectives(benchmark) -> None:
+    """Regenerate Fig 7: multithreaded allreduce by mechanism."""
     rows = {(m, s): _run(m, s) for m in MECHS for s in SIZES}
 
     table = Table("Fig 7: multithreaded allreduce time (us) vs size",

@@ -58,6 +58,7 @@ REGRESSION_BUDGET = 0.30
 # ---------------------------------------------------------------------------
 def bench_events(n_procs: int = 8, timeouts_per_proc: int = 50_000,
                  repeats: int = 3) -> float:
+    """Time raw kernel event throughput (timeout churn)."""
     from repro.sim.core import Simulator
 
     def ping(sim, n):
@@ -113,6 +114,7 @@ def _matching_workload(engine_cls, depth: int, rounds: int) -> float:
 
 def bench_matching(depth: int = 512, rounds: int = 2_000,
                    repeats: int = 3) -> dict:
+    """Time the matching engines on a synthetic post/match stream."""
     from repro.mpi.matching import LinearMatchingEngine, MatchingEngine
 
     indexed = max(_matching_workload(MatchingEngine, depth, rounds)
@@ -130,6 +132,7 @@ def bench_matching(depth: int = 512, rounds: int = 2_000,
 # ---------------------------------------------------------------------------
 def bench_messages(cores: int = 8, msgs_per_core: int = 256,
                    repeats: int = 3) -> float:
+    """Time end-to-end message delivery through the full stack."""
     from repro.bench import MsgRateConfig, run_msgrate
     from repro.netsim import NetworkConfig
 
@@ -201,6 +204,7 @@ def _fig1a_point(mode: str, cores: int, msgs_per_core: int) -> float:
 
 
 def bench_fig1a_sweep(jobs_list=(1, 2, 4), msgs_per_core: int = 64) -> dict:
+    """Time the fig1a sweep at increasing --jobs fan-out."""
     from repro.bench import scaling_run
 
     modes = ("everywhere", "threads-original", "threads-tags",
@@ -221,6 +225,7 @@ def bench_fig1a_sweep(jobs_list=(1, 2, 4), msgs_per_core: int = 64) -> dict:
 # harness
 # ---------------------------------------------------------------------------
 def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
+    """Run every micro-bench and render the results table."""
     scale = 10 if quick else 1
     events = bench_events(timeouts_per_proc=50_000 // scale,
                           repeats=2 if quick else 3)
@@ -259,6 +264,7 @@ def check_against(result: dict, baseline_path: str) -> bool:
 
 
 def main(argv: Optional[list] = None) -> int:
+    """CLI entry point: run the kernel micro-bench suite."""
     ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     ap.add_argument("--out", default=RESULTS,
                     help="where to write BENCH_kernel.json")
@@ -286,7 +292,8 @@ def main(argv: Optional[list] = None) -> int:
 # ---------------------------------------------------------------------------
 # pytest entry point (quick variant, so `pytest benchmarks/` covers it)
 # ---------------------------------------------------------------------------
-def test_kernel_microbench(benchmark, tmp_path):
+def test_kernel_microbench(benchmark, tmp_path) -> None:
+    """Pytest wrapper: the micro-bench suite runs and reports."""
     out = tmp_path / "BENCH_kernel.json"
     assert main(["--quick", "--jobs", "1", "2",
                  "--out", str(out)]) == 0

@@ -22,7 +22,8 @@ def _run(mech, blocks):
                                    timesteps=6))
 
 
-def test_lesson20_device(benchmark):
+def test_lesson20_device(benchmark) -> None:
+    """Lesson 20: device-initiated communication proxy shapes."""
     rows = {(m, b): _run(m, b) for m in MECHS for b in BLOCKS}
 
     table = Table("Lesson 20: GPU-offload proxy, time per step (us)",

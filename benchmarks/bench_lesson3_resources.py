@@ -35,7 +35,8 @@ def _sim(mech, net, comm_map="mirrored"):
     return run_stencil(cfg, net=net, max_vcis_per_proc=1024)
 
 
-def test_lesson3_closed_form(benchmark):
+def test_lesson3_closed_form(benchmark) -> None:
+    """Lesson 3: closed-form communicator vs channel counts."""
     table = Table("Lesson 3: communicators vs channels, 3D 27-pt stencil",
                   ["thread grid", "communicators", "channels", "ratio"],
                   widths=[12, 14, 10, 8])
@@ -59,7 +60,8 @@ def test_lesson3_closed_form(benchmark):
                                    for g in GRIDS])
 
 
-def test_lesson3_hardware_context_pressure(benchmark):
+def test_lesson3_hardware_context_pressure(benchmark) -> None:
+    """Lesson 3: hardware-context oversubscription slows the halo."""
     # Omni-Path's 160 contexts sit between the 64 endpoints and the 868
     # communicators the mirrored map commits: exactly Lesson 3's squeeze.
     nets = {"abundant": NetworkConfig.abundant(),

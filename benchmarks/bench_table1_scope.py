@@ -24,7 +24,8 @@ from repro.mpi.partitioned import precv_init
 from repro.runtime import World
 
 
-def test_table1_scope(benchmark):
+def test_table1_scope(benchmark) -> None:
+    """Table I: mechanism scope matrix, checked behaviourally."""
     matrix = scope_matrix()
     text = render_table()
     geom = StencilGeometry((3, 3), (3, 3), STENCIL_2D_5PT)

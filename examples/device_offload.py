@@ -13,6 +13,7 @@ from repro.apps.device import DeviceConfig, DeviceParams, run_device
 
 
 def main():
+    """Run the device-offload example end to end."""
     print("== GPU-offload proxy: 8 thread blocks, 6 timesteps ==")
     for mech in ("host-driven", "device-partitioned", "device-mpi"):
         r = run_device(DeviceConfig(mechanism=mech, blocks=8, timesteps=6))

@@ -14,6 +14,7 @@ from repro.apps.legion import CircuitConfig, LegionConfig, run_circuit, run_legi
 
 
 def main():
+    """Run the Legion event-runtime polling example end to end."""
     print("== Fig 5: polling-thread cost per event ==")
     base = dict(num_nodes=3, task_threads=8, msgs_per_thread=12)
     results = {}

@@ -13,6 +13,7 @@ from repro.apps.nwchem import NwchemConfig, run_nwchem
 
 
 def main():
+    """Run the NWChem-style RMA example end to end."""
     print("== block-sparse matmul: get -> compute -> accumulate ==")
     base = dict(num_nodes=3, threads_per_proc=8, tiles_per_proc=16,
                 tile_dim=12, tasks_per_thread=6)

@@ -16,6 +16,7 @@ from repro.runtime import World
 
 
 def main():
+    """Run the five-minute tour of the simulated MPI library."""
     # ------------------------------------------------------------------
     # 1. A world: 2 nodes, 1 MPI process each. Application code is written
     #    as generators ("simulated threads"); blocking calls use `yield

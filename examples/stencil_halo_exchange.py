@@ -18,6 +18,7 @@ from repro.mapping import (
 
 
 def main():
+    """Run the stencil halo-exchange example end to end."""
     base = dict(proc_grid=(2, 2), thread_grid=(3, 3), pnx=6, pny=6,
                 iters=4)
     print("== 2D 9-point stencil, 2x2 processes x 3x3 threads ==")

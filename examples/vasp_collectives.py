@@ -14,6 +14,7 @@ from repro.apps.vasp import VaspConfig, run_vasp
 
 
 def main():
+    """Run the VASP-style multithreaded allreduce example."""
     print("== multithreaded allreduce, 4 nodes x 8 threads, 256 KiB ==")
     base = dict(num_nodes=4, threads_per_proc=8, elems=1 << 15, repeats=2)
     results = {}

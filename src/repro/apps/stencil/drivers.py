@@ -220,7 +220,7 @@ class StencilProcessRun:
         cfg = self.cfg
         shape = (cfg.pny, cfg.pnx) if cfg.dim == 2 \
             else (cfg.pnz, cfg.pny, cfg.pnx)
-        temp = np.empty(shape)
+        temp = np.zeros(shape)
         self._thread_halo[t] = 0.0
         for _ in range(cfg.iters):
             t0 = self.proc.sim.now
@@ -275,7 +275,7 @@ class TagBasedRun(StencilProcessRun):
             nbr_tid = geom.linear_tid(nbr_t)
             nd = tuple(-c for c in d)
             # receive the neighbour's strip (it sends in direction -d)
-            rbuf = np.empty(self.recv_shape_len(d))
+            rbuf = np.zeros(self.recv_shape_len(d))
             rtag = self.schema.encode(nbr_tid, my_tid, self.dir_tags[nd])
             rreq = yield from self.comm.Irecv(rbuf, nbr_rank, rtag)
             reqs.append(rreq)
@@ -330,7 +330,7 @@ class CommunicatorRun(StencilProcessRun):
             nd = tuple(-c for c in d)
             # recv: the neighbour's message is the exchange g2 -> g
             rlabel = self.cmap.label(Exchange(g2, g))
-            rbuf = np.empty(self.recv_shape_len(d))
+            rbuf = np.zeros(self.recv_shape_len(d))
             rreq = yield from self.handles[rlabel].Irecv(
                 rbuf, nbr_rank, self.dir_tags[nd])
             reqs.append(rreq)
@@ -368,7 +368,7 @@ class EndpointRun(StencilProcessRun):
         for d in self.remote_dirs(t):
             nd = tuple(-c for c in d)
             partner = self.addr.partner_ep(self.p, t, d)
-            rbuf = np.empty(self.recv_shape_len(d))
+            rbuf = np.zeros(self.recv_shape_len(d))
             rreq = yield from ep.Irecv(rbuf, partner, self.dir_tags[nd])
             reqs.append(rreq)
             bufs.append((d, rbuf))

@@ -140,7 +140,7 @@ def reference_jacobi(geom: StencilGeometry, pnx: int, pny: int,
     field = np.zeros((gy + 2, gx + 2))
     field[1:-1, 1:-1] = np.sin(0.37 * xs + 1.13 * ys + seed)
     patch = Patch(data=field, pnx=gx, pny=gy)
-    out = np.empty((gy, gx))
+    out = np.zeros((gy, gx))
     kernel = jacobi5 if stencil_points == 5 else jacobi9
     for _ in range(iters):
         kernel(patch, out)

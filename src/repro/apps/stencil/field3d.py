@@ -138,7 +138,7 @@ def reference_jacobi_3d(geom: StencilGeometry, pnx: int, pny: int, pnz: int,
     field = np.zeros((gz + 2, gy + 2, gx + 2))
     field[1:-1, 1:-1, 1:-1] = _init_value(xs, ys, zs, seed)
     patch = Patch3D(data=field, pnx=gx, pny=gy, pnz=gz)
-    out = np.empty((gz, gy, gx))
+    out = np.zeros((gz, gy, gx))
     kernel = jacobi7 if stencil_points == 7 else jacobi27
     for _ in range(iters):
         kernel(patch, out)

@@ -25,7 +25,7 @@ from __future__ import annotations
 import warnings
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..errors import CheckError
 from ..sim.core import AllOf, Process, Simulator
@@ -88,6 +88,11 @@ class Checker:
         self.violations: list[Violation] = []
         self.dropped = 0
         self._finalized = False
+        #: Observer called with each :class:`Violation` as it is recorded
+        #: (before warn/raise handling). Used by ``repro replay
+        #: --to-finding`` to stop a recorded run at the exact step a rule
+        #: fires; observers must not mutate checker or simulation state.
+        self.on_violation: Optional[Callable[[Violation], None]] = None
         # -- happens-before state --------------------------------------
         self._tasks: dict[int, TaskClock] = {}
         self._lock_clocks: dict[int, dict[int, int]] = {}
@@ -133,6 +138,8 @@ class Checker:
             self.violations.append(v)
         else:
             self.dropped += 1
+        if self.on_violation is not None:
+            self.on_violation(v)
         if hard:
             return v
         if self.config.mode == "raise":

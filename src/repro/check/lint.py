@@ -287,7 +287,8 @@ def lint_file(path: Path, rel: str,
 
 def run_lint(roots: Optional[Sequence[Path]] = None,
              select: Optional[Iterable[str]] = None) -> list[Finding]:
-    """Lint every ``*.py`` under the given roots (default: ``src/repro``).
+    """Lint every ``*.py`` under the given roots (default: ``src/repro``
+    plus the repository's ``benchmarks/`` and ``examples/`` trees).
 
     Paths in findings are rendered relative to the repository root when
     the file lives under it, else left absolute.
@@ -296,6 +297,10 @@ def run_lint(roots: Optional[Sequence[Path]] = None,
     repo_root = src_dir.parent
     if roots is None:
         roots = [src_dir / "repro"]
+        # Driver code rides along when the trees exist (installed
+        # wheels carry only src/repro).
+        roots += [d for d in (repo_root / "benchmarks",
+                              repo_root / "examples") if d.is_dir()]
     selected = {r.upper() for r in select} if select is not None else None
     findings: list[Finding] = []
     for root in roots:

@@ -16,6 +16,8 @@ Reproduce any of the paper's experiments without pytest::
     python -m repro scope
     python -m repro resources --grid 4 4 4
     python -m repro check examples/quickstart.py
+    python -m repro replay examples/quickstart.py --until 2e-5
+    python -m repro replay prog.py --to-finding CHK102
     python -m repro lint
 
 Every command prints a plain-text table; add ``--seed`` where supported.
@@ -63,8 +65,12 @@ def _cmd_sweep(args) -> int:
                   params={"mode": args.modes, "cores": args.cores})
     fn = functools.partial(_msgrate_point, messages=args.messages,
                            seed=args.seed)
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
     t0 = time.perf_counter()
-    rows = sweep.run(fn, jobs=args.jobs)
+    rows = sweep.run(fn, jobs=args.jobs, checkpoint_dir=args.checkpoint_dir,
+                     resume=args.resume)
     wall = time.perf_counter() - t0
     print(sweep.pivot(rows, index="cores", column="mode",
                       value="rate_Mmsgs").render())
@@ -344,6 +350,28 @@ def _cmd_check(args) -> int:
     return status or (0 if report.clean else 1)
 
 
+def _cmd_replay(args) -> int:
+    """Replay a recorded run to a simulated time or a checker finding."""
+    from .snap.replay import run_replay
+
+    if (args.until is None) == (args.to_finding is None):
+        print("error: replay needs exactly one of --until / --to-finding",
+              file=sys.stderr)
+        return 2
+    result, status = run_replay(
+        args.program, list(args.args), until=args.until,
+        to_finding=args.to_finding, interval=args.interval, keep=args.keep,
+        snapshot_path=args.snapshot, live=not args.no_fork)
+    if result is None:
+        target = (f"t={args.until}" if args.until is not None
+                  else args.to_finding)
+        print(f"replay target never reached: {target} (program ran to "
+              "completion)", file=sys.stderr)
+        return status or 1
+    print(result.render())
+    return status or (0 if result.verified else 1)
+
+
 def _cmd_lint(args) -> int:
     """Run the repository's own AST lint (rules L200-L205)."""
     import pathlib
@@ -390,6 +418,14 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--jobs", "-j", type=int, default=1,
                     help="worker processes (default 1: serial)")
     sw.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
+    sw.add_argument("--checkpoint-dir", metavar="DIR",
+                    help="persist each completed point to DIR (atomic "
+                         "per-point JSON) so a killed campaign is "
+                         "resumable with --resume")
+    sw.add_argument("--resume", action="store_true",
+                    help="skip points already checkpointed in "
+                         "--checkpoint-dir; resumed rows are "
+                         "byte-identical to an uninterrupted run")
     sw.set_defaults(fn=_cmd_sweep)
 
     pf = sub.add_parser(
@@ -528,6 +564,41 @@ def build_parser() -> argparse.ArgumentParser:
     ck.add_argument("--limit", type=int, default=50,
                     help="max violations detailed in the text report")
     ck.set_defaults(fn=_cmd_check)
+
+    rp = sub.add_parser(
+        "replay",
+        help="replay a recorded run to a time or a checker finding",
+        description="Run a Python program under record-replay: worlds "
+                    "execute in slices with live fork checkpoints parked "
+                    "at interval boundaries. --until T stops at simulated "
+                    "time T, --to-finding CHK1xx stops when that checker "
+                    "rule first fires; either way the nearest checkpoint "
+                    "is woken and re-executes deterministically to the "
+                    "exact target step (never from t=0), and the "
+                    "reproduction is verified by state digest (or by the "
+                    "finding re-firing at the same step). See "
+                    "docs/snapshot.md.")
+    rp.add_argument("program", help="path to the Python program to run")
+    rp.add_argument("args", nargs="*", help="arguments for the program")
+    rp.add_argument("--until", type=float, metavar="T",
+                    help="replay target: simulated time in seconds")
+    rp.add_argument("--to-finding", metavar="RULE",
+                    help="replay target: first firing of this checker "
+                         "rule (e.g. CHK102); enables the checker in "
+                         "warn mode")
+    rp.add_argument("--interval", type=int, default=20_000,
+                    help="kernel steps between live checkpoints "
+                         "(default 20000)")
+    rp.add_argument("--keep", type=int, default=8,
+                    help="live checkpoints kept parked (default 8; older "
+                         "ones are discarded)")
+    rp.add_argument("--snapshot", metavar="PATH",
+                    help="also write the verified state snapshot at the "
+                         "target to PATH")
+    rp.add_argument("--no-fork", action="store_true",
+                    help="disable live fork checkpoints (capture at the "
+                         "target only; no resume)")
+    rp.set_defaults(fn=_cmd_replay)
 
     lt = sub.add_parser(
         "lint",

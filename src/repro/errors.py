@@ -13,6 +13,9 @@ __all__ = [
     "TransportError",
     "FaultPlanError",
     "CheckError",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotMismatchError",
 ]
 
 
@@ -85,3 +88,23 @@ class CheckError(MpiError):
     def __init__(self, message: str, violation=None):
         super().__init__(message)
         self.violation = violation
+
+
+class SnapshotError(MpiError):
+    """Base class for snapshot/restore failures (:mod:`repro.snap`)."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """A snapshot file is unreadable: wrong version, corrupt, truncated."""
+
+
+class SnapshotMismatchError(SnapshotError):
+    """A restored world's state does not match the snapshot byte-for-byte.
+
+    Carries the first divergent state paths as ``paths`` so the failure
+    names the layer that drifted rather than a bare digest mismatch.
+    """
+
+    def __init__(self, message: str, paths=None):
+        super().__init__(message)
+        self.paths = list(paths or [])

@@ -50,7 +50,7 @@ __all__ = [
     "scatter_binomial",
 ]
 
-_EMPTY = np.empty(0, dtype=np.uint8)
+_EMPTY = np.zeros(0, dtype=np.uint8)
 
 
 def _sendrecv(comm: "Communicator", sendbuf, dest, recvbuf, source, tag, ctx
@@ -73,7 +73,7 @@ def barrier_dissemination(comm: "Communicator") -> Generator:
     ctx = comm.coll_context_id
     if n == 1:
         return
-    scratch = np.empty(0, dtype=np.uint8)
+    scratch = np.zeros(0, dtype=np.uint8)
     k = 0
     dist = 1
     while dist < n:
@@ -126,7 +126,7 @@ def reduce_binomial(comm: "Communicator", sendbuf: np.ndarray,
     ctx = comm.coll_context_id
     send_flat = check_buffer(sendbuf)
     acc = send_flat.copy()
-    tmp = np.empty_like(acc)
+    tmp = np.zeros_like(acc)
     vrank = (rank - root) % n
     mask = 1
     while mask < n:
@@ -161,7 +161,7 @@ def allreduce_recursive_doubling(comm: "Communicator", sendbuf: np.ndarray,
     if recv_flat.size < send_flat.size:
         raise MpiUsageError("allreduce recvbuf smaller than sendbuf")
     acc = send_flat.copy()
-    tmp = np.empty_like(acc)
+    tmp = np.zeros_like(acc)
     if n == 1:
         recv_flat[: acc.size] = acc
         return
@@ -275,7 +275,7 @@ def gather_binomial(comm: "Communicator", sendbuf: np.ndarray,
     vrank = (rank - root) % n
 
     # staging holds my subtree's blocks in virtual order
-    staging = np.empty(n * cnt)
+    staging = np.zeros(n * cnt)
     staging[:cnt] = send_flat
     have = 1  # blocks currently held (contiguous from my vrank)
     mask = 1
@@ -324,7 +324,7 @@ def scatter_binomial(comm: "Communicator", sendbuf: Optional[np.ndarray],
         send_flat = check_buffer(sendbuf)
         if send_flat.size < n * cnt:
             raise MpiUsageError("scatter sendbuf too small")
-        staging = np.empty(n * cnt)
+        staging = np.zeros(n * cnt)
         for v in range(n):
             r = (v + root) % n
             staging[v * cnt:(v + 1) * cnt] = send_flat[r * cnt:(r + 1) * cnt]
@@ -337,7 +337,7 @@ def scatter_binomial(comm: "Communicator", sendbuf: Optional[np.ndarray],
         while mask < n:
             if vrank & mask:
                 blocks = min(mask, n - vrank)
-                staging = np.empty(blocks * cnt)
+                staging = np.zeros(blocks * cnt)
                 src = ((vrank & ~mask) + root) % n
                 rreq = yield from comm.Irecv(staging, src, tag=mask,
                                              _context_id=ctx)
@@ -372,7 +372,7 @@ def scan_linear(comm: "Communicator", sendbuf: np.ndarray,
     recv_flat = check_buffer(recvbuf)
     acc = send_flat.copy()
     if rank > 0:
-        tmp = np.empty_like(acc)
+        tmp = np.zeros_like(acc)
         rreq = yield from comm.Irecv(tmp, rank - 1, tag=0, _context_id=ctx)
         yield from rreq.wait()
         op.apply(acc, tmp)
@@ -401,7 +401,7 @@ def reduce_scatter_block(comm: "Communicator", sendbuf: np.ndarray,
     if recv_flat.size < cnt:
         raise MpiUsageError("reduce_scatter recvbuf too small")
     acc = send_flat[rank * cnt:(rank + 1) * cnt].copy()
-    tmp = np.empty(cnt)
+    tmp = np.zeros(cnt)
     for step in range(1, n):
         dst = (rank + step) % n       # owner of the block I contribute
         src = (rank - step) % n       # contributor of my block
@@ -442,7 +442,7 @@ def allreduce_ring(comm: "Communicator", sendbuf: np.ndarray,
 
     right = (rank + 1) % n
     left = (rank - 1) % n
-    tmp = np.empty(int(np.max(np.diff(bounds))))
+    tmp = np.zeros(int(np.max(np.diff(bounds))))
 
     # Phase 1: reduce-scatter around the ring. After step s, rank r holds
     # the partial reduction of segment (r - s) over s+1 contributions.

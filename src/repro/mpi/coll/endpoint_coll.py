@@ -130,7 +130,7 @@ def endpoint_allreduce(ep: "Endpoint", sendbuf: np.ndarray,
         bounds = np.linspace(0, n, local_T + 1).astype(int)
         lo, hi = int(bounds[li]), int(bounds[li + 1])
         seg = st.staging[lo:hi]
-        tmp = np.empty(hi - lo)
+        tmp = np.zeros(hi - lo)
         ctx = ep.coll_context_id
 
         pof2 = 1

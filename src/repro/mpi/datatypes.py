@@ -42,7 +42,7 @@ class Datatype:
         return self.np_dtype.itemsize
 
     def empty(self, count: int) -> np.ndarray:
-        return np.empty(count, dtype=self.np_dtype)
+        return np.zeros(count, dtype=self.np_dtype)
 
     def zeros(self, count: int) -> np.ndarray:
         return np.zeros(count, dtype=self.np_dtype)

@@ -40,6 +40,7 @@ from ..sim.core import Event, Process, Simulator
 from ..sim.random import RandomStreams
 from ..sim.sync import Gate
 from ..sim.trace import Tracer
+from ..snap.session import default_snap_controller
 
 __all__ = ["Node", "MpiProcess", "World"]
 
@@ -226,6 +227,16 @@ class World:
         self._next_context = itertools.count(4, 4)
         self._meetings: dict[Any, _Meeting] = {}
 
+        # -- snapshot / record-replay session (opt-in) ------------------
+        # Like check=, a session default installed by `python -m repro
+        # replay` (or snap.recording()) adopts this world: run()/run_all()
+        # then execute in slices with checkpoint hooks at step boundaries.
+        # Slicing is invisible to the simulation — event order and all
+        # simulated results are byte-identical to an unsliced run.
+        self._snap = default_snap_controller()
+        if self._snap is not None:
+            self._snap.attach(self)
+
     # ------------------------------------------------------------------
     def _pending_mpi_report(self) -> list[str]:
         """Deadlock-diagnostic lines: per-rank, per-VCI pending MPI state.
@@ -336,6 +347,8 @@ class World:
 
     def run(self, until: Optional[float | Event] = None,
             max_steps: Optional[int] = None) -> Any:
+        if self._snap is not None:
+            return self._snap.drive(self, until, max_steps)
         return self.sim.run(until=until, max_steps=max_steps)
 
     def finalize_metrics(self) -> None:
@@ -368,6 +381,8 @@ class World:
         """Run until every task in ``tasks`` has finished; returns their
         values (raises if any failed)."""
         gather = self.sim.all_of(list(tasks))
+        if self._snap is not None:
+            return self._snap.drive(self, gather, max_steps)
         return self.sim.run(until=gather, max_steps=max_steps)
 
     @property

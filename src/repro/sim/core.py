@@ -428,6 +428,56 @@ class Simulator:
         self.steps += 1
         event._process()
 
+    def run_steps(self, n: int, horizon: Optional[float] = None,
+                  stop_event: Optional[Event] = None) -> int:
+        """Process up to ``n`` events; returns the number processed.
+
+        This is the sliced-execution primitive behind snapshotting and
+        record-replay (:mod:`repro.snap`): a driver alternates
+        ``run_steps`` slices with zero-footprint state captures, and the
+        event sequence is *identical* to an uninterrupted :meth:`run` —
+        slicing schedules nothing and perturbs no sequence numbers.
+
+        Early-stop conditions (all leave the remaining events queued):
+
+        - the heap runs dry;
+        - ``horizon`` is given and the next event lies strictly beyond it
+          (the clock is *not* advanced to the horizon — callers that need
+          :meth:`run`'s clamp semantics apply it themselves);
+        - ``stop_event`` is given and becomes processed (checked after
+          each event, exactly like ``run(until=event)``).
+        """
+        heap = self._heap
+        pool = self._timeout_pool
+        pool_max = self._POOL_MAX
+        pop = heapq.heappop
+        processed = 0
+        while processed < n and heap:
+            if horizon is not None and heap[0][0] > horizon:
+                break
+            when, _prio, _seq, event = pop(heap)
+            if when < self._now:
+                raise SimulationError("time went backwards")
+            self._now = when
+            self.steps += 1
+            processed += 1
+            event._processed = True
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for fn in callbacks:
+                        fn(event)
+            if type(event) is Timeout and len(pool) < pool_max \
+                    and getrefcount(event) == 2:
+                event._value = None
+                pool.append(event)
+            if stop_event is not None and stop_event._processed:
+                break
+        return processed
+
     def run(self, until: Optional[float | Event] = None,
             max_steps: Optional[int] = None) -> Any:
         """Run the simulation.

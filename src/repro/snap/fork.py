@@ -1,0 +1,164 @@
+"""Live checkpoints via ``os.fork``: parked child processes.
+
+Generator frames cannot be serialized, but a forked child holds them
+*live*: at each checkpoint the replay driver forks, the child blocks on a
+pipe, and the parent runs on. To jump back, the parent wakes the child
+holding the nearest earlier state with a JSON command; the child resumes
+the simulation from its in-memory world — genuinely without re-executing
+the prefix — services the command, streams a JSON result back, and
+exits. This is the classic record-replay structure (rr, CRIU-style
+debuggers) applied to the simulated machine.
+
+Children never return from :meth:`ForkCheckpoints.take`: they either
+service one command or exit on EOF, always via ``os._exit`` so the
+parent's atexit/pytest machinery runs exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = ["ForkCheckpoints", "fork_available"]
+
+
+def fork_available() -> bool:
+    """Whether live checkpoints are supported on this host (POSIX)."""
+    return hasattr(os, "fork")
+
+
+@dataclass
+class _Checkpoint:
+    """Parent-side handle on one parked child."""
+
+    step: int
+    pid: int
+    cmd_w: int
+    res_r: int
+
+
+class ForkCheckpoints:
+    """A bounded stack of parked child processes, newest last."""
+
+    def __init__(self, keep: int = 8):
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.keep = keep
+        self._checkpoints: list[_Checkpoint] = []
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)
+
+    @property
+    def steps(self) -> list[int]:
+        """Kernel steps of the currently parked checkpoints."""
+        return [cp.step for cp in self._checkpoints]
+
+    def take(self, step: int,
+             service: Callable[[dict[str, Any]], dict[str, Any]]) -> None:
+        """Fork a checkpoint of the current process state at ``step``.
+
+        In the parent: registers the child and returns. In the child:
+        blocks until a command arrives (services it via ``service`` and
+        replies) or the command pipe closes (exits silently). The oldest
+        checkpoints beyond ``keep`` are discarded.
+        """
+        cmd_r, cmd_w = os.pipe()
+        res_r, res_w = os.pipe()
+        sys.stdout.flush()
+        sys.stderr.flush()
+        pid = os.fork()
+        if pid == 0:
+            # Child: park until woken. Only this checkpoint's pipes stay;
+            # handles inherited from the parent's other checkpoints are
+            # dropped so their EOFs propagate correctly.
+            os.close(cmd_w)
+            os.close(res_r)
+            for cp in self._checkpoints:
+                os.close(cp.cmd_w)
+                os.close(cp.res_r)
+            self._checkpoints = []
+            status = 0
+            try:
+                line = b""
+                while not line.endswith(b"\n"):
+                    chunk = os.read(cmd_r, 65536)
+                    if not chunk:
+                        break
+                    line += chunk
+                if line.strip():
+                    result = service(json.loads(line.decode("utf-8")))
+                    os.write(res_w, json.dumps(result).encode("utf-8"))
+            except BaseException as exc:
+                status = 1
+                try:
+                    os.write(res_w, json.dumps(
+                        {"error": f"{type(exc).__name__}: {exc}"}
+                    ).encode("utf-8"))
+                except OSError:
+                    pass
+            finally:
+                try:
+                    os.close(res_w)
+                    os.close(cmd_r)
+                finally:
+                    os._exit(status)
+        os.close(cmd_r)
+        os.close(res_w)
+        self._checkpoints.append(_Checkpoint(step, pid, cmd_w, res_r))
+        while len(self._checkpoints) > self.keep:
+            self._discard(self._checkpoints.pop(0))
+
+    def nearest(self, step: int) -> Optional[_Checkpoint]:
+        """The newest checkpoint at or before ``step``, if any."""
+        best = None
+        for cp in self._checkpoints:
+            if cp.step <= step:
+                best = cp
+        return best
+
+    def resume(self, checkpoint: _Checkpoint,
+               command: dict[str, Any]) -> dict[str, Any]:
+        """Wake a parked child, run ``command`` in it, return its result.
+
+        The child is consumed (reaped) regardless of outcome; sibling
+        checkpoints stay parked until :meth:`discard_all`.
+        """
+        self._checkpoints.remove(checkpoint)
+        try:
+            os.write(checkpoint.cmd_w,
+                     json.dumps(command).encode("utf-8") + b"\n")
+            os.close(checkpoint.cmd_w)
+            chunks = []
+            while True:
+                chunk = os.read(checkpoint.res_r, 65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            os.close(checkpoint.res_r)
+        finally:
+            os.waitpid(checkpoint.pid, 0)
+        data = b"".join(chunks)
+        if not data:
+            return {"error": "checkpoint child produced no result"}
+        return json.loads(data.decode("utf-8"))
+
+    def discard_all(self) -> None:
+        """Release every parked child (EOF on its command pipe)."""
+        checkpoints, self._checkpoints = self._checkpoints, []
+        for cp in checkpoints:
+            self._discard(cp)
+
+    def _discard(self, cp: _Checkpoint) -> None:
+        try:
+            os.close(cp.cmd_w)
+            os.close(cp.res_r)
+        except OSError:
+            pass  # already-closed fds on teardown are benign
+        try:
+            os.waitpid(cp.pid, 0)
+        except ChildProcessError:
+            pass

@@ -1,0 +1,277 @@
+"""Record-replay: run a program, checkpoint it live, jump to a target.
+
+``python -m repro replay <prog> --until T`` (or ``--to-finding CHK###``)
+runs an unmodified program under a :class:`ReplayController`: worlds
+execute in slices, a forked live checkpoint is parked at every interval
+boundary, and when the target is reached the *nearest* checkpoint is
+woken and re-executes deterministically to the exact target step — never
+from t=0. The woken child captures the state there, saves it as a
+versioned snapshot, and the parent verifies the reproduction:
+
+- ``--until``: the child's state digest must equal the parent's at the
+  same step (byte-identity of the replay);
+- ``--to-finding``: the same checker rule must re-fire at the same step
+  in the child (the finding is reproduced from the checkpoint).
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .fork import ForkCheckpoints, fork_available
+from .session import SnapController, recording
+from .snapshot import Snapshot, save_snapshot, take_snapshot
+from .state import capture_state, state_digest
+
+__all__ = ["ReplayStop", "ReplayResult", "ReplayController", "run_replay"]
+
+
+class ReplayStop(BaseException):
+    """Raised to unwind the replayed program once the target is resolved.
+
+    A ``BaseException`` so application-level ``except Exception`` blocks
+    in the program cannot swallow it.
+    """
+
+
+@dataclass
+class ReplayResult:
+    """What the replay established (one per resolved target)."""
+
+    reason: str                       # "until" | "finding"
+    step: int                         # target kernel step
+    clock: float                      # simulated time there
+    resumed_from_step: Optional[int]  # checkpoint step, None = ran from 0
+    steps_replayed: int               # events the woken child re-executed
+    digest: str                       # state digest at the target
+    verified: bool                    # reproduction proof (see module doc)
+    finding: Optional[dict[str, Any]] = None
+    snapshot_path: Optional[str] = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Multi-line human report."""
+        lines = [f"replay target: {self.reason} at step {self.step} "
+                 f"(t={self.clock:.9f}s)"]
+        if self.resumed_from_step is None:
+            lines.append("resumed from: start of run (no earlier "
+                         "checkpoint)")
+        else:
+            lines.append(f"resumed from: live checkpoint at step "
+                         f"{self.resumed_from_step} "
+                         f"({self.steps_replayed} of {self.step} events "
+                         "re-executed)")
+        if self.finding is not None:
+            lines.append(f"finding: {self.finding.get('rule')} "
+                         f"\"{self.finding.get('message', '')}\" "
+                         f"[task={self.finding.get('task')}]")
+        lines.append(f"state digest: {self.digest[:16]}")
+        lines.append(f"reproduction verified: {self.verified}")
+        if self.snapshot_path:
+            lines.append(f"snapshot written: {self.snapshot_path}")
+        return "\n".join(lines)
+
+
+class ReplayController(SnapController):
+    """Drives the recorded run and resolves the replay target."""
+
+    def __init__(self, until: Optional[float] = None,
+                 to_finding: Optional[str] = None,
+                 interval: int = 20_000, keep: int = 8,
+                 snapshot_path: Optional[str] = None,
+                 recipe: Optional[dict[str, Any]] = None,
+                 live: bool = True):
+        super().__init__(interval=interval)
+        if (until is None) == (to_finding is None):
+            raise ValueError(
+                "replay needs exactly one of until= / to_finding=")
+        self.until = until
+        self.to_finding = to_finding.upper() if to_finding else None
+        self.stop_horizon = until
+        self.snapshot_path = snapshot_path
+        self.recipe = dict(recipe or {})
+        self.live = live and fork_available()
+        self.keep = keep
+        self.result: Optional[ReplayResult] = None
+        self._forks: Optional[ForkCheckpoints] = None
+        self._world = None
+        self._finding: Optional[dict[str, Any]] = None
+
+    # -- wiring ----------------------------------------------------------
+    def attach(self, world) -> None:
+        super().attach(world)
+        if self.to_finding is not None and world.checker is not None:
+            prev = world.checker.on_violation
+
+            def observe(violation, _prev=prev, _world=world):
+                if _prev is not None:
+                    _prev(violation)
+                self._note_violation(_world, violation)
+
+            world.checker.on_violation = observe
+
+    def _note_violation(self, world, violation) -> None:
+        if self._finding is not None or self.result is not None:
+            return
+        if violation.rule_id.upper() != self.to_finding:
+            return
+        self._finding = {"rule": violation.rule_id,
+                         "message": violation.message,
+                         "task": violation.task,
+                         "time": violation.time,
+                         "step": world.sim.steps}
+
+    # -- drive hooks -------------------------------------------------------
+    def drive(self, world, until=None, max_steps=None) -> Any:
+        # Checkpoints park per driven run: a program that builds several
+        # worlds gets a fresh recording for each until one resolves.
+        if self.result is None:
+            if self._forks is not None:
+                self._forks.discard_all()
+            self._forks = ForkCheckpoints(self.keep) if self.live else None
+            self._world = world
+            self._finding = None
+            if self._forks is not None:
+                # Park an initial checkpoint so even a target inside the
+                # first interval resumes from a fork, not a re-run.
+                self._forks.take(world.sim.steps,
+                                 lambda cmd: self._serve_child(world, cmd))
+        return super().drive(world, until, max_steps)
+
+    def on_boundary(self, world) -> None:
+        super().on_boundary(world)
+        if self._forks is not None and world is self._world \
+                and self.result is None:
+            self._forks.take(world.sim.steps,
+                             lambda cmd: self._serve_child(world, cmd))
+
+    def after_slice(self, world) -> None:
+        if self._finding is not None and self.result is None:
+            self._resolve(world, self._finding["step"], "finding")
+
+    def on_stop_horizon(self, world) -> None:
+        if self.result is None:
+            self._resolve(world, world.sim.steps, "until")
+
+    # -- resolution --------------------------------------------------------
+    def _resolve(self, world, target_step: int, reason: str) -> None:
+        original_finding = self._finding
+        parent_digest = None
+        if reason == "until":
+            # Parent stopped exactly at the target step; its digest is the
+            # reference the replayed child must reproduce.
+            parent_digest = state_digest(capture_state(world))
+        checkpoint = self._forks.nearest(target_step) \
+            if self._forks is not None else None
+        checkpoint_steps = self._forks.steps \
+            if self._forks is not None else []
+        if checkpoint is not None:
+            child = self._forks.resume(checkpoint, {
+                "target_step": target_step, "reason": reason})
+            if "error" in child:
+                self._forks.discard_all()
+                raise RuntimeError(f"replay child failed: {child['error']}")
+            resumed_from: Optional[int] = checkpoint.step
+            clock, digest = child["clock"], child["digest"]
+            replayed = child["steps_replayed"]
+            path = child.get("snapshot_path")
+            if reason == "until":
+                verified = digest == parent_digest
+            else:
+                refire = child.get("finding")
+                verified = (refire is not None
+                            and refire["rule"] == original_finding["rule"]
+                            and refire["step"] == target_step)
+        else:
+            # Live checkpoints unavailable: the recording itself is the
+            # only evidence. For "until" the parent sits exactly at the
+            # target; for a finding it has overrun to the slice boundary,
+            # so the capture is best-effort and marked unverified.
+            resumed_from = None
+            snap = take_snapshot(world, recipe=self.recipe)
+            path = save_snapshot(snap, self.snapshot_path) \
+                if self.snapshot_path else None
+            clock, digest = world.sim._now, snap.digest
+            replayed = world.sim.steps
+            verified = reason == "until"
+        if self._forks is not None:
+            self._forks.discard_all()
+        self.result = ReplayResult(
+            reason=reason, step=target_step, clock=clock,
+            resumed_from_step=resumed_from, steps_replayed=replayed,
+            digest=digest, verified=verified,
+            finding=original_finding if reason == "finding" else None,
+            snapshot_path=path,
+            detail={"parent_digest": parent_digest,
+                    "checkpoints": checkpoint_steps})
+        raise ReplayStop()
+
+    def _serve_child(self, world,
+                     command: dict[str, Any]) -> dict[str, Any]:
+        """Advance to the target step and capture (runs in the woken
+        child for real resumes, in the parent when no checkpoint
+        precedes the target)."""
+        sim = world.sim
+        resumed_from = sim.steps
+        self._finding = None  # re-observe the finding during the replay
+        target = int(command["target_step"])
+        while sim.steps < target:
+            if sim.run_steps(min(8192, target - sim.steps)) == 0:
+                return {"error": f"ran out of events at step {sim.steps} "
+                                 f"replaying to {target}"}
+        snap = take_snapshot(world, recipe=self.recipe)
+        path = None
+        if self.snapshot_path:
+            path = save_snapshot(snap, self.snapshot_path)
+        return {"clock": sim._now, "digest": snap.digest,
+                "steps_replayed": target - resumed_from,
+                "finding": self._finding, "snapshot_path": path}
+
+
+def run_replay(program: str, argv: list[str], *,
+               until: Optional[float] = None,
+               to_finding: Optional[str] = None,
+               interval: int = 20_000, keep: int = 8,
+               snapshot_path: Optional[str] = None,
+               live: bool = True,
+               check_config: Optional[Any] = None
+               ) -> tuple[Optional[ReplayResult], int]:
+    """Run ``program`` under replay; returns (result, program_status).
+
+    ``--to-finding`` replays need the checker: ``check_config`` (default
+    warn-mode) is installed as the session default exactly as ``repro
+    check`` does, so unmodified programs run checked.
+    """
+    from contextlib import ExitStack
+
+    controller = ReplayController(
+        until=until, to_finding=to_finding, interval=interval, keep=keep,
+        snapshot_path=snapshot_path, live=live,
+        recipe={"program": program, "argv": list(argv),
+                "until": until, "to_finding": to_finding})
+    status = 0
+    old_argv = sys.argv
+    try:
+        with ExitStack() as stack:
+            stack.enter_context(recording(controller))
+            if to_finding is not None:
+                from ..check import CheckConfig, checking
+                stack.enter_context(checking(
+                    check_config
+                    or CheckConfig(mode="warn", emit_warnings=False)))
+            sys.argv = [program] + list(argv)
+            try:
+                runpy.run_path(program, run_name="__main__")
+            except ReplayStop:
+                pass
+            except SystemExit as exc:
+                if exc.code not in (None, 0):
+                    status = exc.code if isinstance(exc.code, int) else 1
+    finally:
+        sys.argv = old_argv
+        if controller._forks is not None:
+            controller._forks.discard_all()
+    return controller.result, status

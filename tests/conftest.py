@@ -1,8 +1,23 @@
 """Pytest fixtures (helpers live in tests/helpers.py)."""
 
+import os
+
 import pytest
 
 from repro.runtime import World
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # Bounded profile for CI: fewer examples, no deadline flakiness on
+    # shared runners. Select with HYPOTHESIS_PROFILE=ci (the workflow
+    # does); the default profile is untouched for local runs.
+    settings.register_profile(
+        "ci", max_examples=15, deadline=None, derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow])
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
 
 
 @pytest.fixture

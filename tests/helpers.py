@@ -7,6 +7,15 @@ from repro.netsim import NetworkConfig
 from repro.runtime import World
 
 
+def flat_world(nprocs: int, **kwargs) -> World:
+    """One single-process node per rank — the dominant test topology.
+
+    Keyword arguments pass straight through to :class:`World`
+    (``threads_per_proc``, ``cfg``, ``seed``, instruments, ...).
+    """
+    return World(num_nodes=nprocs, procs_per_node=1, **kwargs)
+
+
 def run_ranks(world: World, *fns, max_steps=2_000_000):
     """Spawn ``fns[i]`` (a generator function taking the process) on rank
     ``i``, run to completion, and return their return values."""

@@ -1,0 +1,107 @@
+"""Golden-table regression: EXPERIMENTS.md vs the live benchmarks.
+
+EXPERIMENTS.md records the measured numbers for every figure at the
+default seeds; the runs are fully deterministic, so those tables are
+exact expectations, not approximations. These tests parse the Fig 1(a)
+and Fig 1(b) tables out of the document and assert the current code
+still produces every cell — any intentional performance-model change
+must update EXPERIMENTS.md in the same commit.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.apps.stencil import StencilConfig, run_stencil
+from repro.bench import MsgRateConfig, run_msgrate
+from repro.netsim import NetworkConfig
+
+EXPERIMENTS = pathlib.Path(__file__).resolve().parents[1] / "EXPERIMENTS.md"
+
+#: EXPERIMENTS.md column header -> MsgRateConfig mode.
+FIG1A_MODES = {
+    "everywhere": "everywhere",
+    "original": "threads-original",
+    "tags (Listing 2)": "threads-tags",
+    "comms": "threads-comms",
+    "endpoints": "threads-endpoints",
+}
+
+
+def _section(text: str, heading: str) -> str:
+    """The body of the markdown section starting with ``heading``."""
+    start = text.index(heading)
+    nxt = text.find("\n## ", start + 1)
+    return text[start:nxt if nxt != -1 else len(text)]
+
+
+def parse_fig1a() -> dict[tuple[str, int], float]:
+    """(mode, cores) -> M msg/s from the Fig 1(a) table."""
+    section = _section(EXPERIMENTS.read_text(), "## Fig 1(a)")
+    rows = [[c.strip() for c in line.strip().strip("|").split("|")]
+            for line in section.splitlines()
+            if line.lstrip().startswith("|")]
+    header, cells = rows[0], rows[2:]  # rows[1] is the |---:| rule
+    assert header[0] == "cores" and len(header) == len(FIG1A_MODES) + 1
+    golden = {}
+    for row in cells:
+        cores = int(row[0])
+        for name, value in zip(header[1:], row[1:]):
+            golden[(FIG1A_MODES[name], cores)] = float(value)
+    return golden
+
+
+def parse_fig1b() -> dict[int, float]:
+    """threads -> original/endpoints halo ratio from the Fig 1(b) prose."""
+    section = _section(EXPERIMENTS.read_text(), "## Fig 1(b)")
+    pairs = re.findall(r"(\d+\.\d+)x[*\s]*\((\d+)(?:\s+threads)?\)",
+                       section)
+    return {int(threads): float(ratio) for ratio, threads in pairs}
+
+
+def test_fig1a_golden_table():
+    golden = parse_fig1a()
+    assert len(golden) == 20, "Fig 1(a) table shape changed"
+    mismatches = []
+    for (mode, cores), expected in sorted(golden.items()):
+        r = run_msgrate(MsgRateConfig(mode=mode, cores=cores,
+                                      msgs_per_core=64),
+                        net=NetworkConfig.omnipath())
+        got = round(r.rate / 1e6, 1)
+        if got != expected:
+            mismatches.append(f"{mode}/{cores}: EXPERIMENTS.md says "
+                              f"{expected}, measured {got}")
+    assert not mismatches, (
+        "Fig 1(a) drifted from EXPERIMENTS.md (update the table if the "
+        "change is intentional):\n  " + "\n  ".join(mismatches))
+
+
+def test_fig1b_golden_ratios():
+    golden = parse_fig1b()
+    assert set(golden) == {4, 9, 16}, "Fig 1(b) prose shape changed"
+    grids = {4: (2, 2), 9: (3, 3), 16: (4, 4)}
+    mismatches = []
+    for threads, expected in sorted(golden.items()):
+        halo = {}
+        for mech in ("original", "endpoints"):
+            cfg = StencilConfig(proc_grid=(2, 2),
+                                thread_grid=grids[threads],
+                                pnx=6, pny=6, stencil_points=9, iters=4,
+                                mechanism=mech)
+            r = run_stencil(cfg, net=NetworkConfig.omnipath())
+            assert r.correct
+            halo[mech] = r.halo_time
+        got = round(halo["original"] / halo["endpoints"], 2)
+        if got != expected:
+            mismatches.append(f"{threads} threads: EXPERIMENTS.md says "
+                              f"{expected}x, measured {got}x")
+    assert not mismatches, (
+        "Fig 1(b) drifted from EXPERIMENTS.md (update the prose if the "
+        "change is intentional):\n  " + "\n  ".join(mismatches))
+
+
+@pytest.mark.parametrize("parser,n", [(parse_fig1a, 20), (parse_fig1b, 3)])
+def test_parsers_find_the_tables(parser, n):
+    """The parsers themselves must fail loudly if the doc is reshaped."""
+    assert len(parser()) == n

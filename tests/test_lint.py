@@ -197,6 +197,18 @@ def test_repository_tree_is_clean():
     assert not findings, render_text(findings)
 
 
+def test_benchmarks_and_examples_are_linted_and_clean():
+    """The default roots cover the driver trees, and they lint clean."""
+    import pathlib
+
+    repo = pathlib.Path(__file__).resolve().parents[1]
+    for tree in ("benchmarks", "examples"):
+        root = repo / tree
+        assert root.is_dir()
+        findings = run_lint([root])
+        assert not findings, f"{tree}: " + render_text(findings)
+
+
 def test_lint_cli_clean_and_json(tmp_path):
     env_root = str(ROOT / "src")
     out = subprocess.run(

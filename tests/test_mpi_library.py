@@ -10,7 +10,7 @@ from repro.netsim import NetworkConfig
 from repro.netsim.message import MessageKind, WireMessage
 from repro.runtime import World
 
-from tests.helpers import run_ranks
+from tests.helpers import flat_world, run_ranks
 
 
 def test_unknown_message_kind_rejected(world2):
@@ -90,7 +90,7 @@ def test_eager_send_completes_before_recv_posted(world2):
 def test_intranode_faster_than_internode():
     """Same-node ranks talk through shared memory: cheaper than the wire."""
     w_intra = World(num_nodes=1, procs_per_node=2)
-    w_inter = World(num_nodes=2, procs_per_node=1)
+    w_inter = flat_world(2)
     times = {}
 
     def sender(proc):
@@ -174,8 +174,8 @@ def test_comm_test_contends_on_shared_channel():
     channel ('original' mode) a polling thread's tests serialize against
     senders — the Fig 1(c)/Fig 5 mechanism."""
     def run(n_senders):
-        world = World(num_nodes=2, procs_per_node=1,
-                      threads_per_proc=n_senders + 1, max_vcis_per_proc=1)
+        world = flat_world(2, threads_per_proc=n_senders + 1,
+                           max_vcis_per_proc=1)
         poll_times = []
 
         def node(proc):

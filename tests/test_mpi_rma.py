@@ -8,9 +8,7 @@ from repro.mpi import Info
 from repro.mpi.coll.ops import MAX, SUM
 from repro.mpi.endpoints import comm_create_endpoints
 from repro.mpi.rma import win_create
-from repro.runtime import World
-
-from tests.helpers import run_ranks, run_same
+from tests.helpers import flat_world, run_ranks, run_same
 
 
 def test_put_and_flush(world2):
@@ -166,7 +164,7 @@ def test_invalid_target_rejected(world2):
 
 
 def test_flush_all_covers_multiple_targets():
-    world = World(num_nodes=3, procs_per_node=1)
+    world = flat_world(3)
 
     def worker(proc):
         mem = np.zeros(4)

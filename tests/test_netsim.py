@@ -194,13 +194,14 @@ def test_wire_message_seq_monotonic():
 def test_shared_context_costs_more():
     """The Lesson 3 penalty: posting through a shared hardware context
     charges shared_post_penalty on top of the doorbell."""
-    from repro.runtime import World
     import numpy as np
+
+    from tests.helpers import flat_world
 
     def run(contexts):
         cfg = NetworkConfig().with_contexts(contexts)
-        world = World(num_nodes=2, procs_per_node=1, threads_per_proc=4,
-                      cfg=cfg, max_vcis_per_proc=8)
+        world = flat_world(2, threads_per_proc=4, cfg=cfg,
+                           max_vcis_per_proc=8)
 
         def node(proc):
             if proc.rank == 0:

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.mpi.coll import SUM
 from repro.mpi.endpoints import comm_create_endpoints
 from repro.mpi.rma import win_create
-from repro.runtime import World
+from tests.helpers import flat_world, run_ranks, run_same
 
 SETTINGS = settings(max_examples=12, deadline=None,
                     suppress_health_check=[HealthCheck.too_slow,
@@ -26,7 +26,7 @@ def test_gather_scatter_roundtrip(nprocs, root_pick, count, seed):
     root_b = (root_pick + 1) % nprocs
     rng = np.random.default_rng(seed)
     data = rng.normal(size=nprocs * count)
-    world = World(num_nodes=nprocs, procs_per_node=1)
+    world = flat_world(nprocs)
     result = {}
 
     def worker(proc):
@@ -39,8 +39,7 @@ def test_gather_scatter_roundtrip(nprocs, root_pick, count, seed):
         if proc.rank == root_b:
             result["gathered"] = rb
 
-    tasks = [p.spawn(worker(p)) for p in world.procs]
-    world.run_all(tasks, max_steps=None)
+    run_same(world, worker, max_steps=None)
     assert np.allclose(result["gathered"], data)
 
 
@@ -51,7 +50,7 @@ def test_gather_scatter_roundtrip(nprocs, root_pick, count, seed):
 def test_scan_matches_cumsum(nprocs, count, seed):
     rng = np.random.default_rng(seed)
     contribs = rng.normal(size=(nprocs, count))
-    world = World(num_nodes=nprocs, procs_per_node=1)
+    world = flat_world(nprocs)
     outs = {}
 
     def worker(proc):
@@ -59,8 +58,7 @@ def test_scan_matches_cumsum(nprocs, count, seed):
         yield from proc.comm_world.Scan(contribs[proc.rank].copy(), out)
         outs[proc.rank] = out
 
-    world.run_all([p.spawn(worker(p)) for p in world.procs],
-                  max_steps=None)
+    run_same(world, worker, max_steps=None)
     running = np.zeros(count)
     for r in range(nprocs):
         running = running + contribs[r]
@@ -78,8 +76,7 @@ def test_endpoint_allreduce_matches_numpy(nprocs, eps_per_proc, count, seed):
     rng = np.random.default_rng(seed)
     contribs = rng.normal(size=(nprocs * eps_per_proc, count))
     expected = contribs.sum(axis=0)
-    world = World(num_nodes=nprocs, procs_per_node=1,
-                  threads_per_proc=eps_per_proc)
+    world = flat_world(nprocs, threads_per_proc=eps_per_proc)
     outs = {}
 
     def main(proc):
@@ -93,7 +90,7 @@ def test_endpoint_allreduce_matches_numpy(nprocs, eps_per_proc, count, seed):
 
         yield proc.sim.all_of([proc.spawn(thread(ep)) for ep in eps])
 
-    world.run_all([p.spawn(main(p)) for p in world.procs], max_steps=None)
+    run_same(world, main, max_steps=None)
     for r in range(nprocs * eps_per_proc):
         assert np.allclose(outs[r], expected), r
 
@@ -108,7 +105,7 @@ def test_concurrent_accumulates_linearize(nthreads_pick, targets, seed):
     exactly (atomicity + SUM commutativity)."""
     rng = np.random.default_rng(seed)
     values = rng.integers(1, 10, size=len(targets)).astype(np.float64)
-    world = World(num_nodes=2, procs_per_node=1)
+    world = flat_world(2)
     mem_holder = {}
 
     def origin(proc):
@@ -128,9 +125,7 @@ def test_concurrent_accumulates_linearize(nthreads_pick, targets, seed):
         win = yield from win_create(proc.comm_world, mem)
         yield from win.Fence()
 
-    tasks = [world.procs[0].spawn(origin(world.procs[0])),
-             world.procs[1].spawn(target(world.procs[1]))]
-    world.run_all(tasks, max_steps=None)
+    run_ranks(world, origin, target, max_steps=None)
     expected = np.zeros(8)
     for t, v in zip(targets, values):
         expected[t] += v

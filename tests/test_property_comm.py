@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.mpi.coll import MAX, MIN, PROD, SUM
 from repro.mpi.partitioned import precv_init, psend_init
-from repro.runtime import World
+from tests.helpers import flat_world, run_ranks, run_same
 
 SETTINGS = settings(max_examples=15, deadline=None,
                     suppress_health_check=[HealthCheck.too_slow,
@@ -30,7 +30,7 @@ def test_allreduce_matches_numpy(nprocs, count, opname, seed):
     for i in range(1, nprocs):
         expected = npop(expected, inputs[i])
 
-    world = World(num_nodes=nprocs, procs_per_node=1)
+    world = flat_world(nprocs)
     outs = {}
 
     def worker(proc):
@@ -39,8 +39,7 @@ def test_allreduce_matches_numpy(nprocs, count, opname, seed):
                                              op=op)
         outs[proc.rank] = out
 
-    tasks = [p.spawn(worker(p)) for p in world.procs]
-    world.run_all(tasks, max_steps=None)
+    run_same(world, worker, max_steps=None)
     for r in range(nprocs):
         assert np.allclose(outs[r], expected), (r, opname)
 
@@ -52,7 +51,7 @@ def test_allreduce_matches_numpy(nprocs, count, opname, seed):
 def test_alltoall_matches_reference(nprocs, count, seed):
     rng = np.random.default_rng(seed)
     sends = rng.normal(size=(nprocs, nprocs * count))
-    world = World(num_nodes=nprocs, procs_per_node=1)
+    world = flat_world(nprocs)
     outs = {}
 
     def worker(proc):
@@ -60,7 +59,7 @@ def test_alltoall_matches_reference(nprocs, count, seed):
         yield from proc.comm_world.Alltoall(sends[proc.rank].copy(), recv)
         outs[proc.rank] = recv
 
-    world.run_all([p.spawn(worker(p)) for p in world.procs], max_steps=None)
+    run_same(world, worker, max_steps=None)
     for r in range(nprocs):
         for s in range(nprocs):
             assert np.allclose(outs[r][s * count:(s + 1) * count],
@@ -76,7 +75,7 @@ def test_pt2pt_stream_preserves_order_and_data(tags, seed):
     tag, in FIFO order."""
     rng = np.random.default_rng(seed)
     payloads = [rng.normal(size=4) for _ in tags]
-    world = World(num_nodes=2, procs_per_node=1)
+    world = flat_world(2)
     received = []
 
     def sender(proc):
@@ -94,9 +93,7 @@ def test_pt2pt_stream_preserves_order_and_data(tags, seed):
         for i in range(len(tags)):
             received.append(bufs[i])
 
-    tasks = [world.procs[0].spawn(sender(world.procs[0])),
-             world.procs[1].spawn(receiver(world.procs[1]))]
-    world.run_all(tasks, max_steps=None)
+    run_ranks(world, sender, receiver, max_steps=None)
     for got, want in zip(received, payloads):
         assert np.allclose(got, want)
 
@@ -109,7 +106,7 @@ def test_pt2pt_stream_preserves_order_and_data(tags, seed):
 def test_partitioned_random_pready_orders(partitions, count, cycles, data):
     """Any pready permutation over any number of cycles delivers exact
     data."""
-    world = World(num_nodes=2, procs_per_node=1)
+    world = flat_world(2)
     perms = [data.draw(st.permutations(range(partitions)), label=f"perm{c}")
              for c in range(cycles)]
 
@@ -136,7 +133,5 @@ def test_partitioned_random_pready_orders(partitions, count, cycles, data):
             checks.append(np.allclose(
                 buf, np.arange(partitions * count) + 100 * c))
 
-    tasks = [world.procs[0].spawn(sender(world.procs[0])),
-             world.procs[1].spawn(receiver(world.procs[1]))]
-    world.run_all(tasks, max_steps=None)
+    run_ranks(world, sender, receiver, max_steps=None)
     assert all(checks) and len(checks) == cycles

@@ -6,6 +6,7 @@ import pytest
 from repro.errors import MpiUsageError
 from repro.runtime import World
 from repro.sim import SimulationError
+from tests.helpers import flat_world, run_same
 
 
 def test_world_dimensions_and_ranks():
@@ -37,14 +38,14 @@ def test_comm_world_per_rank():
 
 
 def test_context_id_allocation_strides():
-    world = World(num_nodes=1, procs_per_node=1)
+    world = flat_world(1)
     a = world.alloc_context_id()
     b = world.alloc_context_id()
     assert a == 4 and b == 8  # COMM_WORLD owns 0..3
 
 
 def test_launch_spawns_per_thread():
-    world = World(num_nodes=2, procs_per_node=1, threads_per_proc=3)
+    world = flat_world(2, threads_per_proc=3)
     seen = []
 
     def fn(proc, tid):
@@ -58,7 +59,7 @@ def test_launch_spawns_per_thread():
 
 
 def test_shm_exchange_charges_time():
-    world = World(num_nodes=1, procs_per_node=1)
+    world = flat_world(1)
     proc = world.procs[0]
 
     def t():
@@ -70,7 +71,7 @@ def test_shm_exchange_charges_time():
 
 
 def test_meet_size_mismatch_rejected():
-    world = World(num_nodes=2, procs_per_node=1)
+    world = flat_world(2)
 
     def a(proc):
         yield from world.meet("k", nmembers=2, rank=0)
@@ -86,7 +87,7 @@ def test_meet_size_mismatch_rejected():
 
 
 def test_meet_double_join_rejected():
-    world = World(num_nodes=2, procs_per_node=1)
+    world = flat_world(2)
 
     def a(proc):
         world_gen = world.meet("k", nmembers=3, rank=0)
@@ -106,7 +107,7 @@ def test_meet_double_join_rejected():
 
 
 def test_meet_finalize_runs_once_by_last_arriver():
-    world = World(num_nodes=3, procs_per_node=1)
+    world = flat_world(3)
     calls = []
 
     def finalize(meeting):
@@ -119,27 +120,25 @@ def test_meet_finalize_runs_once_by_last_arriver():
                                   finalize=finalize)
         return m.shared["total"]
 
-    tasks = [p.spawn(worker(p)) for p in world.procs]
-    assert world.run_all(tasks) == [6, 6, 6]
+    assert run_same(world, worker) == [6, 6, 6]
     assert len(calls) == 1
     assert calls[0] == {0: 1, 1: 2, 2: 3}
 
 
 def test_deadlock_detection_via_run_all():
-    world = World(num_nodes=2, procs_per_node=1)
+    world = flat_world(2)
 
     def stuck(proc):
         buf = np.zeros(1)
         # both ranks receive, nobody sends
         yield from proc.comm_world.Recv(buf, source=1 - proc.rank, tag=0)
 
-    tasks = [p.spawn(stuck(p)) for p in world.procs]
     with pytest.raises(SimulationError, match="deadlock"):
-        world.run_all(tasks)
+        run_same(world, stuck)
 
 
 def test_world_now_tracks_simulated_time():
-    world = World(num_nodes=1, procs_per_node=1)
+    world = flat_world(1)
     proc = world.procs[0]
     world.run_all([proc.spawn((proc.compute(2.5e-6) for _ in range(1)))])
     # generator expression yields one timeout
