@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Topology-aware collectives: the same allreduce, two interconnects.
+
+Builds two 16-host clusters with the ClusterSpec API — a flat single-hop
+``direct`` fabric and a ``fat_tree(k=4)`` with D-mod-k routing — and
+times a 96 KiB allreduce among four ranks spread across two pods, once
+per algorithm (``comm.set_coll_algorithm``). On the flat fabric the
+bandwidth-optimal ring wins; on the fat tree every ring step serializes
+through shared up/down planes (real per-link FIFO queueing, printed
+below) and recursive doubling wins. One global size threshold cannot
+serve both fabrics — selection must be per-communicator.
+
+Run:  python examples/fat_tree_collectives.py
+See:  docs/topology.md, benchmarks/bench_fig7_collectives.py
+"""
+
+import numpy as np
+
+from repro.netsim import ClusterSpec
+from repro.runtime import World
+
+MEMBERS = (0, 1, 4, 5)   # two edge-switch pairs across pods 0 and 1
+NBYTES = 96 * 1024
+
+
+def time_allreduce(spec: ClusterSpec, algorithm: str) -> tuple[float, float]:
+    """Simulated allreduce seconds among MEMBERS, plus link queue delay."""
+    world = World(cluster=spec, seed=0)
+    elems = NBYTES // 8
+    walls = {}
+
+    def member(proc):
+        sub = yield from proc.comm_world.Split(0, MEMBERS.index(proc.rank))
+        sub.set_coll_algorithm("allreduce", algorithm)
+        out = np.zeros(elems)
+        t0 = proc.sim.now
+        yield from sub.Allreduce(np.full(elems, float(proc.rank + 1)), out)
+        walls[proc.rank] = proc.sim.now - t0
+        assert np.allclose(out, sum(r + 1 for r in MEMBERS))
+
+    def idle(proc):
+        yield from proc.comm_world.Split(1, proc.rank)
+
+    world.run_all([p.spawn((member if p.rank in MEMBERS else idle)(p))
+                   for p in world.procs])
+    queued = 0.0
+    if world.topology is not None:
+        queued = sum(link.server.stats.total_queue_delay
+                     for link in world.topology.links())
+    return max(walls.values()), queued
+
+
+def main() -> None:
+    """Compare allreduce algorithms on a flat fabric vs a fat tree."""
+    specs = {
+        "direct": ClusterSpec(nodes=16),
+        "fat_tree(k=4)": ClusterSpec(nodes=16, topology="fat_tree", k=4),
+    }
+    print(f"== 96 KiB allreduce among ranks {MEMBERS} of 16 hosts ==")
+    for name, spec in specs.items():
+        times = {}
+        for algo in ("recursive_doubling", "ring"):
+            times[algo], queued = time_allreduce(spec, algo)
+            print(f"  {name:14s} {algo:18s} {times[algo] * 1e6:7.1f} us"
+                  f"   (link queueing {queued * 1e6:.1f} us)")
+        winner = min(times, key=times.get)
+        print(f"  {name:14s} winner: {winner}")
+    print("""
+ - The ring is bandwidth-optimal per host, so it wins the flat fabric.
+ - On the fat tree, each ring step is gated by a 6-hop cross-pod chunk
+   queueing on shared D-mod-k planes; recursive doubling needs only
+   log2(P) rounds and wins. Pick per communicator, not globally.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,17 +12,21 @@ import numpy as np
 
 from repro.bench import MsgRateConfig, run_msgrate
 from repro.mpi.endpoints import comm_create_endpoints
+from repro.netsim import ClusterSpec
 from repro.runtime import World
 
 
 def main():
     """Run the five-minute tour of the simulated MPI library."""
     # ------------------------------------------------------------------
-    # 1. A world: 2 nodes, 1 MPI process each. Application code is written
-    #    as generators ("simulated threads"); blocking calls use `yield
-    #    from`, compute time is charged with `yield proc.compute(...)`.
+    # 1. A world: 2 nodes, 1 MPI process each, described declaratively by
+    #    a ClusterSpec (topology="direct" is the default single-hop
+    #    fabric; see examples/fat_tree_collectives.py for a routed one).
+    #    Application code is written as generators ("simulated threads");
+    #    blocking calls use `yield from`, compute time is charged with
+    #    `yield proc.compute(...)`.
     # ------------------------------------------------------------------
-    world = World(num_nodes=2, procs_per_node=1)
+    world = World(cluster=ClusterSpec(nodes=2, procs_per_node=1))
 
     def rank0(proc):
         comm = proc.comm_world
@@ -52,7 +56,7 @@ def main():
     #    MPI-everywhere ranks (Listing 3 of the paper).
     # ------------------------------------------------------------------
     print("\n== user-visible endpoints ==")
-    world2 = World(num_nodes=2, procs_per_node=1, threads_per_proc=3)
+    world2 = World(cluster=ClusterSpec(nodes=2, threads_per_proc=3))
 
     def node(proc):
         eps = yield from comm_create_endpoints(proc.comm_world, 3)

@@ -57,6 +57,7 @@ from .errors import (
     MpiUsageError,
     RmaSemanticsError,
     TagOverflowError,
+    TopologyError,
     TransportError,
     TruncationError,
 )
@@ -65,7 +66,7 @@ from .mpi import ANY_SOURCE, ANY_TAG, Communicator, Info, Request, Status
 from .mpi.endpoints import Endpoint, comm_create_endpoints
 from .mpi.partitioned import precv_init, psend_init
 from .mpi.rma import win_create
-from .netsim import NetworkConfig
+from .netsim import ClusterSpec, NetworkConfig, register_topology
 from .obs import MetricsRegistry, export_chrome_trace
 from .runtime import MpiProcess, Node, World
 from .sim.trace import TraceCategory, Tracer
@@ -73,12 +74,14 @@ from .sim.trace import TraceCategory, Tracer
 __version__ = "1.0.0"
 
 __all__ = [
-    "ANY_SOURCE", "ANY_TAG", "Communicator", "Endpoint", "FaultPlan",
-    "FaultPlanError", "HintViolationError", "Info", "InvalidHintError",
-    "MetricsRegistry", "MpiError", "MpiProcess", "MpiUsageError",
-    "NetworkConfig", "Node", "Request", "RmaSemanticsError", "Status",
-    "TagOverflowError", "TraceCategory", "Tracer", "TransportError",
-    "TransportParams", "TruncationError", "World", "__version__",
-    "comm_create_endpoints", "export_chrome_trace", "precv_init",
-    "psend_init", "win_create",
+    "ANY_SOURCE", "ANY_TAG", "ClusterSpec", "Communicator", "Endpoint",
+    "FaultPlan", "FaultPlanError", "HintViolationError", "Info",
+    "InvalidHintError", "MetricsRegistry", "MpiError", "MpiProcess",
+    "MpiUsageError", "NetworkConfig", "Node", "Request",
+    "RmaSemanticsError", "Status", "TagOverflowError", "TopologyError",
+    "TraceCategory",
+    "Tracer", "TransportError", "TransportParams", "TruncationError",
+    "World", "__version__", "comm_create_endpoints",
+    "export_chrome_trace", "precv_init", "psend_init",
+    "register_topology", "win_create",
 ]

@@ -34,6 +34,7 @@ from ...errors import MpiUsageError
 from ...mpi.partitioned import precv_init, psend_init, startall, waitall_partitioned
 from ...mpi.request import waitall
 from ...netsim.config import NetworkConfig
+from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
 from ...sim.sync import Barrier, Gate
 
@@ -213,9 +214,9 @@ class _DeviceNode:
 def run_device(cfg: DeviceConfig,
                net: Optional[NetworkConfig] = None) -> DeviceResult:
     """Run the device-offload proxy under the chosen mechanism."""
-    world = World(num_nodes=2, procs_per_node=1,
-                  threads_per_proc=cfg.blocks,
-                  cfg=net or NetworkConfig())
+    world = World(cluster=ClusterSpec(nodes=2,
+                                      threads_per_proc=cfg.blocks,
+                                      network=net))
     nodes = {}
 
     def proc_main(proc):

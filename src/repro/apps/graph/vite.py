@@ -33,6 +33,7 @@ from ...mapping.tags import TagSchema, listing2_info
 from ...mpi.endpoints import comm_create_endpoints
 from ...mpi.request import waitall
 from ...netsim.config import NetworkConfig
+from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
 
 __all__ = ["GraphConfig", "GraphResult", "run_graph", "partition_graph"]
@@ -244,9 +245,9 @@ def run_graph(cfg: GraphConfig,
     from ...sim.sync import Barrier
 
     graph, owners = partition_graph(cfg)
-    world = World(num_nodes=cfg.num_nodes, procs_per_node=1,
-                  threads_per_proc=cfg.threads_per_proc,
-                  cfg=net or NetworkConfig(),
+    world = World(cluster=ClusterSpec(nodes=cfg.num_nodes,
+                                      threads_per_proc=cfg.threads_per_proc,
+                                      network=net),
                   max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed)
     nodes: dict[int, _GraphNode] = {}
     rng = np.random.default_rng(cfg.seed + 1)

@@ -29,6 +29,7 @@ from ...mpi.endpoints import comm_create_endpoints
 from ...mpi.info import Info
 from ...mpi.request import waitall
 from ...netsim.config import NetworkConfig
+from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
 from ...sim.sync import Gate
 
@@ -211,9 +212,9 @@ def run_circuit(cfg: CircuitConfig,
                 net: Optional[NetworkConfig] = None,
                 max_vcis_per_proc: int = 64) -> CircuitResult:
     """Run the circuit proxy under the configured mechanism."""
-    world = World(num_nodes=cfg.num_nodes, procs_per_node=1,
-                  threads_per_proc=cfg.task_threads + 1,
-                  cfg=net or NetworkConfig(),
+    world = World(cluster=ClusterSpec(nodes=cfg.num_nodes,
+                                      threads_per_proc=cfg.task_threads + 1,
+                                      network=net),
                   max_vcis_per_proc=max_vcis_per_proc)
     nodes: dict[int, _CircuitNode] = {}
 

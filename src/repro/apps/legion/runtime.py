@@ -37,6 +37,7 @@ from ...mpi import ANY_SOURCE, ANY_TAG
 from ...mpi.endpoints import comm_create_endpoints
 from ...mpi.request import waitall
 from ...netsim.config import NetworkConfig
+from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
 
 __all__ = ["LegionConfig", "LegionResult", "run_legion"]
@@ -267,9 +268,9 @@ def run_legion(cfg: LegionConfig,
                net: Optional[NetworkConfig] = None,
                max_vcis_per_proc: int = 64) -> LegionResult:
     """Run one event-runtime experiment end to end."""
-    world = World(num_nodes=cfg.num_nodes, procs_per_node=1,
-                  threads_per_proc=cfg.task_threads + 1,
-                  cfg=net or NetworkConfig(),
+    world = World(cluster=ClusterSpec(nodes=cfg.num_nodes,
+                                      threads_per_proc=cfg.task_threads + 1,
+                                      network=net),
                   max_vcis_per_proc=max_vcis_per_proc)
     states: dict[int, _LegionProcess] = {}
 

@@ -31,6 +31,7 @@ from ...mpi.endpoints import comm_create_endpoints
 from ...mpi.info import Info
 from ...mpi.rma import win_create
 from ...netsim.config import NetworkConfig
+from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
 
 __all__ = ["NwchemConfig", "NwchemResult", "run_nwchem"]
@@ -107,9 +108,9 @@ def run_nwchem(cfg: NwchemConfig,
                net: Optional[NetworkConfig] = None,
                max_vcis_per_proc: int = 64) -> NwchemResult:
     """Run the block-sparse RMA proxy under the configured mechanism."""
-    world = World(num_nodes=cfg.num_nodes, procs_per_node=1,
-                  threads_per_proc=cfg.threads_per_proc,
-                  cfg=net or NetworkConfig(),
+    world = World(cluster=ClusterSpec(nodes=cfg.num_nodes,
+                                      threads_per_proc=cfg.threads_per_proc,
+                                      network=net),
                   max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed)
     dim, te = cfg.tile_dim, cfg.tile_elems
     memories: dict[int, np.ndarray] = {}

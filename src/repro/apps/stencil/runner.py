@@ -15,6 +15,7 @@ import numpy as np
 
 from ...mapping.endpoints import EndpointAddressing
 from ...netsim.config import NetworkConfig
+from ...netsim.topology import ClusterSpec
 from ...runtime.world import World
 from .drivers import StencilConfig, StencilProcessRun, make_run
 from .field import assemble_global, reference_jacobi
@@ -76,9 +77,9 @@ def run_stencil(cfg: StencilConfig,
     nprocs = 1
     for n in cfg.proc_grid:
         nprocs *= n
-    world = World(num_nodes=nprocs, procs_per_node=1,
-                  threads_per_proc=cfg.nthreads,
-                  cfg=net or NetworkConfig(),
+    world = World(cluster=ClusterSpec(nodes=nprocs,
+                                      threads_per_proc=cfg.nthreads,
+                                      network=net),
                   max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed,
                   metrics=metrics, tracer=tracer,
                   faults=faults, transport=transport)

@@ -37,6 +37,7 @@ from ...errors import MpiUsageError
 from ...mpi.coll import SUM, ThreadTeamBcast, ThreadTeamReduce
 from ...mpi.endpoints import comm_create_endpoints
 from ...netsim.config import NetworkConfig
+from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
 from ...sim.sync import Barrier
 
@@ -98,9 +99,9 @@ def run_vasp(cfg: VaspConfig,
              net: Optional[NetworkConfig] = None,
              max_vcis_per_proc: int = 64) -> VaspResult:
     """Run the threaded-allreduce proxy under the configured mechanism."""
-    world = World(num_nodes=cfg.num_nodes, procs_per_node=1,
-                  threads_per_proc=cfg.threads_per_proc,
-                  cfg=net or NetworkConfig(),
+    world = World(cluster=ClusterSpec(nodes=cfg.num_nodes,
+                                      threads_per_proc=cfg.threads_per_proc,
+                                      network=net),
                   max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed)
     T = cfg.threads_per_proc
     seg = cfg.elems // T

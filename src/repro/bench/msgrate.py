@@ -39,6 +39,7 @@ from ..mapping.tags import TagSchema, listing2_info
 from ..mpi.endpoints import comm_create_endpoints
 from ..mpi.request import waitall
 from ..netsim.config import NetworkConfig
+from ..netsim.topology import ClusterSpec
 from ..runtime.world import World
 
 __all__ = ["MsgRateConfig", "MsgRateResult", "run_msgrate", "MODES"]
@@ -130,8 +131,9 @@ def run_msgrate(cfg: MsgRateConfig,
     net = net or NetworkConfig()
 
     if cfg.mode == "everywhere":
-        world = World(num_nodes=2, procs_per_node=n, threads_per_proc=1,
-                      cfg=net, max_vcis_per_proc=1, seed=cfg.seed,
+        world = World(cluster=ClusterSpec(nodes=2, procs_per_node=n,
+                                          network=net),
+                      max_vcis_per_proc=1, seed=cfg.seed,
                       metrics=metrics, tracer=tracer)
 
         def sender_main(proc):
@@ -152,8 +154,9 @@ def run_msgrate(cfg: MsgRateConfig,
         if max_vcis_per_proc is None:
             max_vcis_per_proc = 1 if cfg.mode == "threads-original" \
                 else max(4, 2 * n)
-        world = World(num_nodes=2, procs_per_node=1, threads_per_proc=n,
-                      cfg=net, max_vcis_per_proc=max_vcis_per_proc,
+        world = World(cluster=ClusterSpec(nodes=2, threads_per_proc=n,
+                                          network=net),
+                      max_vcis_per_proc=max_vcis_per_proc,
                       seed=cfg.seed, metrics=metrics, tracer=tracer)
 
         def node_main(proc):

@@ -177,15 +177,22 @@ def run_points(fn: Callable[..., Any], points: Sequence[dict],
 
 
 def scaling_run(fn: Callable[..., Any], points: Iterable[dict],
-                jobs_list: Sequence[int]) -> dict[int, float]:
-    """Time the full point set at each worker count; returns seconds by
-    jobs. Used by ``benchmarks/bench_kernel.py`` to record the ``--jobs``
+                jobs_list: Sequence[int]) -> dict[int, dict[str, Any]]:
+    """Time the full point set at each worker count.
+
+    Returns ``{jobs: {"wall_sec": ..., "cpu_count": ...}}``. The host's
+    CPU count is recorded alongside every point so consumers (e.g.
+    ``benchmarks/bench_kernel.py``) can distinguish a real scaling
+    regression from the expected sub-unity "speedup" of oversubscribing
+    a small host — ``jobs > cpu_count`` cannot beat serial, and a gate
+    that ignores that tracks noise. Used to record the ``--jobs``
     scaling trajectory."""
     import time
     points = list(points)
-    walls: dict[int, float] = {}
+    walls: dict[int, dict[str, Any]] = {}
     for jobs in jobs_list:
         t0 = time.perf_counter()
         run_points(fn, points, jobs=jobs)
-        walls[jobs] = time.perf_counter() - t0
+        walls[jobs] = {"wall_sec": time.perf_counter() - t0,
+                       "cpu_count": os.cpu_count() or 1}
     return walls

@@ -16,6 +16,7 @@ __all__ = [
     "SnapshotError",
     "SnapshotFormatError",
     "SnapshotMismatchError",
+    "TopologyError",
 ]
 
 
@@ -96,6 +97,16 @@ class SnapshotError(MpiError):
 
 class SnapshotFormatError(SnapshotError):
     """A snapshot file is unreadable: wrong version, corrupt, truncated."""
+
+
+class TopologyError(MpiError):
+    """An interconnect topology is malformed or cannot host the cluster.
+
+    Raised for unknown topology names, generator parameters that violate
+    the topology's structural constraints (odd fat-tree arity, too few
+    dragonfly groups), clusters larger than the topology's host capacity,
+    and routing-table defects detected while building static routes.
+    """
 
 
 class SnapshotMismatchError(SnapshotError):

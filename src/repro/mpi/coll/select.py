@@ -1,0 +1,63 @@
+"""Per-communicator collective algorithm selection.
+
+Real MPI libraries expose per-communicator algorithm control (MPICH's
+``MPIR_CVAR_ALLREDUCE_INTRA_ALGORITHM``, Open MPI's coll tuned module);
+this registry is the simulated equivalent. Every collective operation
+names its selectable algorithms here; ``"auto"`` is always valid and
+means "use the library's size-based heuristic". Selections reach a
+communicator two ways:
+
+- imperatively: ``comm.set_coll_algorithm("allreduce", "ring")``;
+- declaratively, through Info hints at ``Dup`` time:
+  ``Info({"repro_coll_allreduce": "ring"})`` (key pattern
+  ``repro_coll_<op>``).
+
+Only operations with more than one implementation gain real choice
+today (allreduce: recursive doubling vs ring); the others are listed so
+selections validate against a single source of truth as alternatives
+are added.
+"""
+
+from __future__ import annotations
+
+from ...errors import InvalidHintError
+
+__all__ = ["COLL_ALGORITHMS", "HINT_PREFIX", "validate_selection"]
+
+#: Selectable algorithm names per collective operation. ``"auto"`` is
+#: implicit for every operation and therefore not listed.
+COLL_ALGORITHMS: dict[str, tuple[str, ...]] = {
+    "allgather": ("ring",),
+    "allreduce": ("recursive_doubling", "ring"),
+    "alltoall": ("pairwise",),
+    "barrier": ("dissemination",),
+    "bcast": ("binomial",),
+    "gather": ("binomial",),
+    "reduce": ("binomial",),
+    "reduce_scatter_block": ("pairwise",),
+    "scan": ("linear",),
+    "scatter": ("binomial",),
+}
+
+#: Info-hint key prefix: ``repro_coll_allreduce=ring``.
+HINT_PREFIX = "repro_coll_"
+
+
+def validate_selection(op: str, algorithm: str) -> tuple[str, str]:
+    """Check an (operation, algorithm) pair; returns it normalized.
+
+    Raises :class:`~repro.errors.InvalidHintError` naming the valid
+    choices on unknown operations or algorithms.
+    """
+    op = op.strip().lower()
+    algorithm = algorithm.strip().lower()
+    if op not in COLL_ALGORITHMS:
+        raise InvalidHintError(
+            f"unknown collective operation {op!r}; selectable: "
+            f"{', '.join(sorted(COLL_ALGORITHMS))}")
+    choices = COLL_ALGORITHMS[op] + ("auto",)
+    if algorithm not in choices:
+        raise InvalidHintError(
+            f"unknown {op} algorithm {algorithm!r}; choices: "
+            f"{', '.join(sorted(choices))}")
+    return op, algorithm

@@ -93,6 +93,11 @@ class Communicator:
                 lib.vci_pool.get(vci_map.base + i)
         self.name = name
         self.freed = False
+        #: Per-handle collective algorithm selections (op -> algorithm),
+        #: seeded from ``repro_coll_<op>`` Info hints; absent ops use the
+        #: library's size-based "auto" heuristic. Local handle state, as
+        #: in real MPI libraries — Dup/Split copy the parent's choices.
+        self._coll_algorithms: dict[str, str] = dict(self.hints.coll_algorithms)
         #: Per-handle counter so repeated Dup calls agree on meeting keys.
         self._create_seq = itertools.count()
         #: MPI requires collectives on a communicator to be issued
@@ -123,6 +128,28 @@ class Communicator:
 
     def world_rank_of(self, comm_rank: int) -> int:
         return self.group[comm_rank]
+
+    def set_coll_algorithm(self, op: str, algorithm: str) -> None:
+        """Pin the algorithm for collective ``op`` on this handle.
+
+        ``comm.set_coll_algorithm("allreduce", "ring")`` forces the ring
+        regardless of message size; ``"auto"`` restores the size-based
+        heuristic. Valid names live in
+        :data:`repro.mpi.coll.select.COLL_ALGORITHMS`; invalid pairs
+        raise :class:`~repro.errors.InvalidHintError`. Local operation
+        (no communication), like MPICH's CVAR overrides.
+        """
+        from .coll.select import validate_selection
+        self._check_alive()
+        op, algorithm = validate_selection(op, algorithm)
+        if algorithm == "auto":
+            self._coll_algorithms.pop(op, None)
+        else:
+            self._coll_algorithms[op] = algorithm
+
+    def coll_algorithm(self, op: str) -> str:
+        """The algorithm currently selected for ``op`` (``"auto"`` default)."""
+        return self._coll_algorithms.get(op.strip().lower(), "auto")
 
     def Get_rank(self) -> int:
         return self.rank
@@ -495,9 +522,11 @@ class Communicator:
         new_group = [self.group[r] for r in members]
         new_rank = members.index(self.rank)
         context_id = meeting.shared["ctx_by_color"][color]
-        return Communicator(self.lib, new_group, new_rank, context_id,
-                            hints=self.hints,
-                            name=name or f"{self.name}.split{color}")
+        new_comm = Communicator(self.lib, new_group, new_rank, context_id,
+                                hints=self.hints,
+                                name=name or f"{self.name}.split{color}")
+        new_comm._coll_algorithms.update(self._coll_algorithms)
+        return new_comm
 
     def Dup(self, info: Optional[Info] = None,
             name: Optional[str] = None) -> Generator[Event, Any, "Communicator"]:
@@ -523,9 +552,15 @@ class Communicator:
             vci_map: VciMap = TagBitsVciMap(hints, base, pool.max_vcis)
         else:
             vci_map = SingleVciMap(base)
-        return Communicator(self.lib, list(self.group), self.rank,
-                            context_id, hints=hints, vci_map=vci_map,
-                            name=name or f"{self.name}.dup{seq}")
+        new_comm = Communicator(self.lib, list(self.group), self.rank,
+                                context_id, hints=hints, vci_map=vci_map,
+                                name=name or f"{self.name}.dup{seq}")
+        # Parent selections carry over; explicit repro_coll_* hints on
+        # this Dup win over inherited ones.
+        inherited = dict(self._coll_algorithms)
+        inherited.update(new_comm._coll_algorithms)
+        new_comm._coll_algorithms = inherited
+        return new_comm
 
     def Free(self) -> None:
         """Release the communicator handle (local bookkeeping only)."""
@@ -607,7 +642,12 @@ class Communicator:
         from .datatypes import check_buffer
         with self._collective("Allreduce"):
             nbytes = check_buffer(sendbuf).nbytes
-            if self.size > 2 and nbytes >= self.ALLREDUCE_RING_THRESHOLD:
+            algorithm = self._coll_algorithms.get("allreduce", "auto")
+            if algorithm == "auto":
+                algorithm = ("ring" if self.size > 2
+                             and nbytes >= self.ALLREDUCE_RING_THRESHOLD
+                             else "recursive_doubling")
+            if algorithm == "ring" and self.size > 1:
                 yield from allreduce_ring(self, sendbuf, recvbuf, op or SUM)
             else:
                 yield from allreduce_recursive_doubling(self, sendbuf,

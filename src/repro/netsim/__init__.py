@@ -1,7 +1,9 @@
 """Simulated network substrate: NIC hardware contexts + LogGP fabric.
 
 This package stands in for the Omni-Path hardware the paper measured on.
-See DESIGN.md section 1 for the substitution rationale.
+See DESIGN.md section 1 for the substitution rationale, and
+docs/topology.md for the multi-hop interconnect layer
+(:mod:`repro.netsim.topology`).
 """
 
 from .config import (
@@ -14,17 +16,39 @@ from .config import (
 from .fabric import Fabric
 from .message import HEADER_BYTES, MessageKind, WireMessage
 from .nic import HardwareContext, Nic
+from .topology import (
+    ClusterSpec,
+    Link,
+    RoutedFabric,
+    Topology,
+    dragonfly,
+    fat_tree,
+    host_vertex,
+    register_topology,
+    topology_names,
+    torus,
+)
 
 __all__ = [
     "OMNIPATH_CONTEXTS",
+    "ClusterSpec",
     "CpuCosts",
     "Fabric",
     "FabricParams",
     "HEADER_BYTES",
     "HardwareContext",
+    "Link",
     "MessageKind",
     "NetworkConfig",
     "Nic",
     "NicParams",
+    "RoutedFabric",
+    "Topology",
     "WireMessage",
+    "dragonfly",
+    "fat_tree",
+    "host_vertex",
+    "register_topology",
+    "topology_names",
+    "torus",
 ]

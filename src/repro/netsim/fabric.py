@@ -23,6 +23,11 @@ __all__ = ["Fabric"]
 
 DeliveryHandler = Callable[[WireMessage], None]
 
+#: One instant per per-link hop of a routed message (see
+#: :class:`repro.netsim.topology.routed.RoutedFabric`). Defined here so
+#: the category exists whether or not the topology subsystem is imported.
+LINK_HOP = TraceCategory.custom("topo.link.hop", "fabric")
+
 
 class Fabric:
     """Connects nodes; schedules message arrivals.
@@ -120,6 +125,10 @@ class Fabric:
             h = self._h_ingress.get(msg.dst_node)
             if h is not None:
                 h.observe(queued)
+        self._enqueue_arrival(msg, arrival)
+
+    def _enqueue_arrival(self, msg: WireMessage, arrival: float) -> None:
+        """Enqueue the delivery event for ``msg`` at absolute ``arrival``."""
         # Hand-built pre-triggered event (one per wire message — hot path).
         event = Event.__new__(Event)
         event.sim = self.sim

@@ -1,0 +1,37 @@
+"""Pluggable interconnect topologies: switches, links, static routing.
+
+See docs/topology.md for the model. The public surface:
+
+- :class:`~.spec.ClusterSpec` — declarative cluster description consumed
+  by ``World(cluster=...)``;
+- :func:`~.spec.register_topology` / :func:`~.spec.topology_names` — the
+  registry protocol behind ``ClusterSpec(topology="...")``;
+- generators :func:`~.generators.fat_tree`,
+  :func:`~.generators.dragonfly`, :func:`~.generators.torus`;
+- :class:`~.graph.Topology` / :class:`~.graph.Link` — the graph model;
+- :class:`~.routed.RoutedFabric` — the hop-by-hop fabric.
+"""
+
+from .generators import dragonfly, fat_tree, torus
+from .graph import Link, Topology, host_vertex
+from .routed import RoutedFabric
+from .spec import (
+    ClusterSpec,
+    TopologyBuilder,
+    register_topology,
+    topology_names,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "Link",
+    "RoutedFabric",
+    "Topology",
+    "TopologyBuilder",
+    "dragonfly",
+    "fat_tree",
+    "host_vertex",
+    "register_topology",
+    "topology_names",
+    "torus",
+]

@@ -1,0 +1,261 @@
+"""Topology generators: fat tree, dragonfly, torus.
+
+Each generator returns a fully routed :class:`~.graph.Topology` whose
+host capacity may exceed the cluster actually placed on it (a
+``fat_tree(k=4)`` always has 16 host ports even if only 4 nodes attach).
+Routes are static and deterministic — D-mod-k for the fat tree, minimal
+(direct-gateway) paths for the dragonfly, dimension-order with shortest
+wrap for the torus — so two runs of one workload traverse identical
+links in identical order.
+
+Link ``bandwidth``/``latency`` default to ``None`` and inherit the
+fabric's :class:`~repro.netsim.config.FabricParams` per hop at bind
+time; pass explicit values to price a topology's links differently from
+the host NIC links.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ...errors import TopologyError
+from .graph import Topology, host_vertex
+
+__all__ = ["fat_tree", "dragonfly", "torus"]
+
+
+def fat_tree(k: int, bandwidth: Optional[float] = None,
+             latency: Optional[float] = None) -> Topology:
+    """A k-ary fat tree with D-mod-k routing (k pods, ``k**3/4`` hosts).
+
+    Structure (Al-Fares et al.): ``k`` pods of ``k/2`` edge and ``k/2``
+    aggregation switches, ``(k/2)**2`` core switches, ``k/2`` hosts per
+    edge switch. Up-paths use destination-mod-k port selection — the
+    deterministic ECMP variant — so distinct destinations spread over
+    distinct core switches while one (src, dst) pair always takes one
+    path.
+    """
+    if k < 2 or k % 2:
+        raise TopologyError(f"fat_tree arity k must be even and >= 2, got {k}")
+    half = k // 2
+    hosts_per_pod = half * half
+    capacity = k * hosts_per_pod
+    topo = Topology(f"fat_tree(k={k})", num_hosts=capacity)
+
+    def edge_name(p: int, e: int) -> str:
+        return f"p{p}.e{e}"
+
+    def agg_name(p: int, a: int) -> str:
+        return f"p{p}.a{a}"
+
+    def core_name(c: int) -> str:
+        return f"core{c}"
+
+    for p in range(k):
+        for i in range(half):
+            topo.add_switch(edge_name(p, i))
+            topo.add_switch(agg_name(p, i))
+    for c in range(half * half):
+        topo.add_switch(core_name(c))
+
+    for host in range(capacity):
+        p, e = host // hosts_per_pod, (host % hosts_per_pod) // half
+        topo.add_duplex(host_vertex(host), edge_name(p, e), bandwidth, latency)
+    for p in range(k):
+        for e in range(half):
+            for a in range(half):
+                topo.add_duplex(edge_name(p, e), agg_name(p, a),
+                                bandwidth, latency)
+        for a in range(half):
+            for c in range(a * half, (a + 1) * half):
+                topo.add_duplex(agg_name(p, a), core_name(c),
+                                bandwidth, latency)
+
+    for dst in range(capacity):
+        dp = dst // hosts_per_pod
+        de = (dst % hosts_per_pod) // half
+        # D-mod-k port selection for the two up-hops.
+        up_agg = dst % half
+        up_core_off = (dst // half) % half
+        for host in range(capacity):
+            if host == dst:
+                continue
+            p, e = host // hosts_per_pod, (host % hosts_per_pod) // half
+            topo.set_next_hop(host_vertex(host), dst,
+                              topo.link(host_vertex(host), edge_name(p, e)))
+        for p in range(k):
+            for e in range(half):
+                ename = edge_name(p, e)
+                if p == dp and e == de:
+                    nxt = topo.link(ename, host_vertex(dst))
+                else:
+                    nxt = topo.link(ename, agg_name(p, up_agg))
+                topo.set_next_hop(ename, dst, nxt)
+            for a in range(half):
+                aname = agg_name(p, a)
+                if p == dp:
+                    nxt = topo.link(aname, edge_name(p, de))
+                else:
+                    nxt = topo.link(aname, core_name(a * half + up_core_off))
+                topo.set_next_hop(aname, dst, nxt)
+        for c in range(half * half):
+            topo.set_next_hop(core_name(c), dst,
+                              topo.link(core_name(c), agg_name(dp, c // half)))
+    return topo
+
+
+def dragonfly(a: int, p: int, h: int, bandwidth: Optional[float] = None,
+              latency: Optional[float] = None) -> Topology:
+    """A maximal dragonfly: ``a*h + 1`` groups, minimal routing.
+
+    ``a`` routers per group (fully connected intra-group), ``p`` hosts
+    per router, ``h`` global links per router. Every group pair is joined
+    by exactly one global link (the balanced configuration of Kim et
+    al.), so minimal routes are at most router → gateway → remote
+    gateway → router: three switch hops.
+    """
+    if a < 1 or p < 1 or h < 1:
+        raise TopologyError(
+            f"dragonfly needs a, p, h >= 1, got a={a} p={p} h={h}")
+    groups = a * h + 1
+    capacity = groups * a * p
+    topo = Topology(f"dragonfly(a={a},p={p},h={h})", num_hosts=capacity)
+
+    def router(g: int, r: int) -> str:
+        return f"g{g}.r{r}"
+
+    def port_toward(src_g: int, dst_g: int) -> int:
+        """Global-port index group ``src_g`` uses to reach ``dst_g``."""
+        return dst_g - 1 if dst_g > src_g else dst_g
+
+    def gateway(src_g: int, dst_g: int) -> int:
+        """Router in ``src_g`` owning the global link toward ``dst_g``."""
+        return port_toward(src_g, dst_g) // h
+
+    for g in range(groups):
+        for r in range(a):
+            topo.add_switch(router(g, r))
+    for host in range(capacity):
+        g, r = host // (a * p), (host % (a * p)) // p
+        topo.add_duplex(host_vertex(host), router(g, r), bandwidth, latency)
+    for g in range(groups):
+        for r1 in range(a):
+            for r2 in range(r1 + 1, a):
+                topo.add_duplex(router(g, r1), router(g, r2),
+                                bandwidth, latency)
+    for g1 in range(groups):
+        for g2 in range(g1 + 1, groups):
+            topo.add_duplex(router(g1, gateway(g1, g2)),
+                            router(g2, gateway(g2, g1)),
+                            bandwidth, latency)
+
+    for dst in range(capacity):
+        dg, dr = dst // (a * p), (dst % (a * p)) // p
+        for host in range(capacity):
+            if host == dst:
+                continue
+            g, r = host // (a * p), (host % (a * p)) // p
+            topo.set_next_hop(host_vertex(host), dst,
+                              topo.link(host_vertex(host), router(g, r)))
+        for g in range(groups):
+            for r in range(a):
+                rname = router(g, r)
+                if g == dg:
+                    if r == dr:
+                        nxt = topo.link(rname, host_vertex(dst))
+                    else:
+                        nxt = topo.link(rname, router(g, dr))
+                else:
+                    gw = gateway(g, dg)
+                    if r == gw:
+                        nxt = topo.link(rname, router(dg, gateway(dg, g)))
+                    else:
+                        nxt = topo.link(rname, router(g, gw))
+                topo.set_next_hop(rname, dst, nxt)
+    return topo
+
+
+def torus(dims: tuple[int, ...], bandwidth: Optional[float] = None,
+          latency: Optional[float] = None) -> Topology:
+    """An n-dimensional torus with dimension-order routing.
+
+    One switch (and one host port) per lattice point; wraparound links in
+    every dimension of size > 2 (size-2 dimensions collapse the two
+    directions into one duplex link). Routes correct one dimension at a
+    time, lowest dimension first, taking the shorter way around the ring
+    (ties go forward) — the classic deadlock-free dimension-order walk.
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 1 for d in dims):
+        raise TopologyError(
+            f"torus dims must be a non-empty tuple of sizes >= 1, got {dims}")
+    capacity = math.prod(dims)
+    topo = Topology(f"torus({'x'.join(map(str, dims))})", num_hosts=capacity)
+
+    def coords(index: int) -> tuple[int, ...]:
+        out = []
+        for d in reversed(dims):
+            out.append(index % d)
+            index //= d
+        return tuple(reversed(out))
+
+    def index(coord: tuple[int, ...]) -> int:
+        out = 0
+        for c, d in zip(coord, dims):
+            out = out * d + c
+        return out
+
+    def switch(coord: tuple[int, ...]) -> str:
+        return "s" + "_".join(map(str, coord))
+
+    def neighbors(coord: tuple[int, ...]) -> list[tuple[int, ...]]:
+        out = []
+        for axis, n in enumerate(dims):
+            if n == 1:
+                continue
+            steps = {1, n - 1}  # +1 and -1 mod n; identical when n == 2
+            for step in sorted(steps):
+                nb = list(coord)
+                nb[axis] = (coord[axis] + step) % n
+                out.append(tuple(nb))
+        return out
+
+    all_coords = [coords(i) for i in range(capacity)]
+    for coord in all_coords:
+        topo.add_switch(switch(coord))
+    for i, coord in enumerate(all_coords):
+        topo.add_duplex(host_vertex(i), switch(coord), bandwidth, latency)
+    for coord in all_coords:
+        for nb in neighbors(coord):
+            topo.add_link(switch(coord), switch(nb), bandwidth, latency)
+
+    def step_toward(coord: tuple[int, ...],
+                    goal: tuple[int, ...]) -> tuple[int, ...]:
+        for axis, n in enumerate(dims):
+            if coord[axis] == goal[axis]:
+                continue
+            forward = (goal[axis] - coord[axis]) % n
+            backward = (coord[axis] - goal[axis]) % n
+            step = 1 if forward <= backward else n - 1
+            nxt = list(coord)
+            nxt[axis] = (coord[axis] + step) % n
+            return tuple(nxt)
+        return coord
+
+    for dst in range(capacity):
+        goal = all_coords[dst]
+        for host in range(capacity):
+            if host == dst:
+                continue
+            topo.set_next_hop(
+                host_vertex(host), dst,
+                topo.link(host_vertex(host), switch(all_coords[host])))
+        for coord in all_coords:
+            sname = switch(coord)
+            if coord == goal:
+                nxt = topo.link(sname, host_vertex(dst))
+            else:
+                nxt = topo.link(sname, switch(step_toward(coord, goal)))
+            topo.set_next_hop(sname, dst, nxt)
+    return topo

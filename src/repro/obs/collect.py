@@ -113,6 +113,25 @@ def collect_world(world: Any, metrics: MetricsRegistry) -> None:
             server.stats.busy_time / elapsed if elapsed > 0.0 else 0.0,
             node=node_id)
 
+    # -- interconnect topology (present only on RoutedFabric worlds) ------
+    topology = getattr(fabric, "topology", None)
+    if topology is not None:
+        for link in topology.links():
+            if link.messages == 0:
+                continue
+            stats = link.server.stats
+            metrics.set_gauge("topo.link.messages", link.messages,
+                              link=link.name)
+            metrics.set_gauge("topo.link.bytes", link.bytes, link=link.name)
+            metrics.set_gauge("topo.link.busy", stats.busy_time,
+                              link=link.name)
+            metrics.set_gauge(
+                "topo.link.utilization",
+                stats.busy_time / elapsed if elapsed > 0.0 else 0.0,
+                link=link.name)
+            metrics.set_gauge("topo.link.total_queue_delay",
+                              stats.total_queue_delay, link=link.name)
+
     # -- fault injection + reliable transport (present only on worlds
     # built with faults=/transport=) --------------------------------------
     injector = getattr(world, "injector", None)

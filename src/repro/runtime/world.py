@@ -18,6 +18,7 @@ Typical use::
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -34,6 +35,7 @@ from ..netsim.config import NetworkConfig
 from ..netsim.fabric import Fabric
 from ..netsim.message import WireMessage
 from ..netsim.nic import Nic
+from ..netsim.topology import ClusterSpec, RoutedFabric
 from ..obs.collect import collect_world
 from ..obs.metrics import MetricsRegistry
 from ..sim.core import Event, Process, Simulator
@@ -145,17 +147,52 @@ class World:
     byte-identical with checking on or off.
     """
 
-    def __init__(self, num_nodes: int = 2, procs_per_node: int = 1,
-                 threads_per_proc: int = 1,
+    def __init__(self, num_nodes: Optional[int] = None,
+                 procs_per_node: Optional[int] = None,
+                 threads_per_proc: Optional[int] = None,
                  cfg: Optional[NetworkConfig] = None,
                  max_vcis_per_proc: int = 64, seed: int = 0,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
                  faults: Optional[FaultPlan] = None,
                  transport: Optional[TransportParams] = None,
-                 check: Optional[CheckConfig | bool] = None):
-        if num_nodes < 1 or procs_per_node < 1 or threads_per_proc < 1:
-            raise MpiUsageError("world dimensions must be positive")
+                 check: Optional[CheckConfig | bool] = None,
+                 cluster: Optional[ClusterSpec] = None):
+        # -- cluster resolution -----------------------------------------
+        # The declarative path is `cluster=ClusterSpec(...)`; bare
+        # dimension keywords remain first-class sugar for a direct
+        # (single-hop) cluster. `cfg=` survives as a deprecation shim
+        # mapping onto `ClusterSpec(topology="direct", network=cfg)`.
+        if cluster is not None:
+            if cfg is not None:
+                raise MpiUsageError(
+                    "pass either cluster= or the deprecated cfg=, not both "
+                    "(put the NetworkConfig in ClusterSpec(network=...))")
+            if (num_nodes is not None or procs_per_node is not None
+                    or threads_per_proc is not None):
+                raise MpiUsageError(
+                    "with cluster=, the cluster dimensions come from the "
+                    "ClusterSpec (nodes/procs_per_node/threads_per_proc)")
+        else:
+            if cfg is not None:
+                warnings.warn(
+                    "World(cfg=...) is deprecated; use "
+                    "World(cluster=ClusterSpec(..., network=cfg)) — see "
+                    "docs/model.md (migration note) and docs/topology.md",
+                    DeprecationWarning, stacklevel=2)
+            num_nodes = 2 if num_nodes is None else num_nodes
+            procs_per_node = 1 if procs_per_node is None else procs_per_node
+            threads_per_proc = 1 if threads_per_proc is None else threads_per_proc
+            if num_nodes < 1 or procs_per_node < 1 or threads_per_proc < 1:
+                raise MpiUsageError("world dimensions must be positive")
+            cluster = ClusterSpec(nodes=num_nodes,
+                                  procs_per_node=procs_per_node,
+                                  threads_per_proc=threads_per_proc,
+                                  topology="direct", network=cfg)
+        self.cluster = cluster
+        num_nodes = cluster.nodes
+        procs_per_node = cluster.procs_per_node
+        threads_per_proc = cluster.threads_per_proc
         self.sim = Simulator()
         # -- correctness checking (opt-in) ------------------------------
         # check=None adopts the session default (set by `python -m repro
@@ -178,15 +215,24 @@ class World:
         self.metrics = metrics.bind_clock(lambda: self.sim.now)
         self.tracer = tracer.bind(self.sim)
         self._metrics_finalized = False
-        self.cfg = cfg or NetworkConfig()
+        self.cfg = cluster.network
         self.num_nodes = num_nodes
         self.procs_per_node = procs_per_node
         self.threads_per_proc = threads_per_proc
         self.num_procs = num_nodes * procs_per_node
         self.max_vcis_per_proc = max_vcis_per_proc
         self.rng = RandomStreams(seed)
-        self.fabric = Fabric(self.sim, self.cfg.fabric,
-                             metrics=self.metrics, tracer=self.tracer)
+        #: The bound interconnect graph, or None on a direct (single-hop)
+        #: cluster — in which case the fabric is the legacy `Fabric` and
+        #: timing is byte-identical to the pre-ClusterSpec code path.
+        self.topology = cluster.build_topology()
+        if self.topology is None:
+            self.fabric = Fabric(self.sim, self.cfg.fabric,
+                                 metrics=self.metrics, tracer=self.tracer)
+        else:
+            self.fabric = RoutedFabric(self.sim, self.cfg.fabric,
+                                       self.topology, metrics=self.metrics,
+                                       tracer=self.tracer)
 
         self.nodes = [Node(self.sim, i, self.cfg, metrics=self.metrics)
                       for i in range(num_nodes)]

@@ -29,7 +29,8 @@ __all__ = ["SNAP_VERSION", "Snapshot", "take_snapshot", "save_snapshot",
 #: On-disk format version. Bump on any incompatible change to the file
 #: layout *or* the state-tree layout (state trees carry their own
 #: ``format`` field; a digest is only comparable within one version).
-SNAP_VERSION = 1
+#: v2: state trees gained the ``topology`` subtree (state format v2).
+SNAP_VERSION = 2
 
 
 @dataclass

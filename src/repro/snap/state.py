@@ -47,7 +47,9 @@ __all__ = ["capture_state", "canonical_json", "state_digest",
 
 #: Version of the state-tree layout itself (bumped whenever the shape of
 #: the captured tree changes; see docs/snapshot.md).
-STATE_FORMAT_VERSION = 1
+#: v2: added the ``topology`` subtree (per-link queue/counter state on
+#: worlds built over a routed interconnect; None on direct fabrics).
+STATE_FORMAT_VERSION = 2
 
 #: Depth cap for user payload description — deep enough for every wire
 #: payload the library produces, shallow enough to stop runaway graphs.
@@ -365,6 +367,25 @@ def _trace_state(tracer: Any) -> Optional[dict[str, Any]]:
             "records_digest": digest.hexdigest()}
 
 
+def _topology_state(topology: Any) -> Optional[dict[str, Any]]:
+    """Per-link queue and counter state of a routed interconnect.
+
+    ``None`` for direct (single-hop) worlds, keeping their trees — and
+    digests — identical whether built through ``ClusterSpec`` or the
+    legacy ``cfg=`` path.
+    """
+    if topology is None:
+        return None
+    return {
+        "name": topology.name,
+        "num_hosts": topology.num_hosts,
+        "links": {link.name: {"messages": link.messages,
+                              "bytes": link.bytes,
+                              **_server_state(link.server)}
+                  for link in topology.links()},
+    }
+
+
 def capture_state(world: Any) -> dict[str, Any]:
     """The full canonical state tree of a world at the current step.
 
@@ -401,6 +422,7 @@ def capture_state(world: Any) -> dict[str, Any]:
             "egress": {str(n): _server_state(s)
                        for n, s in sorted(world.fabric._egress.items())},
         },
+        "topology": _topology_state(getattr(world.fabric, "topology", None)),
         "faults": None, "metrics": None, "trace": None, "check": None,
     }
     if world.injector is not None:

@@ -1,19 +1,25 @@
 """Shared test helpers (importable as tests.helpers)."""
 
+from typing import Optional
+
 import numpy as np
 import pytest
 
-from repro.netsim import NetworkConfig
+from repro.netsim import ClusterSpec, NetworkConfig
 from repro.runtime import World
 
 
-def flat_world(nprocs: int, **kwargs) -> World:
+def flat_world(nprocs: int, threads_per_proc: int = 1,
+               network: Optional[NetworkConfig] = None, **kwargs) -> World:
     """One single-process node per rank — the dominant test topology.
 
-    Keyword arguments pass straight through to :class:`World`
-    (``threads_per_proc``, ``cfg``, ``seed``, instruments, ...).
+    Remaining keyword arguments pass straight through to :class:`World`
+    (``seed``, ``max_vcis_per_proc``, instruments, ...); the cluster
+    shape and network pricing go through a direct :class:`ClusterSpec`.
     """
-    return World(num_nodes=nprocs, procs_per_node=1, **kwargs)
+    return World(cluster=ClusterSpec(nodes=nprocs,
+                                     threads_per_proc=threads_per_proc,
+                                     network=network), **kwargs)
 
 
 def run_ranks(world: World, *fns, max_steps=2_000_000):

@@ -77,7 +77,10 @@ def test_progress_called_serially():
 def test_scaling_run_times_each_worker_count():
     walls = scaling_run(_square, POINTS[:4], jobs_list=(1, 2))
     assert set(walls) == {1, 2}
-    assert all(w >= 0 for w in walls.values())
+    assert all(rec["wall_sec"] >= 0 for rec in walls.values())
+    # every jobs point carries the host's CPU count so sub-unity
+    # "speedups" on oversubscribed hosts are attributable, not noise
+    assert all(rec["cpu_count"] >= 1 for rec in walls.values())
 
 
 def test_worker_exception_propagates():

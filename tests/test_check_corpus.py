@@ -37,6 +37,7 @@ EXAMPLES = [
     "nwchem_rma.py",
     "vasp_collectives.py",
     "device_offload.py",
+    "fat_tree_collectives.py",
 ]
 
 QUIET = CheckConfig(emit_warnings=False)

@@ -13,6 +13,7 @@ EXAMPLES = [
     "nwchem_rma.py",
     "vasp_collectives.py",
     "device_offload.py",
+    "fat_tree_collectives.py",
 ]
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

@@ -17,6 +17,7 @@ from repro.apps.vasp import VaspConfig, run_vasp
 from repro.mpi.partitioned import precv_init, psend_init
 from repro.netsim import NetworkConfig, NicParams
 from repro.runtime import World
+from repro.netsim import ClusterSpec
 
 from tests.helpers import run_ranks, run_same
 
@@ -46,7 +47,7 @@ def test_stencil_correct_under_jitter(mechanism):
 
 
 def test_collectives_correct_under_jitter():
-    world = World(num_nodes=5, procs_per_node=1, cfg=jittery())
+    world = World(cluster=ClusterSpec(nodes=5, network=jittery()))
 
     def worker(proc):
         out = np.zeros(16)
@@ -73,7 +74,7 @@ def test_partitioned_cycles_survive_cross_channel_reordering():
     of order, across cycles; buffering by (cycle, partition) must still
     deliver exact data."""
     from repro.mpi.info import Info
-    world = World(num_nodes=2, procs_per_node=1, cfg=jittery(jitter=20e-6))
+    world = World(cluster=ClusterSpec(nodes=2, network=jittery(jitter=20e-6)))
     cycles = 4
 
     def sender(proc):
@@ -104,7 +105,7 @@ def test_partitioned_cycles_survive_cross_channel_reordering():
 def test_same_channel_fifo_preserved_under_jitter():
     """Jitter must never reorder messages within one channel (that would
     violate MPI's transport assumption and corrupt same-tag streams)."""
-    world = World(num_nodes=2, procs_per_node=1, cfg=jittery(jitter=50e-6))
+    world = World(cluster=ClusterSpec(nodes=2, network=jittery(jitter=50e-6)))
 
     def sender(proc):
         for v in range(20):

@@ -32,6 +32,7 @@ from repro.netsim.message import MessageKind, WireMessage
 from repro.runtime import World
 from repro.sim.core import SimulationError
 from repro.sim.trace import TraceCategory, Tracer
+from repro.netsim import ClusterSpec
 from tests.helpers import run_ranks, run_same
 
 MECHANISMS = ("original", "tags", "communicators", "endpoints",
@@ -225,7 +226,7 @@ def test_rendezvous_survives_loss():
     """Large (rendezvous-path) messages: RTS/CTS/DATA all droppable."""
     cfg = NetworkConfig()
     big = cfg.fabric.eager_threshold // 8 + 64  # float64s > threshold
-    world = World(num_nodes=2, procs_per_node=1, cfg=cfg,
+    world = World(cluster=ClusterSpec(nodes=2, network=cfg),
                   faults=FaultPlan(drop=0.15, dup=0.05), seed=2)
     data = np.arange(float(big))
     out = np.zeros(big)
@@ -330,7 +331,7 @@ def test_context_stall_waits_when_no_failover_target():
     stall_end = 40e-6
     plan = FaultPlan(stalls=(CtxStall(node=0, ctx=0, start=0.0,
                                       duration=stall_end),))
-    world = World(num_nodes=2, procs_per_node=1, cfg=cfg, faults=plan)
+    world = World(cluster=ClusterSpec(nodes=2, network=cfg), faults=plan)
 
     def rank0(proc):
         yield from proc.comm_world.Send(np.arange(2.0), dest=1, tag=0)

@@ -19,6 +19,7 @@ from repro.mpi.matching import (ANY_SOURCE, ANY_TAG, LinearMatchingEngine,
 from repro.mpi.request import Request
 from repro.netsim.message import MessageKind, WireMessage
 from repro.sim import Simulator
+from repro.netsim import ClusterSpec
 
 BUF = np.zeros(1, dtype=np.uint8)
 
@@ -259,8 +260,8 @@ def test_total_scans_identical_between_engines(monkeypatch):
 
     def traffic(engine_cls):
         monkeypatch.setattr(vci, "MatchingEngine", engine_cls)
-        world = World(num_nodes=2, procs_per_node=1, threads_per_proc=1,
-                      cfg=NetworkConfig(), max_vcis_per_proc=1, seed=7)
+        world = World(cluster=ClusterSpec(nodes=2, network=NetworkConfig()),
+                      max_vcis_per_proc=1, seed=7)
 
         def sender(proc):
             for k in range(24):

@@ -200,7 +200,7 @@ def test_shared_context_costs_more():
 
     def run(contexts):
         cfg = NetworkConfig().with_contexts(contexts)
-        world = flat_world(2, threads_per_proc=4, cfg=cfg,
+        world = flat_world(2, threads_per_proc=4, network=cfg,
                            max_vcis_per_proc=8)
 
         def node(proc):
