@@ -277,6 +277,38 @@ def bench_fat_tree_collectives(elems: int = 1 << 13, repeats: int = 3) -> dict:
                 round(sim_times["recursive_doubling"] * 1e6, 3)}
 
 
+def bench_campaign(n: int = 12, repeats: int = 2) -> dict:
+    """Host throughput of the chaos-campaign executor (scenarios/sec).
+
+    Runs the first ``n`` sampled scenarios of a fixed seed through
+    ``run_scenario`` (analyzer + snapshot recorder + classification, no
+    checkpointing). The sampled mix exercises every app driver, the
+    fault injector and the background-traffic module, so this point
+    tracks the end-to-end cost the campaign runner pays per scenario.
+    The digest of the outcome stream doubles as a determinism check.
+    """
+    import hashlib
+
+    from repro.scenarios import run_scenario, sample_scenarios
+
+    specs = sample_scenarios(1, n)
+    best = 0.0
+    digest = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        outcomes = [run_scenario(spec) for spec in specs]
+        best = max(best, n / (time.perf_counter() - t0))
+        blob = json.dumps(outcomes, sort_keys=True).encode()
+        this = hashlib.sha256(blob).hexdigest()[:16]
+        assert digest is None or digest == this, \
+            "campaign outcomes changed across identical repeats"
+        digest = this
+    statuses = sorted({o["status"] for o in outcomes})
+    return {"scenarios_per_sec": round(best, 2),
+            "outcome_digest": digest,
+            "statuses": statuses}
+
+
 # ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
@@ -295,6 +327,8 @@ def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
                               msgs_per_core=64 // (scale if quick else 1))
     fat_tree = bench_fat_tree_collectives(elems=(1 << 13) // scale,
                                           repeats=2 if quick else 3)
+    campaign = bench_campaign(n=6 if quick else 12,
+                              repeats=2 if quick else 3)
     return {
         "schema": 1,
         "python": sys.version.split()[0],
@@ -306,6 +340,7 @@ def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
         "checker": checker,
         "fig1a_sweep": sweep,
         "fat_tree_collectives": fat_tree,
+        "campaign": campaign,
     }
 
 
@@ -328,6 +363,15 @@ def check_against(result: dict, baseline_path: str) -> bool:
               f"{ref_ft:,} (floor {floor_ft:,.2f}) -> "
               f"{'OK' if ok_ft else 'REGRESSION'}")
         ok = ok and ok_ft
+    if "campaign" in baseline:
+        ref_cp = baseline["campaign"]["scenarios_per_sec"]
+        got_cp = result["campaign"]["scenarios_per_sec"]
+        floor_cp = ref_cp * (1.0 - REGRESSION_BUDGET)
+        ok_cp = got_cp >= floor_cp
+        print(f"campaign scenarios/sec: measured {got_cp:,} vs baseline "
+              f"{ref_cp:,} (floor {floor_cp:,.2f}) -> "
+              f"{'OK' if ok_cp else 'REGRESSION'}")
+        ok = ok and ok_cp
     return ok
 
 
@@ -372,6 +416,8 @@ def test_kernel_microbench(benchmark, tmp_path) -> None:
     assert data["checker"]["simulated_rate_identical"]
     assert data["checker"]["messages_per_sec_on"] > 0
     assert data["fat_tree_collectives"]["allreduces_per_sec"] > 0
+    assert data["campaign"]["scenarios_per_sec"] > 0
+    assert data["campaign"]["outcome_digest"]
     # topology layer stays deterministic: ring != RD schedules
     assert data["fat_tree_collectives"]["sim_us_ring"] \
         != data["fat_tree_collectives"]["sim_us_recursive_doubling"]

@@ -67,8 +67,11 @@ from .mpi.endpoints import Endpoint, comm_create_endpoints
 from .mpi.partitioned import precv_init, psend_init
 from .mpi.rma import win_create
 from .netsim import ClusterSpec, NetworkConfig, register_topology
+from .netsim.traffic import TrafficShape
 from .obs import MetricsRegistry, export_chrome_trace
 from .runtime import MpiProcess, Node, World
+from .scenarios import ScenarioSpec, run_campaign, run_scenario, \
+    sample_scenarios
 from .sim.trace import TraceCategory, Tracer
 
 __version__ = "1.0.0"
@@ -78,10 +81,11 @@ __all__ = [
     "FaultPlan", "FaultPlanError", "HintViolationError", "Info",
     "InvalidHintError", "MetricsRegistry", "MpiError", "MpiProcess",
     "MpiUsageError", "NetworkConfig", "Node", "Request",
-    "RmaSemanticsError", "Status", "TagOverflowError", "TopologyError",
-    "TraceCategory",
-    "Tracer", "TransportError", "TransportParams", "TruncationError",
+    "RmaSemanticsError", "ScenarioSpec", "Status", "TagOverflowError",
+    "TopologyError", "TraceCategory", "Tracer", "TrafficShape",
+    "TransportError", "TransportParams", "TruncationError",
     "World", "__version__", "comm_create_endpoints",
     "export_chrome_trace", "precv_init", "psend_init",
-    "register_topology", "win_create",
+    "register_topology", "run_campaign", "run_scenario",
+    "sample_scenarios", "win_create",
 ]

@@ -1,0 +1,39 @@
+"""Shared chaos-scenario plumbing for the application drivers.
+
+Every ``run_*`` driver accepts the same late keyword block — ``faults``/
+``transport`` (lossy fabric + reliable recovery), ``traffic``/
+``traffic_seed`` (background flows via :mod:`repro.netsim.traffic`) and
+``topology``/``topology_params`` (routed interconnect instead of the
+default direct fabric). This module holds the two helpers that keep that
+block identical across the seven drivers, so the scenario layer
+(:mod:`repro.scenarios`) can drive any application through one calling
+convention.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..netsim.config import NetworkConfig
+from ..netsim.topology import ClusterSpec
+from ..netsim.traffic import TrafficShape, install_traffic
+
+__all__ = ["TrafficShape", "chaos_cluster", "install_traffic"]
+
+
+def chaos_cluster(nodes: int, threads_per_proc: int,
+                  net: Optional[NetworkConfig] = None,
+                  topology: str = "direct",
+                  topology_params: Optional[dict[str, Any]] = None
+                  ) -> ClusterSpec:
+    """A driver's :class:`ClusterSpec` with an optional routed topology.
+
+    ``topology="direct"`` (the default) reproduces the drivers'
+    historical single-hop fabric byte for byte; any registered topology
+    name routes the same cluster over that interconnect, with
+    ``topology_params`` forwarded to the generator (fat-tree arity,
+    dragonfly groups, torus dims, ...).
+    """
+    return ClusterSpec(nodes=nodes, threads_per_proc=threads_per_proc,
+                       topology=topology, network=net,
+                       **(topology_params or {}))

@@ -34,8 +34,8 @@ from ...errors import MpiUsageError
 from ...mpi.partitioned import precv_init, psend_init, startall, waitall_partitioned
 from ...mpi.request import waitall
 from ...netsim.config import NetworkConfig
-from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
+from ..chaos import TrafficShape, chaos_cluster, install_traffic
 from ...sim.sync import Barrier, Gate
 
 __all__ = ["DeviceParams", "DeviceConfig", "DeviceResult", "run_device"]
@@ -212,11 +212,22 @@ class _DeviceNode:
 
 
 def run_device(cfg: DeviceConfig,
-               net: Optional[NetworkConfig] = None) -> DeviceResult:
-    """Run the device-offload proxy under the chosen mechanism."""
-    world = World(cluster=ClusterSpec(nodes=2,
-                                      threads_per_proc=cfg.blocks,
-                                      network=net))
+               net: Optional[NetworkConfig] = None,
+               seed: int = 0,
+               faults=None, transport=None,
+               traffic: Optional[TrafficShape] = None,
+               traffic_seed: int = 0,
+               topology: str = "direct",
+               topology_params: Optional[dict] = None) -> DeviceResult:
+    """Run the device-offload proxy under the chosen mechanism.
+
+    The trailing keywords are the shared chaos block (see
+    :mod:`repro.apps.chaos`); defaults reproduce the historical lossless
+    direct-fabric run byte for byte.
+    """
+    world = World(cluster=chaos_cluster(2, cfg.blocks, net,
+                                        topology, topology_params),
+                  seed=seed, faults=faults, transport=transport)
     nodes = {}
 
     def proc_main(proc):
@@ -232,7 +243,8 @@ def run_device(cfg: DeviceConfig,
 
     tasks = [world.procs[r].spawn(proc_main(world.procs[r]))
              for r in range(2)]
-    ends = world.run_all(tasks, max_steps=None)
+    bg = install_traffic(world, traffic, traffic_seed)
+    ends = world.run_all(tasks + bg, max_steps=None)[:len(tasks)]
 
     # Each node must have observed the peer's per-step values in order.
     correct = all(

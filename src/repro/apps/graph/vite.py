@@ -33,8 +33,8 @@ from ...mapping.tags import TagSchema, listing2_info
 from ...mpi.endpoints import comm_create_endpoints
 from ...mpi.request import waitall
 from ...netsim.config import NetworkConfig
-from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
+from ..chaos import TrafficShape, chaos_cluster, install_traffic
 
 __all__ = ["GraphConfig", "GraphResult", "run_graph", "partition_graph"]
 
@@ -240,15 +240,25 @@ class _GraphNode:
 
 def run_graph(cfg: GraphConfig,
               net: Optional[NetworkConfig] = None,
-              max_vcis_per_proc: int = 64) -> GraphResult:
-    """Run the graph proxy under the configured mechanism."""
+              max_vcis_per_proc: int = 64,
+              faults=None, transport=None,
+              traffic: Optional[TrafficShape] = None,
+              traffic_seed: int = 0,
+              topology: str = "direct",
+              topology_params: Optional[dict] = None) -> GraphResult:
+    """Run the graph proxy under the configured mechanism.
+
+    The trailing keywords are the shared chaos block (see
+    :mod:`repro.apps.chaos`); defaults reproduce the historical lossless
+    direct-fabric run byte for byte.
+    """
     from ...sim.sync import Barrier
 
     graph, owners = partition_graph(cfg)
-    world = World(cluster=ClusterSpec(nodes=cfg.num_nodes,
-                                      threads_per_proc=cfg.threads_per_proc,
-                                      network=net),
-                  max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed)
+    world = World(cluster=chaos_cluster(cfg.num_nodes, cfg.threads_per_proc,
+                                        net, topology, topology_params),
+                  max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed,
+                  faults=faults, transport=transport)
     nodes: dict[int, _GraphNode] = {}
     rng = np.random.default_rng(cfg.seed + 1)
 
@@ -288,7 +298,8 @@ def run_graph(cfg: GraphConfig,
 
     tasks = [world.procs[r].spawn(proc_main(world.procs[r]))
              for r in range(cfg.num_nodes)]
-    ends = world.run_all(tasks, max_steps=None)
+    bg = install_traffic(world, traffic, traffic_seed)
+    ends = world.run_all(tasks + bg, max_steps=None)[:len(tasks)]
 
     # correctness: total updates applied == total remote messages sent
     sent = sum(st.remote_messages for st in nodes.values())

@@ -29,8 +29,8 @@ from ...mpi.endpoints import comm_create_endpoints
 from ...mpi.info import Info
 from ...mpi.request import waitall
 from ...netsim.config import NetworkConfig
-from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
+from ..chaos import TrafficShape, chaos_cluster, install_traffic
 from ...sim.sync import Gate
 
 __all__ = ["CircuitConfig", "CircuitResult", "run_circuit"]
@@ -210,12 +210,23 @@ class _CircuitNode:
 
 def run_circuit(cfg: CircuitConfig,
                 net: Optional[NetworkConfig] = None,
-                max_vcis_per_proc: int = 64) -> CircuitResult:
-    """Run the circuit proxy under the configured mechanism."""
-    world = World(cluster=ClusterSpec(nodes=cfg.num_nodes,
-                                      threads_per_proc=cfg.task_threads + 1,
-                                      network=net),
-                  max_vcis_per_proc=max_vcis_per_proc)
+                max_vcis_per_proc: int = 64,
+                seed: int = 0,
+                faults=None, transport=None,
+                traffic: Optional[TrafficShape] = None,
+                traffic_seed: int = 0,
+                topology: str = "direct",
+                topology_params: Optional[dict] = None) -> CircuitResult:
+    """Run the circuit proxy under the configured mechanism.
+
+    The trailing keywords are the shared chaos block (see
+    :mod:`repro.apps.chaos`); defaults reproduce the historical lossless
+    direct-fabric run byte for byte.
+    """
+    world = World(cluster=chaos_cluster(cfg.num_nodes, cfg.task_threads + 1,
+                                        net, topology, topology_params),
+                  max_vcis_per_proc=max_vcis_per_proc, seed=seed,
+                  faults=faults, transport=transport)
     nodes: dict[int, _CircuitNode] = {}
 
     def proc_main(proc):
@@ -230,7 +241,8 @@ def run_circuit(cfg: CircuitConfig,
 
     tasks = [world.procs[r].spawn(proc_main(world.procs[r]))
              for r in range(cfg.num_nodes)]
-    ends = world.run_all(tasks, max_steps=None)
+    bg = install_traffic(world, traffic, traffic_seed)
+    ends = world.run_all(tasks + bg, max_steps=None)[:len(tasks)]
 
     expected_total = cfg.updates_per_step * cfg.timesteps
     correct = all(st.received == expected_total for st in nodes.values())

@@ -37,8 +37,8 @@ from ...mpi import ANY_SOURCE, ANY_TAG
 from ...mpi.endpoints import comm_create_endpoints
 from ...mpi.request import waitall
 from ...netsim.config import NetworkConfig
-from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
+from ..chaos import TrafficShape, chaos_cluster, install_traffic
 
 __all__ = ["LegionConfig", "LegionResult", "run_legion"]
 
@@ -266,12 +266,24 @@ class _LegionProcess:
 
 def run_legion(cfg: LegionConfig,
                net: Optional[NetworkConfig] = None,
-               max_vcis_per_proc: int = 64) -> LegionResult:
-    """Run one event-runtime experiment end to end."""
-    world = World(cluster=ClusterSpec(nodes=cfg.num_nodes,
-                                      threads_per_proc=cfg.task_threads + 1,
-                                      network=net),
-                  max_vcis_per_proc=max_vcis_per_proc)
+               max_vcis_per_proc: int = 64,
+               seed: int = 0,
+               faults=None, transport=None,
+               traffic: Optional[TrafficShape] = None,
+               traffic_seed: int = 0,
+               topology: str = "direct",
+               topology_params: Optional[dict] = None) -> LegionResult:
+    """Run one event-runtime experiment end to end.
+
+    The trailing keywords are the shared chaos block (see
+    :mod:`repro.apps.chaos`): fault plan + reliable transport, background
+    traffic, routed topology. Defaults reproduce the historical lossless
+    direct-fabric run byte for byte.
+    """
+    world = World(cluster=chaos_cluster(cfg.num_nodes, cfg.task_threads + 1,
+                                        net, topology, topology_params),
+                  max_vcis_per_proc=max_vcis_per_proc, seed=seed,
+                  faults=faults, transport=transport)
     states: dict[int, _LegionProcess] = {}
 
     def proc_main(proc):
@@ -286,7 +298,8 @@ def run_legion(cfg: LegionConfig,
 
     tasks = [world.procs[r].spawn(proc_main(world.procs[r]))
              for r in range(cfg.num_nodes)]
-    ends = world.run_all(tasks, max_steps=None)
+    bg = install_traffic(world, traffic, traffic_seed)
+    ends = world.run_all(tasks + bg, max_steps=None)[:len(tasks)]
 
     expected = cfg.events_per_node
     correct = all(st.events_seen == expected for st in states.values())

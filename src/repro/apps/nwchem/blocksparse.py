@@ -31,8 +31,8 @@ from ...mpi.endpoints import comm_create_endpoints
 from ...mpi.info import Info
 from ...mpi.rma import win_create
 from ...netsim.config import NetworkConfig
-from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
+from ..chaos import TrafficShape, chaos_cluster, install_traffic
 
 __all__ = ["NwchemConfig", "NwchemResult", "run_nwchem"]
 
@@ -106,12 +106,22 @@ def _tasks(cfg: NwchemConfig, rank: int, tid: int) -> list[tuple]:
 
 def run_nwchem(cfg: NwchemConfig,
                net: Optional[NetworkConfig] = None,
-               max_vcis_per_proc: int = 64) -> NwchemResult:
-    """Run the block-sparse RMA proxy under the configured mechanism."""
-    world = World(cluster=ClusterSpec(nodes=cfg.num_nodes,
-                                      threads_per_proc=cfg.threads_per_proc,
-                                      network=net),
-                  max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed)
+               max_vcis_per_proc: int = 64,
+               faults=None, transport=None,
+               traffic: Optional[TrafficShape] = None,
+               traffic_seed: int = 0,
+               topology: str = "direct",
+               topology_params: Optional[dict] = None) -> NwchemResult:
+    """Run the block-sparse RMA proxy under the configured mechanism.
+
+    The trailing keywords are the shared chaos block (see
+    :mod:`repro.apps.chaos`); defaults reproduce the historical lossless
+    direct-fabric run byte for byte.
+    """
+    world = World(cluster=chaos_cluster(cfg.num_nodes, cfg.threads_per_proc,
+                                        net, topology, topology_params),
+                  max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed,
+                  faults=faults, transport=transport)
     dim, te = cfg.tile_dim, cfg.tile_elems
     memories: dict[int, np.ndarray] = {}
     rma_times: dict[tuple[int, int], float] = {}
@@ -191,7 +201,8 @@ def run_nwchem(cfg: NwchemConfig,
 
     tasks = [world.procs[r].spawn(proc_main(world.procs[r]))
              for r in range(cfg.num_nodes)]
-    ends = world.run_all(tasks, max_steps=None)
+    bg = install_traffic(world, traffic, traffic_seed)
+    ends = world.run_all(tasks + bg, max_steps=None)[:len(tasks)]
 
     # Expected contributions per C tile.
     expected = {r: np.zeros(cfg.window_elems) for r in range(cfg.num_nodes)}

@@ -15,8 +15,8 @@ import numpy as np
 
 from ...mapping.endpoints import EndpointAddressing
 from ...netsim.config import NetworkConfig
-from ...netsim.topology import ClusterSpec
 from ...runtime.world import World
+from ..chaos import TrafficShape, chaos_cluster, install_traffic
 from .drivers import StencilConfig, StencilProcessRun, make_run
 from .field import assemble_global, reference_jacobi
 
@@ -65,21 +65,27 @@ def run_stencil(cfg: StencilConfig,
                 max_vcis_per_proc: int = 64,
                 check: bool = True,
                 metrics=None, tracer=None,
-                faults=None, transport=None) -> StencilResult:
+                faults=None, transport=None,
+                traffic: Optional[TrafficShape] = None,
+                traffic_seed: int = 0,
+                topology: str = "direct",
+                topology_params: Optional[dict] = None) -> StencilResult:
     """Run one stencil experiment end to end.
 
     ``metrics``/``tracer`` enable observability and ``faults``/
     ``transport`` enable fault injection with reliable transport — all
     four are forwarded to the :class:`World` untouched, so a plain call
-    runs the same lossless, uninstrumented world as always.
+    runs the same lossless, uninstrumented world as always. ``traffic``
+    adds seeded background flows contending with the halo exchange, and
+    ``topology`` routes the cluster over a multi-hop interconnect
+    (``wall_time`` always measures the application tasks only).
     """
     geom = cfg.geometry()
     nprocs = 1
     for n in cfg.proc_grid:
         nprocs *= n
-    world = World(cluster=ClusterSpec(nodes=nprocs,
-                                      threads_per_proc=cfg.nthreads,
-                                      network=net),
+    world = World(cluster=chaos_cluster(nprocs, cfg.nthreads, net,
+                                        topology, topology_params),
                   max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed,
                   metrics=metrics, tracer=tracer,
                   faults=faults, transport=transport)
@@ -99,7 +105,8 @@ def run_stencil(cfg: StencilConfig,
 
     tasks = [world.procs[r].spawn(proc_main(world.procs[r]))
              for r in range(nprocs)]
-    end_times = world.run_all(tasks, max_steps=None)
+    bg = install_traffic(world, traffic, traffic_seed)
+    end_times = world.run_all(tasks + bg, max_steps=None)[:len(tasks)]
 
     correct, max_err, final = True, 0.0, None
     if check:

@@ -37,8 +37,8 @@ from ...errors import MpiUsageError
 from ...mpi.coll import SUM, ThreadTeamBcast, ThreadTeamReduce
 from ...mpi.endpoints import comm_create_endpoints
 from ...netsim.config import NetworkConfig
-from ...netsim.topology import ClusterSpec
 from ...runtime.world import MpiProcess, World
+from ..chaos import TrafficShape, chaos_cluster, install_traffic
 from ...sim.sync import Barrier
 
 __all__ = ["VaspConfig", "VaspResult", "run_vasp"]
@@ -97,12 +97,22 @@ def _expected(cfg: VaspConfig) -> np.ndarray:
 
 def run_vasp(cfg: VaspConfig,
              net: Optional[NetworkConfig] = None,
-             max_vcis_per_proc: int = 64) -> VaspResult:
-    """Run the threaded-allreduce proxy under the configured mechanism."""
-    world = World(cluster=ClusterSpec(nodes=cfg.num_nodes,
-                                      threads_per_proc=cfg.threads_per_proc,
-                                      network=net),
-                  max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed)
+             max_vcis_per_proc: int = 64,
+             faults=None, transport=None,
+             traffic: Optional[TrafficShape] = None,
+             traffic_seed: int = 0,
+             topology: str = "direct",
+             topology_params: Optional[dict] = None) -> VaspResult:
+    """Run the threaded-allreduce proxy under the configured mechanism.
+
+    The trailing keywords are the shared chaos block (see
+    :mod:`repro.apps.chaos`); defaults reproduce the historical lossless
+    direct-fabric run byte for byte.
+    """
+    world = World(cluster=chaos_cluster(cfg.num_nodes, cfg.threads_per_proc,
+                                        net, topology, topology_params),
+                  max_vcis_per_proc=max_vcis_per_proc, seed=cfg.seed,
+                  faults=faults, transport=transport)
     T = cfg.threads_per_proc
     seg = cfg.elems // T
     results: dict[int, np.ndarray] = {}
@@ -190,7 +200,8 @@ def run_vasp(cfg: VaspConfig,
 
     tasks = [world.procs[r].spawn(proc_main(world.procs[r]))
              for r in range(cfg.num_nodes)]
-    ends = world.run_all(tasks, max_steps=None)
+    bg = install_traffic(world, traffic, traffic_seed)
+    ends = world.run_all(tasks + bg, max_steps=None)[:len(tasks)]
 
     expected = _expected(cfg)
     correct = all(np.allclose(results[r], expected)

@@ -63,6 +63,18 @@ class Session:
     def report(self) -> "CheckReport":
         return collect_report(since=self._mark)
 
+    def close(self) -> None:
+        """Drop this block's checkers from the process-wide registry.
+
+        Every Checker pins its Simulator (and through it the whole World)
+        in ``_live`` forever; a campaign running thousands of scenarios in
+        one process must release them. Call after the final
+        :meth:`report` — closed sessions report empty. Safe to call more
+        than once, and safe with nested sessions (an inner close only
+        drops checkers registered at or after the inner mark).
+        """
+        del _live[self._mark:]
+
 
 @contextmanager
 def checking(config: Optional["CheckConfig"] = None) -> Iterator[Session]:

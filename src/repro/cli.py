@@ -19,6 +19,10 @@ Reproduce any of the paper's experiments without pytest::
     python -m repro replay examples/quickstart.py --until 2e-5
     python -m repro replay prog.py --to-finding CHK102
     python -m repro lint
+    python -m repro campaign run out/ --seed 1 -n 200
+    python -m repro campaign resume out/
+    python -m repro campaign report out/
+    python -m repro campaign replay out/artifacts/fail-0001-*.yaml
 
 Every command prints a plain-text table; add ``--seed`` where supported.
 """
@@ -26,6 +30,7 @@ Every command prints a plain-text table; add ``--seed`` where supported.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -384,6 +389,50 @@ def _cmd_lint(args) -> int:
     return 0 if not findings else 1
 
 
+def _cmd_campaign_run(args) -> int:
+    """Run (or resume) a chaos-fuzzing campaign."""
+    from .scenarios import render_report, run_campaign
+
+    summary = run_campaign(
+        args.out, seed=args.seed, n=args.n, jobs=args.jobs,
+        apps=args.apps, resume=args.resume,
+        shrink=not args.no_shrink, progress=print)
+    print(render_report(summary))
+    if summary["failures"] and not args.no_shrink:
+        return 0 if summary["all_verified"] else 1
+    return 0
+
+
+def _cmd_campaign_report(args) -> int:
+    """Summarize a campaign directory without running anything."""
+    from .scenarios import campaign_report, render_report
+
+    summary = campaign_report(args.out)
+    print(render_report(summary))
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_campaign_replay(args) -> int:
+    """Replay a minimal-repro artifact and verify it byte for byte."""
+    from .scenarios import verify_artifact
+
+    verdict = verify_artifact(args.artifact)
+    outcome = verdict["outcome"]
+    print(f"replay: {outcome['status']}/{outcome['rule']}")
+    if outcome["detail"]:
+        print(f"  {outcome['detail']}")
+    if outcome["digest"]:
+        print(f"  digest {outcome['digest'][:16]}...")
+    if verdict["ok"]:
+        print("verified: replay is byte-identical and matches the artifact")
+        return 0
+    for problem in verdict["problems"]:
+        print(f"VERIFY FAILED: {problem}", file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argparse parser with all subcommands."""
     p = argparse.ArgumentParser(
@@ -615,6 +664,51 @@ def build_parser() -> argparse.ArgumentParser:
     lt.add_argument("--json", action="store_true",
                     help="machine-readable output for CI")
     lt.set_defaults(fn=_cmd_lint)
+
+    cp = sub.add_parser(
+        "campaign",
+        help="chaos-fuzzing campaigns over sampled scenarios",
+        description="Sample scenarios (app x mechanism x topology x "
+                    "faults x traffic), run each under the dynamic "
+                    "checker with crash-safe per-scenario checkpoints, "
+                    "and delta-debug every failure down to a minimal "
+                    "YAML artifact whose replay is verified byte for "
+                    "byte. See docs/scenarios.md.")
+    cpsub = cp.add_subparsers(dest="campaign_command", required=True)
+
+    cpr = cpsub.add_parser("run", help="run a fresh campaign")
+    cpr.add_argument("out", help="campaign output directory")
+    cpr.add_argument("--seed", type=int, default=0,
+                     help="sampler seed (default 0)")
+    cpr.add_argument("-n", type=int, default=100,
+                     help="scenarios to sample (default 100)")
+    cpr.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (default 1)")
+    cpr.add_argument("--apps", nargs="+", metavar="APP",
+                     help="restrict sampling to these apps")
+    cpr.add_argument("--no-shrink", action="store_true",
+                     help="record failures without shrinking them")
+    cpr.set_defaults(fn=_cmd_campaign_run, resume=False)
+
+    cps = cpsub.add_parser(
+        "resume", help="resume a killed or interrupted campaign")
+    cps.add_argument("out", help="campaign output directory")
+    cps.add_argument("--jobs", type=int, default=1)
+    cps.add_argument("--no-shrink", action="store_true")
+    cps.set_defaults(fn=_cmd_campaign_run, resume=True,
+                     seed=0, n=0, apps=None)
+
+    cpp = cpsub.add_parser(
+        "report", help="summarize a campaign directory (even mid-flight)")
+    cpp.add_argument("out", help="campaign output directory")
+    cpp.add_argument("--json", action="store_true",
+                     help="also print the summary as JSON")
+    cpp.set_defaults(fn=_cmd_campaign_report)
+
+    cpl = cpsub.add_parser(
+        "replay", help="replay + verify a minimal-repro artifact")
+    cpl.add_argument("artifact", help="artifact YAML written by a campaign")
+    cpl.set_defaults(fn=_cmd_campaign_replay)
     return p
 
 

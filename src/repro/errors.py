@@ -12,6 +12,9 @@ __all__ = [
     "RmaSemanticsError",
     "TransportError",
     "FaultPlanError",
+    "FaultConfigError",
+    "TrafficConfigError",
+    "ScenarioError",
     "CheckError",
     "SnapshotError",
     "SnapshotFormatError",
@@ -68,15 +71,38 @@ class TransportError(MpiError):
     Carries enough context to identify the flow that died.
     """
 
-    def __init__(self, message: str, flow=None, seq=None, retries=None):
+    def __init__(self, message: str, flow=None, seq=None, retries=None,
+                 pending_seqs=None, backoff_schedule=None):
         super().__init__(message)
         self.flow = flow
         self.seq = seq
         self.retries = retries
+        #: Every unacked sequence number of the dying flow at give-up time.
+        self.pending_seqs = list(pending_seqs or [])
+        #: The per-retry timeout schedule (seconds) the sender waited out.
+        self.backoff_schedule = list(backoff_schedule or [])
 
 
 class FaultPlanError(MpiError):
     """A fault-injection plan spec is malformed or inconsistent."""
+
+
+class FaultConfigError(FaultPlanError):
+    """A fault plan's *values* are invalid (rates, windows, durations).
+
+    Subclass of :class:`FaultPlanError` so existing handlers keep working;
+    raised eagerly at plan construction — never mid-run — for negative or
+    out-of-range probabilities, negative durations, and inverted time
+    windows.
+    """
+
+
+class TrafficConfigError(MpiError):
+    """A background-traffic shape is malformed (rates, sizes, windows)."""
+
+
+class ScenarioError(MpiError):
+    """A scenario spec is malformed or references unknown components."""
 
 
 class CheckError(MpiError):

@@ -27,7 +27,7 @@ import os
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Optional, Union
 
-from ..errors import FaultPlanError
+from ..errors import FaultConfigError, FaultPlanError
 
 __all__ = ["CtxStall", "LinkWindow", "FaultPlan", "parse_plan",
            "parse_time"]
@@ -69,6 +69,19 @@ class CtxStall:
     start: float         # simulated seconds
     duration: float
 
+    def __post_init__(self):
+        if self.node < ANY or self.ctx < ANY:
+            raise FaultConfigError(
+                f"stall selectors must be node/ctx ids or ANY (-1), got "
+                f"node={self.node}, ctx={self.ctx}")
+        if not self.start >= 0.0:
+            raise FaultConfigError(
+                f"stall window starts before t=0 (start={self.start!r})")
+        if not self.duration >= 0.0:
+            raise FaultConfigError(
+                f"stall duration must be non-negative, got "
+                f"{self.duration!r} (inverted window?)")
+
     @property
     def end(self) -> float:
         return self.start + self.duration
@@ -98,8 +111,21 @@ class LinkWindow:
     def __post_init__(self):
         if self.kind not in ("down", "degraded"):
             raise FaultPlanError(f"unknown link window kind {self.kind!r}")
-        if self.end < self.start:
-            raise FaultPlanError("link window ends before it starts")
+        if self.node < ANY:
+            raise FaultConfigError(
+                f"link window node must be a node id or ANY (-1), got "
+                f"{self.node}")
+        if not self.start >= 0.0:
+            raise FaultConfigError(
+                f"link window starts before t=0 (start={self.start!r})")
+        if not self.end >= self.start:
+            raise FaultConfigError(
+                f"link window ends before it starts "
+                f"(start={self.start!r}, end={self.end!r})")
+        if not self.factor >= 1.0:
+            raise FaultConfigError(
+                f"degradation factor must be >= 1 (a wire-time multiplier), "
+                f"got {self.factor!r}")
 
     def covers(self, node: int, now: float) -> bool:
         return ((self.node == ANY or self.node == node)
@@ -137,10 +163,20 @@ class FaultPlan:
         for name in ("drop", "dup", "corrupt", "delay"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
-                raise FaultPlanError(
-                    f"{name} rate must be in [0, 1], got {p}")
-        if self.delay_max < 0 or self.dup_delay < 0:
-            raise FaultPlanError("delays must be non-negative")
+                raise FaultConfigError(
+                    f"{name} rate must be in [0, 1], got {p!r}")
+        if not (self.delay_max >= 0 and self.dup_delay >= 0):
+            raise FaultConfigError(
+                f"delays must be non-negative, got "
+                f"delay_max={self.delay_max!r}, dup_delay={self.dup_delay!r}")
+        for stall in self.stalls:
+            if not isinstance(stall, CtxStall):
+                raise FaultConfigError(
+                    f"stalls must be CtxStall instances, got {stall!r}")
+        for window in self.links:
+            if not isinstance(window, LinkWindow):
+                raise FaultConfigError(
+                    f"links must be LinkWindow instances, got {window!r}")
 
     @property
     def any_message_faults(self) -> bool:

@@ -152,13 +152,7 @@ class ReliableTransport:
             return
         msg = rec.msg
         if rec.retries >= self.params.max_retries:
-            raise TransportError(
-                f"message {msg.src_rank}->{msg.dst_rank} "
-                f"(kind={msg.kind.value}, flow={msg.rel_flow}, "
-                f"seq={msg.rel_seq}) lost after {rec.retries} "
-                f"retransmissions — fault plan exceeds the transport's "
-                f"recovery budget", flow=msg.rel_flow, seq=msg.rel_seq,
-                retries=rec.retries)
+            raise self._exhaustion_error(rec)
         rec.retries += 1
         self.retransmits += 1
         if self.m_retransmit is not None:
@@ -183,6 +177,41 @@ class ReliableTransport:
         depart = vci.hw_context.issue(msg.wire_bytes)
         lib.world.fabric.transmit(msg, depart)
         self._arm_timer(rec, depart)
+
+    def _exhaustion_error(self, rec: _InFlight) -> TransportError:
+        """Build the max-retries give-up error with actionable context.
+
+        Names the flow (source rank, destination rank, VCI pair), the
+        whole unacked sequence range of that flow at give-up time, and
+        the backoff schedule the sender waited out — so a shrunk campaign
+        repro points at the exact channel that died, not just one packet.
+        """
+        msg = rec.msg
+        flow = msg.rel_flow
+        src, dst, src_vci, dst_vci = flow
+        pending = sorted(self._inflight.get(flow, ()))
+        if pending:
+            seq_range = (f"seq {pending[0]}..{pending[-1]} "
+                         f"({len(pending)} unacked)")
+        else:  # pragma: no cover - give-up implies at least rec pending
+            seq_range = f"seq {msg.rel_seq} (1 unacked)"
+        params = self.params
+        schedule = [params.rto * params.backoff ** i
+                    for i in range(rec.retries + 1)]
+        waited = sum(schedule)
+        sched_text = ", ".join(f"{t * 1e6:.1f}us" for t in schedule[:8])
+        if len(schedule) > 8:
+            sched_text += f", ... ({len(schedule)} timeouts)"
+        return TransportError(
+            f"flow rank {src}->{dst} (vci {src_vci}->{dst_vci}) lost "
+            f"seq {msg.rel_seq} ({msg.kind.value}) after {rec.retries} "
+            f"retransmissions; {seq_range}; backoff schedule waited: "
+            f"[{sched_text}] = {waited * 1e6:.1f}us total — the fault "
+            f"plan exceeds the transport's recovery budget "
+            f"(max_retries={params.max_retries}, rto={params.rto:g}s, "
+            f"backoff={params.backoff:g}x)",
+            flow=flow, seq=msg.rel_seq, retries=rec.retries,
+            pending_seqs=pending, backoff_schedule=schedule)
 
     def _on_ack(self, ack: WireMessage) -> None:
         flow: Flow = ack.meta["flow"]

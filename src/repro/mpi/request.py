@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
@@ -11,8 +10,6 @@ from ..sim.core import Event, Simulator
 
 __all__ = ["Status", "Request", "waitall", "testall", "waitany",
            "testany"]
-
-_req_ids = itertools.count()
 
 
 @dataclass
@@ -40,7 +37,12 @@ class Request:
     def __init__(self, sim: Simulator, kind: str = "generic"):
         self.sim = sim
         self.kind = kind
-        self.rid = next(_req_ids)
+        # Per-simulator numbering: request ids (which appear in checker
+        # diagnostics) must be a function of the run alone, not of how
+        # many Worlds this process executed before — campaign replays
+        # compare diagnostics byte for byte.
+        self.rid = getattr(sim, "_next_rid", 0)
+        sim._next_rid = self.rid + 1
         # Hand-built pending Event: requests are the hot path's dominant
         # allocation after timeouts, and the shell needs no __init__ logic.
         done = Event.__new__(Event)

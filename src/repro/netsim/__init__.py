@@ -16,6 +16,7 @@ from .config import (
 from .fabric import Fabric
 from .message import HEADER_BYTES, MessageKind, WireMessage
 from .nic import HardwareContext, Nic
+from .traffic import TRAFFIC_KINDS, TrafficSession, TrafficShape, install_traffic
 from .topology import (
     ClusterSpec,
     Link,
@@ -43,8 +44,12 @@ __all__ = [
     "Nic",
     "NicParams",
     "RoutedFabric",
+    "TRAFFIC_KINDS",
     "Topology",
+    "TrafficSession",
+    "TrafficShape",
     "WireMessage",
+    "install_traffic",
     "dragonfly",
     "fat_tree",
     "host_vertex",

@@ -30,6 +30,7 @@ class MessageKind(enum.Enum):
     RMA_ACK = "rma_ack"           # remote completion acknowledgement
     CTRL = "ctrl"                 # generic control (collectives internals)
     REL_ACK = "rel_ack"           # reliable-transport cumulative ACK
+    BACKGROUND = "background"     # injected background-traffic flow unit
 
 
 #: Header bytes added to every wire message (envelope: context id, rank,

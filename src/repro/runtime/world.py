@@ -252,6 +252,10 @@ class World:
         # delivery guarantees. Passing transport= alone runs the reliable
         # protocol on a lossless fabric (useful for overhead studies).
         self.fault_plan = faults
+        #: Installed background-traffic session, set by
+        #: :func:`repro.netsim.traffic.install_traffic`; None when the
+        #: world runs without background load.
+        self.traffic = None
         self.injector: Optional[FaultInjector] = None
         self.transport_params: Optional[TransportParams] = None
         if faults is not None:

@@ -1,0 +1,41 @@
+"""Scenario DSL and chaos-fuzzing campaigns.
+
+The robustness counterpart of the benchmark sweeps: a declarative
+:class:`ScenarioSpec` composes application x mechanism x topology x
+fault plan x transport tuning x background traffic into one YAML-round-
+trippable document; :func:`sample_scenarios` draws thousands of valid
+specs from a weighted space; :func:`run_campaign` executes them under
+the dynamic analyzer with crash-safe checkpoints; and every failure is
+delta-debugged down to a minimal, byte-exactly-replayable YAML artifact
+(:func:`shrink_scenario` / :func:`verify_artifact`).
+
+See ``docs/scenarios.md`` for the workflow and the CLI
+(``python -m repro campaign run|resume|report|replay``).
+"""
+
+from .apps import APP_REGISTRY, AppAdapter, app_names, get_app
+from .campaign import (
+    campaign_report,
+    load_manifest,
+    render_report,
+    run_campaign,
+)
+from .executor import STATUSES, outcome_signature, run_scenario
+from .sample import sample_one, sample_scenarios
+from .shrink import (
+    ShrinkResult,
+    load_artifact,
+    shrink_scenario,
+    verify_artifact,
+    write_artifact,
+)
+from .spec import ScenarioSpec
+
+__all__ = [
+    "APP_REGISTRY", "AppAdapter", "app_names", "get_app",
+    "ScenarioSpec", "sample_one", "sample_scenarios",
+    "STATUSES", "outcome_signature", "run_scenario",
+    "ShrinkResult", "shrink_scenario", "write_artifact", "load_artifact",
+    "verify_artifact",
+    "run_campaign", "campaign_report", "render_report", "load_manifest",
+]

@@ -1,0 +1,290 @@
+"""Application adapters: the bridge from a ScenarioSpec to a driver run.
+
+Each of the seven paper application proxies (plus one deliberately racy
+demo program) is wrapped in an :class:`AppAdapter` that knows how to turn
+the generic scenario fields (``nodes``, ``threads``, ``app_params``) into
+the app's own config dataclass and invoke its driver with the shared
+chaos keyword block. Adapters validate eagerly — building the config (and
+letting its ``__post_init__`` complain) without running anything — so the
+campaign sampler can reject impossible combinations before simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from ..errors import MpiUsageError, ScenarioError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .spec import ScenarioSpec
+
+__all__ = ["AppAdapter", "APP_REGISTRY", "get_app", "app_names"]
+
+
+@dataclass(frozen=True)
+class AppAdapter:
+    """One runnable application in the scenario space."""
+
+    #: Registry name (the spec's ``app`` field).
+    name: str
+    #: Mechanisms the app supports (spec ``mechanism`` must be one).
+    mechanisms: tuple[str, ...]
+    #: ``runner(spec) -> result`` — builds the config and runs the driver.
+    runner: Callable[["ScenarioSpec"], Any]
+    #: ``builder(spec) -> config`` — builds (validates) without running.
+    builder: Callable[["ScenarioSpec"], Any]
+    #: Whether the default sampler may draw this app (the racy demo app is
+    #: opt-in only: it exists to exercise the finding/shrinking path).
+    samplable: bool = True
+
+    def validate(self, spec: "ScenarioSpec") -> None:
+        """Raise :class:`ScenarioError` if the spec cannot run."""
+        try:
+            self.builder(spec)
+        except MpiUsageError as exc:
+            raise ScenarioError(
+                f"invalid {self.name} scenario: {exc}") from exc
+        except TypeError as exc:
+            raise ScenarioError(
+                f"invalid {self.name} app_params: {exc}") from exc
+
+    def run(self, spec: "ScenarioSpec") -> Any:
+        """Execute the scenario; returns the driver's result object."""
+        return self.runner(spec)
+
+
+def _chaos_kwargs(spec: "ScenarioSpec") -> dict[str, Any]:
+    """The shared chaos keyword block every driver accepts."""
+    return {
+        "faults": spec.faults,
+        "transport": spec.transport,
+        "traffic": spec.traffic,
+        "traffic_seed": spec.traffic_seed,
+        "topology": spec.topology,
+        "topology_params": dict(spec.topology_params) or None,
+    }
+
+
+# -- stencil ---------------------------------------------------------------
+
+def _build_stencil(spec: "ScenarioSpec"):
+    from ..apps.stencil import StencilConfig
+    params = dict(spec.app_params)
+    points = params.get("stencil_points", 5)
+    dim = 2 if points in (5, 9) else 3
+    pad = (1,) * (dim - 1)
+    params.setdefault("proc_grid", (spec.nodes,) + pad)
+    params.setdefault("thread_grid", (spec.threads,) + pad)
+    params.setdefault("pnx", 6)
+    params.setdefault("pny", 6)
+    params.setdefault("iters", 2)
+    return StencilConfig(mechanism=spec.mechanism, seed=spec.seed, **params)
+
+
+def _run_stencil(spec: "ScenarioSpec"):
+    from ..apps.stencil import run_stencil
+    return run_stencil(_build_stencil(spec), **_chaos_kwargs(spec))
+
+
+# -- legion event runtime --------------------------------------------------
+
+def _build_legion(spec: "ScenarioSpec"):
+    from ..apps.legion import LegionConfig
+    params = dict(spec.app_params)
+    params.setdefault("msgs_per_thread", 4)
+    return LegionConfig(num_nodes=spec.nodes, task_threads=spec.threads,
+                        mechanism=spec.mechanism, **params)
+
+
+def _run_legion(spec: "ScenarioSpec"):
+    from ..apps.legion import run_legion
+    return run_legion(_build_legion(spec), seed=spec.seed,
+                      **_chaos_kwargs(spec))
+
+
+# -- legion circuit proxy --------------------------------------------------
+
+def _build_circuit(spec: "ScenarioSpec"):
+    from ..apps.legion import CircuitConfig
+    params = dict(spec.app_params)
+    params.setdefault("wires_per_thread", 2)
+    params.setdefault("timesteps", 3)
+    return CircuitConfig(num_nodes=spec.nodes, task_threads=spec.threads,
+                         mechanism=spec.mechanism, **params)
+
+
+def _run_circuit(spec: "ScenarioSpec"):
+    from ..apps.legion import run_circuit
+    return run_circuit(_build_circuit(spec), seed=spec.seed,
+                       **_chaos_kwargs(spec))
+
+
+# -- graph community detection ---------------------------------------------
+
+def _build_graph(spec: "ScenarioSpec"):
+    from ..apps.graph import GraphConfig
+    params = dict(spec.app_params)
+    params.setdefault("graph_vertices", 48)
+    params.setdefault("iters", 2)
+    return GraphConfig(num_nodes=spec.nodes, threads_per_proc=spec.threads,
+                       mechanism=spec.mechanism, seed=spec.seed, **params)
+
+
+def _run_graph(spec: "ScenarioSpec"):
+    from ..apps.graph import run_graph
+    return run_graph(_build_graph(spec), **_chaos_kwargs(spec))
+
+
+# -- nwchem block-sparse RMA -----------------------------------------------
+
+def _build_nwchem(spec: "ScenarioSpec"):
+    from ..apps.nwchem import NwchemConfig
+    params = dict(spec.app_params)
+    params.setdefault("tiles_per_proc", 4)
+    params.setdefault("tile_dim", 4)
+    params.setdefault("tasks_per_thread", 2)
+    return NwchemConfig(num_nodes=spec.nodes, threads_per_proc=spec.threads,
+                        mechanism=spec.mechanism, seed=spec.seed, **params)
+
+
+def _run_nwchem(spec: "ScenarioSpec"):
+    from ..apps.nwchem import run_nwchem
+    return run_nwchem(_build_nwchem(spec), **_chaos_kwargs(spec))
+
+
+# -- vasp threaded allreduce -----------------------------------------------
+
+def _build_vasp(spec: "ScenarioSpec"):
+    from ..apps.vasp import VaspConfig
+    params = dict(spec.app_params)
+    params.setdefault("elems", 16 * spec.threads)
+    params.setdefault("repeats", 1)
+    return VaspConfig(num_nodes=spec.nodes, threads_per_proc=spec.threads,
+                      mechanism=spec.mechanism, seed=spec.seed, **params)
+
+
+def _run_vasp(spec: "ScenarioSpec"):
+    from ..apps.vasp import run_vasp
+    return run_vasp(_build_vasp(spec), **_chaos_kwargs(spec))
+
+
+# -- device offload --------------------------------------------------------
+
+def _build_device(spec: "ScenarioSpec"):
+    from ..apps.device import DeviceConfig
+    if spec.nodes != 2:
+        raise MpiUsageError("the device proxy models a 2-node exchange")
+    params = dict(spec.app_params)
+    params.setdefault("count", 16)
+    params.setdefault("timesteps", 3)
+    return DeviceConfig(num_nodes=2, blocks=spec.threads,
+                        mechanism=spec.mechanism, **params)
+
+
+def _run_device(spec: "ScenarioSpec"):
+    from ..apps.device import run_device
+    return run_device(_build_device(spec), seed=spec.seed,
+                      **_chaos_kwargs(spec))
+
+
+# -- racer: a deliberately broken program ----------------------------------
+
+def _build_racer(spec: "ScenarioSpec"):
+    if spec.nodes < 2:
+        raise MpiUsageError("racer needs 2 nodes")
+    if spec.app_params:
+        raise MpiUsageError("racer takes no app_params")
+    return None
+
+
+def _run_racer(spec: "ScenarioSpec"):
+    """A two-rank program with a textbook MPI+threads defect.
+
+    Two spawned threads poke ``req.test()`` on the *same* Isend request
+    without synchronization — the shared-request race of CHK101. The data
+    still arrives (the race is on completion polling, not the payload),
+    so this app always *finishes*; only the analyzer flags it. It exists
+    to give campaigns a guaranteed finding to shrink, and is excluded
+    from the default sampler (``samplable=False``).
+    """
+    from ..apps.chaos import chaos_cluster, install_traffic
+    from ..runtime.world import World
+    world = World(cluster=chaos_cluster(spec.nodes, max(2, spec.threads),
+                                        None, spec.topology,
+                                        dict(spec.topology_params) or None),
+                  seed=spec.seed, faults=spec.faults,
+                  transport=spec.transport)
+    got = np.zeros(4)
+
+    def rank0(proc):
+        req = yield from proc.comm_world.Isend(np.arange(4.0), dest=1, tag=0)
+
+        def poker():
+            req.test()
+            yield proc.sim.timeout(0)
+
+        t1 = proc.spawn(poker(), name="poker1")
+        t2 = proc.spawn(poker(), name="poker2")
+        yield proc.sim.all_of([t1, t2])
+        yield from req.wait()
+        return proc.sim.now
+
+    def rank1(proc):
+        yield from proc.comm_world.Recv(got, source=0, tag=0)
+        return proc.sim.now
+
+    def idle(proc):
+        yield proc.sim.timeout(0)
+        return proc.sim.now
+
+    tasks = [world.procs[0].spawn(rank0(world.procs[0])),
+             world.procs[1].spawn(rank1(world.procs[1]))]
+    tasks += [world.procs[r].spawn(idle(world.procs[r]))
+              for r in range(2, world.num_procs)]
+    bg = install_traffic(world, spec.traffic, spec.traffic_seed)
+    ends = world.run_all(tasks + bg, max_steps=None)[:len(tasks)]
+    return SimpleNamespace(correct=bool((got == np.arange(4.0)).all()),
+                           wall_time=max(ends))
+
+
+APP_REGISTRY: dict[str, AppAdapter] = {a.name: a for a in (
+    AppAdapter("stencil",
+               ("original", "tags", "communicators", "endpoints",
+                "partitioned"),
+               _run_stencil, _build_stencil),
+    AppAdapter("legion", ("original", "communicators", "endpoints"),
+               _run_legion, _build_legion),
+    AppAdapter("circuit", ("original", "communicators", "endpoints"),
+               _run_circuit, _build_circuit),
+    AppAdapter("graph", ("original", "tags", "communicators", "endpoints"),
+               _run_graph, _build_graph),
+    AppAdapter("nwchem", ("window", "window-relaxed", "endpoints"),
+               _run_nwchem, _build_nwchem),
+    AppAdapter("vasp", ("funneled", "existing", "endpoints", "partitioned"),
+               _run_vasp, _build_vasp),
+    AppAdapter("device",
+               ("host-driven", "device-partitioned", "device-mpi"),
+               _run_device, _build_device),
+    AppAdapter("racer", ("default",), _run_racer, _build_racer,
+               samplable=False),
+)}
+
+
+def get_app(name: str) -> AppAdapter:
+    """Look up an adapter; raises :class:`ScenarioError` if unknown."""
+    try:
+        return APP_REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown app {name!r}; choose from "
+            f"{sorted(APP_REGISTRY)}") from None
+
+
+def app_names(samplable_only: bool = False) -> list[str]:
+    """Registered app names, optionally only the sampler-eligible ones."""
+    return sorted(name for name, a in APP_REGISTRY.items()
+                  if a.samplable or not samplable_only)

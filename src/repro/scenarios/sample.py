@@ -1,0 +1,202 @@
+"""Weighted scenario sampler: thousands of valid specs from one seed.
+
+``sample_scenarios(seed, n)`` draws from the cross-product of application
+x mechanism x cluster shape x topology x fault plan x transport tuning x
+background traffic, with weights biased toward the paper's interesting
+regions (lossy fabrics with tight retry budgets, routed topologies under
+background load) while keeping every scenario small enough that a
+single-core host can run hundreds per minute. Sampling is pure: the same
+``(seed, n, apps)`` always yields the same spec list, which is what makes
+campaigns resumable and replayable.
+
+Draws that land on an invalid combination (the spaces overlap only
+partially — e.g. ``vasp`` needs ``elems`` divisible by the thread count)
+are discarded and redrawn; :class:`ScenarioSpec`'s eager validation is
+the single source of truth for validity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ScenarioError
+from ..faults.plan import FaultPlan
+from ..faults.transport import TransportParams
+from ..netsim.traffic import TRAFFIC_KINDS, TrafficShape
+from .apps import APP_REGISTRY, app_names
+from .spec import ScenarioSpec
+
+__all__ = ["sample_scenarios", "sample_one"]
+
+#: Sampler revision: bump when the draw sequence changes so campaign
+#: checkpoints from older samplers are never silently mixed in.
+SAMPLER_VERSION = 1
+
+_APP_WEIGHTS = {
+    "stencil": 0.22, "legion": 0.13, "circuit": 0.13, "graph": 0.13,
+    "nwchem": 0.13, "vasp": 0.13, "device": 0.13,
+}
+
+
+def _choice(rng: np.random.Generator, options: Sequence, weights=None):
+    """Weighted choice returning a plain Python object."""
+    if weights is not None:
+        weights = np.asarray(weights, dtype=float)
+        weights = weights / weights.sum()
+    idx = rng.choice(len(options), p=weights)
+    return options[int(idx)]
+
+
+def _draw_dims(rng: np.random.Generator, app: str) -> tuple[int, int]:
+    """(nodes, threads) sized for a 1-core host."""
+    if app == "device":
+        nodes = 2
+    else:
+        nodes = int(_choice(rng, [2, 3, 4], [0.5, 0.3, 0.2]))
+    threads = int(_choice(rng, [1, 2, 4], [0.2, 0.5, 0.3]))
+    if app == "racer":
+        threads = max(2, threads)
+    return nodes, threads
+
+
+def _draw_topology(rng: np.random.Generator,
+                   nodes: int) -> tuple[str, dict]:
+    """Topology + params with capacity for ``nodes`` ranks."""
+    name = _choice(rng, ["direct", "fat_tree", "dragonfly", "torus"],
+                   [0.55, 0.15, 0.15, 0.15])
+    if name == "fat_tree":
+        return name, {"k": 4}                 # capacity 16 hosts
+    if name == "dragonfly":
+        return name, {}                       # defaults: 72 hosts
+    if name == "torus":
+        dims = (2, 2) if nodes <= 4 else (4, 4)
+        return name, {"dims": dims}
+    return "direct", {}
+
+
+def _draw_faults(rng: np.random.Generator) -> Optional[FaultPlan]:
+    """None ~35% of the time; otherwise a small lossy plan."""
+    if rng.random() < 0.35:
+        return None
+    kw: dict = {}
+    rates = {"drop": 0.35, "dup": 0.2, "corrupt": 0.2, "delay": 0.25}
+    for kind, prob in rates.items():
+        if rng.random() < prob:
+            kw[kind] = float(_choice(rng, [0.02, 0.05, 0.1, 0.2],
+                                     [0.35, 0.35, 0.2, 0.1]))
+    if "delay" in kw:
+        kw["delay_max"] = float(_choice(rng, [5e-6, 20e-6], [0.7, 0.3]))
+    if not kw:  # ensure the plan actually does something
+        kw["drop"] = 0.05
+    return FaultPlan(**kw)
+
+
+def _draw_transport(rng: np.random.Generator,
+                    faults: Optional[FaultPlan]) -> Optional[TransportParams]:
+    """Occasionally tighten the retry budget on lossy fabrics."""
+    if faults is None or rng.random() < 0.7:
+        return None
+    return TransportParams(
+        rto=float(_choice(rng, [12e-6, 30e-6], [0.7, 0.3])),
+        max_retries=int(_choice(rng, [3, 6, 16], [0.3, 0.3, 0.4])))
+
+
+def _draw_traffic(rng: np.random.Generator) -> Optional[TrafficShape]:
+    """None ~40% of the time; otherwise a small background load."""
+    if rng.random() < 0.4:
+        return None
+    return TrafficShape(
+        kind=_choice(rng, list(TRAFFIC_KINDS)),
+        flows=int(_choice(rng, [1, 2, 4], [0.3, 0.4, 0.3])),
+        msgs_per_flow=int(_choice(rng, [4, 8, 16], [0.4, 0.4, 0.2])),
+        size=int(_choice(rng, [64, 256, 1024], [0.4, 0.4, 0.2])),
+        vcis=int(_choice(rng, [1, 2], [0.7, 0.3])))
+
+
+def _draw_app_params(rng: np.random.Generator, app: str,
+                     threads: int) -> dict:
+    """Small app-specific knobs (all values plain Python scalars)."""
+    if app == "stencil":
+        return {"pnx": int(_choice(rng, [4, 6, 8])),
+                "pny": int(_choice(rng, [4, 6, 8])),
+                "iters": int(_choice(rng, [1, 2, 3])),
+                "stencil_points": 5}
+    if app == "legion":
+        return {"msgs_per_thread": int(_choice(rng, [2, 4, 6])),
+                "payload": 8}
+    if app == "circuit":
+        return {"wires_per_thread": int(_choice(rng, [2, 4])),
+                "timesteps": int(_choice(rng, [2, 3, 4]))}
+    if app == "graph":
+        return {"graph_vertices": int(_choice(rng, [24, 48, 64])),
+                "iters": int(_choice(rng, [1, 2, 3])),
+                "churn": float(_choice(rng, [0.0, 0.3, 0.5]))}
+    if app == "nwchem":
+        return {"tiles_per_proc": 4, "tile_dim": 4,
+                "tasks_per_thread": int(_choice(rng, [1, 2, 3]))}
+    if app == "vasp":
+        return {"elems": threads * int(_choice(rng, [8, 16, 32])),
+                "repeats": int(_choice(rng, [1, 2]))}
+    if app == "device":
+        return {"count": 16,
+                "timesteps": int(_choice(rng, [2, 3, 4]))}
+    return {}
+
+
+def sample_one(rng: np.random.Generator,
+               apps: Sequence[str]) -> ScenarioSpec:
+    """One draw from the scenario space (may raise ScenarioError)."""
+    weights = [_APP_WEIGHTS.get(a, 0.1) for a in apps]
+    app = _choice(rng, list(apps), weights)
+    mechanism = _choice(rng, list(APP_REGISTRY[app].mechanisms))
+    nodes, threads = _draw_dims(rng, app)
+    topology, topo_params = _draw_topology(rng, nodes)
+    faults = _draw_faults(rng)
+    return ScenarioSpec(
+        app=app, mechanism=mechanism,
+        seed=int(rng.integers(1 << 30)),
+        nodes=nodes, threads=threads,
+        topology=topology, topology_params=topo_params,
+        app_params=_draw_app_params(rng, app, threads),
+        faults=faults,
+        transport=_draw_transport(rng, faults),
+        traffic=_draw_traffic(rng),
+        traffic_seed=int(rng.integers(1 << 20)))
+
+
+def sample_scenarios(seed: int, n: int,
+                     apps: Optional[Sequence[str]] = None
+                     ) -> list[ScenarioSpec]:
+    """``n`` valid scenarios, fully determined by ``(seed, n, apps)``.
+
+    ``apps`` restricts the draw to a subset of registered (samplable)
+    app names; invalid names raise :class:`ScenarioError` immediately.
+    """
+    if n < 0:
+        raise ScenarioError(f"n must be >= 0, got {n}")
+    if apps is None:
+        apps = app_names(samplable_only=True)
+    else:
+        apps = list(apps)
+        unknown = [a for a in apps if a not in APP_REGISTRY]
+        if unknown:
+            raise ScenarioError(f"unknown apps: {unknown}")
+        if not apps:
+            raise ScenarioError("apps must not be empty")
+    rng = np.random.default_rng(seed)
+    specs: list[ScenarioSpec] = []
+    rejected = 0
+    while len(specs) < n:
+        try:
+            spec = sample_one(rng, apps)
+        except ScenarioError:
+            rejected += 1
+            if rejected > 100 * max(1, n):
+                raise ScenarioError(
+                    "sampler rejection rate absurd — the draw space is "
+                    "broken (did an adapter's validation change?)")
+            continue
+        specs.append(spec.with_(name=f"c{seed}-{len(specs):04d}"))
+    return specs

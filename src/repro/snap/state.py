@@ -429,6 +429,13 @@ def capture_state(world: Any) -> dict[str, Any]:
         inj = world.injector
         state["faults"] = {"rng_state": inj._state, "seed": inj.seed,
                            **inj.summary()}
+    # Conditional, like the topology subtree's None: worlds without
+    # background traffic keep their pre-traffic trees and digests.
+    if getattr(world, "traffic", None) is not None:
+        state["traffic"] = {"seed": world.traffic.seed,
+                            "flow_table": [list(f) for f in
+                                           world.traffic.flow_table],
+                            **world.traffic.summary()}
     if world.metrics.enabled:
         state["metrics"] = describe_value(world.metrics.snapshot(), 1)
     state["trace"] = _trace_state(world.tracer)
