@@ -6,7 +6,9 @@ host — the "runs as fast as the hardware allows" axis of the roadmap. It
 writes ``benchmarks/results/BENCH_kernel.json`` with:
 
 - ``events_per_sec`` — raw kernel throughput (timeout churn through the
-  heap, free-list and callback dispatch);
+  scheduler, free-list and callback dispatch) under the calendar-queue
+  engine, with ``events_per_sec_heap`` for the legacy binary-heap
+  reference and ``calendar_vs_heap`` as the measured speedup;
 - ``matches_per_sec`` — indexed matching-engine throughput at depth, with
   the linear reference engine's throughput and the resulting speedup;
 - ``messages_per_sec`` — end-to-end simulated messages per host second
@@ -22,7 +24,11 @@ writes ``benchmarks/results/BENCH_kernel.json`` with:
   are flagged ``expected_on_host`` — oversubscription, not regression);
 - ``fat_tree_collectives`` — host throughput of a 16-host
   ``fat_tree(k=4)`` allreduce through the routed topology layer
-  (gated at the same >30% budget when present in the baseline).
+  (gated at the same >30% budget when present in the baseline);
+- ``memo_sweep`` — the warm-prefix memoized Fig 1(a) executor, cold
+  (empty cache) then warm (populated cache): the cold points/sec is
+  gated at the 30% budget, and the warm pass must re-simulate exactly
+  zero warm-ups (a hard invariant, not a tolerance).
 
 Standalone (this is what CI's perf-smoke job runs)::
 
@@ -62,9 +68,14 @@ REGRESSION_BUDGET = 0.30
 # events/sec: raw kernel throughput
 # ---------------------------------------------------------------------------
 def bench_events(n_procs: int = 8, timeouts_per_proc: int = 50_000,
-                 repeats: int = 3) -> float:
-    """Time raw kernel event throughput (timeout churn)."""
-    from repro.sim.core import Simulator
+                 repeats: int = 3, engine: Optional[str] = None) -> float:
+    """Time raw kernel event throughput (timeout churn).
+
+    ``engine`` selects the event-loop implementation (``"calendar"`` —
+    the default engine — or ``"heap"``, the legacy reference); ``None``
+    follows ``REPRO_SIM_ENGINE``.
+    """
+    from repro.sim.calendar import make_simulator
 
     def ping(sim, n):
         for _ in range(n):
@@ -72,7 +83,7 @@ def bench_events(n_procs: int = 8, timeouts_per_proc: int = 50_000,
 
     best = 0.0
     for _ in range(repeats):
-        sim = Simulator()
+        sim = make_simulator(engine)
         for _ in range(n_procs):
             sim.spawn(ping(sim, timeouts_per_proc))
         t0 = time.perf_counter()
@@ -277,6 +288,45 @@ def bench_fat_tree_collectives(elems: int = 1 << 13, repeats: int = 3) -> dict:
                 round(sim_times["recursive_doubling"] * 1e6, 3)}
 
 
+def bench_memo_sweep(msgs_list=(16, 32, 64), cores: int = 4) -> dict:
+    """Time the warm-prefix memoized Fig 1(a) executor, cold then warm.
+
+    The cold pass simulates one warm-up per unique (mode, cores) prefix
+    and forks per point; the warm pass replays the identical sweep
+    against the populated cache and must re-simulate **zero** warm-ups
+    (``warm_resimulated_warmups`` is gated at exactly 0, not a
+    percentage — it is an invariant, not a throughput).
+    """
+    import shutil
+    import tempfile
+
+    from repro.bench.memo import MemoStats, fig1a_executor
+
+    modes = ("everywhere", "threads-tags", "threads-endpoints")
+    points = [{"mode": m, "cores": cores, "msgs_per_core": n}
+              for m in modes for n in msgs_list]
+    cache = tempfile.mkdtemp(prefix="bench-memo-")
+    try:
+        cold_stats = MemoStats()
+        t0 = time.perf_counter()
+        cold = fig1a_executor(cache_dir=cache).run(points, stats=cold_stats)
+        cold_sec = time.perf_counter() - t0
+        warm_stats = MemoStats()
+        t0 = time.perf_counter()
+        warm = fig1a_executor(cache_dir=cache).run(points, stats=warm_stats)
+        warm_sec = time.perf_counter() - t0
+        assert warm == cold, "memoized sweep results changed across runs"
+    finally:
+        shutil.rmtree(cache, ignore_errors=True)
+    return {"points": len(points),
+            "points_per_sec_cold": round(len(points) / cold_sec, 2),
+            "points_per_sec_warm": round(len(points) / warm_sec, 2),
+            "warm_speedup": round(cold_sec / warm_sec, 2),
+            "warm_resimulated_warmups": warm_stats.warmups_simulated,
+            "cold": cold_stats.as_dict(),
+            "warm": warm_stats.as_dict()}
+
+
 def bench_campaign(n: int = 12, repeats: int = 2) -> dict:
     """Host throughput of the chaos-campaign executor (scenarios/sec).
 
@@ -316,7 +366,9 @@ def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
     """Run every micro-bench and render the results table."""
     scale = 10 if quick else 1
     events = bench_events(timeouts_per_proc=50_000 // scale,
-                          repeats=2 if quick else 3)
+                          repeats=2 if quick else 3, engine="calendar")
+    events_heap = bench_events(timeouts_per_proc=50_000 // scale,
+                               repeats=2 if quick else 3, engine="heap")
     matching = bench_matching(rounds=2_000 // scale,
                               repeats=2 if quick else 3)
     messages = bench_messages(msgs_per_core=256 // scale,
@@ -325,20 +377,25 @@ def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
                             repeats=2 if quick else 3)
     sweep = bench_fig1a_sweep(jobs_list=jobs_list,
                               msgs_per_core=64 // (scale if quick else 1))
+    memo = bench_memo_sweep(msgs_list=(16, 32) if quick else (16, 32, 64))
     fat_tree = bench_fat_tree_collectives(elems=(1 << 13) // scale,
                                           repeats=2 if quick else 3)
     campaign = bench_campaign(n=6 if quick else 12,
                               repeats=2 if quick else 3)
     return {
-        "schema": 1,
+        "schema": 2,
         "python": sys.version.split()[0],
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "quick": quick,
+        "engine": "calendar",
         "events_per_sec": round(events),
+        "events_per_sec_heap": round(events_heap),
+        "calendar_vs_heap": round(events / events_heap, 2),
         "matching": matching,
         "messages_per_sec": round(messages),
         "checker": checker,
         "fig1a_sweep": sweep,
+        "memo_sweep": memo,
         "fat_tree_collectives": fat_tree,
         "campaign": campaign,
     }
@@ -372,6 +429,20 @@ def check_against(result: dict, baseline_path: str) -> bool:
               f"{ref_cp:,} (floor {floor_cp:,.2f}) -> "
               f"{'OK' if ok_cp else 'REGRESSION'}")
         ok = ok and ok_cp
+    if "memo_sweep" in baseline:
+        ref_ms = baseline["memo_sweep"]["points_per_sec_cold"]
+        got_ms = result["memo_sweep"]["points_per_sec_cold"]
+        floor_ms = ref_ms * (1.0 - REGRESSION_BUDGET)
+        ok_ms = got_ms >= floor_ms
+        print(f"memo sweep points/sec (cold): measured {got_ms:,} vs "
+              f"baseline {ref_ms:,} (floor {floor_ms:,.2f}) -> "
+              f"{'OK' if ok_ms else 'REGRESSION'}")
+        # Invariant, not a throughput: a warm cache must never re-simulate.
+        resim = result["memo_sweep"]["warm_resimulated_warmups"]
+        ok_warm = resim == 0
+        print(f"memo sweep warm re-simulated warm-ups: {resim} "
+              f"-> {'OK' if ok_warm else 'CACHE BROKEN'}")
+        ok = ok and ok_ms and ok_warm
     return ok
 
 
@@ -418,6 +489,13 @@ def test_kernel_microbench(benchmark, tmp_path) -> None:
     assert data["fat_tree_collectives"]["allreduces_per_sec"] > 0
     assert data["campaign"]["scenarios_per_sec"] > 0
     assert data["campaign"]["outcome_digest"]
+    assert data["events_per_sec_heap"] > 0
+    assert data["calendar_vs_heap"] > 0
+    memo = data["memo_sweep"]
+    assert memo["warm_resimulated_warmups"] == 0
+    assert memo["points_per_sec_cold"] > 0
+    assert memo["cold"]["warmups_simulated"] == \
+        memo["cold"]["unique_prefixes"]
     # topology layer stays deterministic: ring != RD schedules
     assert data["fat_tree_collectives"]["sim_us_ring"] \
         != data["fat_tree_collectives"]["sim_us_recursive_doubling"]

@@ -23,7 +23,8 @@ import multiprocessing
 import os
 from typing import Any, Callable, Iterable, Optional, Sequence
 
-__all__ = ["default_jobs", "point_key", "run_points", "scaling_run"]
+__all__ = ["chunk_size", "default_jobs", "point_key", "run_points",
+           "scaling_run"]
 
 
 def default_jobs(env: str = "REPRO_BENCH_JOBS") -> int:
@@ -110,6 +111,25 @@ def _jsonable(point: dict) -> dict:
     return json.loads(json.dumps(point, sort_keys=True, default=str))
 
 
+def chunk_size(n_points: int, jobs: int) -> int:
+    """Points per pool task: ``max(1, n_points // (4 * jobs))``.
+
+    One pool task per point is pure IPC overhead when points are tiny (a
+    35-point Fig 1(a) sweep pays 35 pickle/unpickle round-trips for
+    milliseconds of work each). Batching ~4 chunks per worker keeps the
+    dispatch cost bounded while leaving enough chunks on the queue for
+    work stealing: a worker that drew short chunks comes back for more
+    while a worker stuck on a long chunk keeps just that one.
+    """
+    return max(1, n_points // (4 * max(1, jobs)))
+
+
+def _run_chunk(fn: Callable[..., Any], kwds_list: list[dict]) -> list[Any]:
+    """Run one chunk of points in a worker (module-level: pool tasks are
+    pickled by name even under the ``fork`` start method)."""
+    return [fn(**kwds) for kwds in kwds_list]
+
+
 def run_points(fn: Callable[..., Any], points: Sequence[dict],
                jobs: int = 1,
                progress: Optional[Callable[[dict], None]] = None,
@@ -117,12 +137,14 @@ def run_points(fn: Callable[..., Any], points: Sequence[dict],
                resume: bool = False) -> list[Any]:
     """Run ``fn(**point)`` for every point; returns results in point order.
 
-    ``jobs > 1`` fans the points across a ``fork`` process pool. Results
-    are returned in the order of ``points`` regardless of completion
-    order, so the output is deterministic for deterministic ``fn``.
-    ``progress`` (serial path only) is called with each point before it
-    runs — worker processes cannot usefully stream progress to the
-    parent's terminal.
+    ``jobs > 1`` fans the points across a ``fork`` process pool in
+    chunks of :func:`chunk_size` points per pool task (work-stealing:
+    idle workers pull the next chunk off the shared queue). Results are
+    returned in the order of ``points`` regardless of completion order,
+    so the output — and any CSV built from it — is byte-identical to a
+    serial run for deterministic ``fn``. ``progress`` (serial path only)
+    is called with each point before it runs — worker processes cannot
+    usefully stream progress to the parent's terminal.
 
     ``checkpoint_dir`` persists every completed point's result as an
     atomic per-point JSON file the moment it completes (in the parent,
@@ -159,40 +181,82 @@ def run_points(fn: Callable[..., Any], points: Sequence[dict],
         return run_points(fn, points, jobs=1, progress=progress,
                           checkpoint_dir=checkpoint_dir, resume=resume)
     jobs = min(jobs, len(todo))
+    size = chunk_size(len(points), jobs)
+    chunks = [todo[lo:lo + size] for lo in range(0, len(todo), size)]
     with ctx.Pool(processes=jobs) as pool:
         pending = []
-        for i in todo:
+        for indices in chunks:
             callback = None
             if store is not None:
-                # Completion callbacks run in the parent: each point is
-                # checkpointed as soon as its worker returns it, not at
-                # the end of the campaign.
-                def callback(result, _point=points[i]):
-                    store.save(_point, result)
-            pending.append((i, pool.apply_async(fn, kwds=points[i],
-                                                callback=callback)))
-        for i, handle in pending:
-            results[i] = handle.get()
+                # Completion callbacks run in the parent: every point of
+                # a chunk is checkpointed (one file per point, as before
+                # chunking) the moment its worker returns the chunk, not
+                # at the end of the campaign.
+                def callback(chunk_results, _indices=tuple(indices)):
+                    for j, result in zip(_indices, chunk_results):
+                        store.save(points[j], result)
+            pending.append((indices, pool.apply_async(
+                _run_chunk, (fn, [points[j] for j in indices]),
+                callback=callback)))
+        for indices, handle in pending:
+            for j, result in zip(indices, handle.get()):
+                results[j] = result
     return results
+
+
+def _noop_point(**_kwargs: Any) -> None:
+    """Zero-work point function: times the executor's dispatch overhead."""
+    return None
+
+
+def _max_rss_kb() -> dict[str, int]:
+    """Peak RSS of this process and its reaped children, in KiB."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX hosts
+        return {"rss_self_kb": 0, "rss_children_kb": 0}
+    return {
+        "rss_self_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "rss_children_kb": int(
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss),
+    }
 
 
 def scaling_run(fn: Callable[..., Any], points: Iterable[dict],
                 jobs_list: Sequence[int]) -> dict[int, dict[str, Any]]:
     """Time the full point set at each worker count.
 
-    Returns ``{jobs: {"wall_sec": ..., "cpu_count": ...}}``. The host's
-    CPU count is recorded alongside every point so consumers (e.g.
-    ``benchmarks/bench_kernel.py``) can distinguish a real scaling
-    regression from the expected sub-unity "speedup" of oversubscribing
-    a small host — ``jobs > cpu_count`` cannot beat serial, and a gate
-    that ignores that tracks noise. Used to record the ``--jobs``
-    scaling trajectory."""
+    Returns ``{jobs: {"wall_sec", "cpu_count", "dispatch_sec",
+    "chunk_size", "rss_self_kb", "rss_children_kb"}}``. Every record
+    carries what an ``expected_on_host`` verdict needs, so a
+    ``BENCH_kernel.json`` explains itself without rerunning anything:
+
+    - ``cpu_count`` — ``jobs > cpu_count`` cannot beat serial, and a
+      gate that ignores that tracks noise;
+    - ``dispatch_sec`` — wall-clock of dispatching the same point set
+      with a zero-work function at the same fan-out: the pool's fixed
+      IPC/scheduling cost, i.e. the floor a sweep's wall-clock cannot
+      go below no matter how fast the points get;
+    - ``chunk_size`` / ``rss_*_kb`` — how the work was batched and the
+      memory high-water marks (parent and reaped workers), so an
+      oversubscription or swap stall is attributable after the fact.
+    """
     import time
     points = list(points)
     walls: dict[int, dict[str, Any]] = {}
     for jobs in jobs_list:
         t0 = time.perf_counter()
         run_points(fn, points, jobs=jobs)
-        walls[jobs] = {"wall_sec": time.perf_counter() - t0,
-                       "cpu_count": os.cpu_count() or 1}
+        wall = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        run_points(_noop_point, [dict(p) for p in points], jobs=jobs)
+        dispatch = time.perf_counter() - t1
+        record: dict[str, Any] = {
+            "wall_sec": wall,
+            "cpu_count": os.cpu_count() or 1,
+            "dispatch_sec": dispatch,
+            "chunk_size": chunk_size(len(points), jobs),
+        }
+        record.update(_max_rss_kb())
+        walls[jobs] = record
     return walls

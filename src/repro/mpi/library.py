@@ -182,6 +182,55 @@ class MpiLibrary:
                              self._trace_payload(vci, msg))
         return depart
 
+    def issue_async_batch(self, vci: Vci, msgs: list[WireMessage],
+                          after: Optional[Callable[[WireMessage, float],
+                                                   None]] = None
+                          ) -> list[float]:
+        """Bulk :meth:`issue_async`: one burst through the NIC context.
+
+        Departure times, counters and event order are byte-identical to
+        calling ``issue_async`` once per message in list order — the NIC
+        injector chain is vectorized by
+        :meth:`~repro.netsim.nic.HardwareContext.issue_batch`, and
+        ``after(msg, depart)`` (when given) runs right after each
+        message's transmit, preserving any per-message event
+        interleaving the caller relies on. Without ``after``, messages
+        bound for the fabric are handed over in one
+        :meth:`~repro.netsim.fabric.Fabric.transmit_batch` call.
+        """
+        departs = vci.hw_context.issue_batch([m.wire_bytes for m in msgs])
+        vci.sends += len(msgs)
+        tracer = self.tracer
+        if after is None:
+            # Contiguous fabric-bound runs batch; intra-node and
+            # transport-tracked messages keep their scalar paths. Runs
+            # preserve list order, so arrival events enqueue in the same
+            # sequence as scalar transmits would produce.
+            run: list[tuple[WireMessage, float]] = []
+            for msg, depart in zip(msgs, departs):
+                if msg.dst_node != self.node.node_id \
+                        and self.transport is None:
+                    run.append((msg, depart))
+                    continue
+                if run:
+                    self.world.fabric.transmit_batch(run)
+                    run = []
+                self._transmit(msg, depart)
+            if run:
+                self.world.fabric.transmit_batch(run)
+        else:
+            for msg, depart in zip(msgs, departs):
+                self._transmit(msg, depart)
+                after(msg, depart)
+        if vci.m_issue_async is not None:
+            for _ in msgs:
+                vci.m_issue_async.inc()
+        if tracer.enabled:
+            for msg in msgs:
+                self.tracer.emit(TraceCategory.ISSUE_ASYNC,
+                                 self._trace_payload(vci, msg))
+        return departs
+
     def _transmit(self, msg: WireMessage, depart: float) -> None:
         if msg.dst_node == self.node.node_id:
             # Intra-node transport bypasses the fabric: shared-memory copy.

@@ -270,8 +270,23 @@ class PsendRequest(_PartitionedOp):
         self.channel_ready = True
         self.remote_channel = remote_channel
         deferred, self._deferred = self._deferred, []
-        for i in deferred:
-            self._issue_partition_async(i)
+        # Partitions marked ready before the channel handshake flush as
+        # one burst per VCI run: contiguous runs preserve the scalar
+        # issue order (and therefore event order and timings) while the
+        # NIC injector chain is computed for the whole run at once.
+        pool = self.lib.vci_pool
+        i = 0
+        while i < len(deferred):
+            index = self.vci_index_for_partition(deferred[i])
+            j = i + 1
+            while j < len(deferred) \
+                    and self.vci_index_for_partition(deferred[j]) == index:
+                j += 1
+            vci = pool.get(index)
+            msgs = [self._partition_msg(p, index) for p in deferred[i:j]]
+            self.lib.issue_async_batch(
+                vci, msgs, after=lambda _m, d: self._track_departure(d))
+            i = j
 
 
 class PrecvRequest(_PartitionedOp):

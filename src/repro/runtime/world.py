@@ -38,6 +38,7 @@ from ..netsim.nic import Nic
 from ..netsim.topology import ClusterSpec, RoutedFabric
 from ..obs.collect import collect_world
 from ..obs.metrics import MetricsRegistry
+from ..sim.calendar import make_simulator
 from ..sim.core import Event, Process, Simulator
 from ..sim.random import RandomStreams
 from ..sim.sync import Gate
@@ -157,7 +158,8 @@ class World:
                  faults: Optional[FaultPlan] = None,
                  transport: Optional[TransportParams] = None,
                  check: Optional[CheckConfig | bool] = None,
-                 cluster: Optional[ClusterSpec] = None):
+                 cluster: Optional[ClusterSpec] = None,
+                 engine: Optional[str] = None):
         # -- cluster resolution -----------------------------------------
         # The declarative path is `cluster=ClusterSpec(...)`; bare
         # dimension keywords remain first-class sugar for a direct
@@ -193,7 +195,11 @@ class World:
         num_nodes = cluster.nodes
         procs_per_node = cluster.procs_per_node
         threads_per_proc = cluster.threads_per_proc
-        self.sim = Simulator()
+        # `engine` picks the event-loop implementation ("calendar" is the
+        # batched default, "heap" the legacy reference; None defers to
+        # REPRO_SIM_ENGINE). Both execute byte-identical event sequences —
+        # see repro.sim.calendar — so this only affects host wall-clock.
+        self.sim = make_simulator(engine)
         # -- correctness checking (opt-in) ------------------------------
         # check=None adopts the session default (set by `python -m repro
         # check`), check=False forces it off, check=True/CheckConfig(...)

@@ -6,6 +6,13 @@ contexts are :class:`~repro.sim.resources.FIFOServer` instances, and
 contention is modelled with the primitives in :mod:`repro.sim.sync`.
 """
 
+from .calendar import (
+    ENGINE_ENV,
+    ENGINES,
+    CalendarSimulator,
+    default_engine,
+    make_simulator,
+)
 from .core import (
     AllOf,
     AnyOf,
@@ -31,8 +38,11 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Barrier",
+    "CalendarSimulator",
     "Category",
     "ContentionStats",
+    "ENGINES",
+    "ENGINE_ENV",
     "Event",
     "FIFOServer",
     "Gate",
@@ -45,6 +55,8 @@ __all__ = [
     "ServerStats",
     "SimulationError",
     "Simulator",
+    "default_engine",
+    "make_simulator",
     "SpanPairing",
     "Timeout",
     "TraceCategory",

@@ -58,7 +58,14 @@ class Event:
     (success) or an exception (failure).
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed")
+    # ``_seq`` is the schedule sequence number, written at enqueue time by
+    # the calendar engine (:mod:`repro.sim.calendar`), which stores bare
+    # events in its buckets instead of the heap engine's
+    # ``(time, priority, seq, event)`` tuples. It is deliberately left
+    # unset here: the heap engine never reads it, and initializing it
+    # would tax every event allocation.
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered",
+                 "_processed", "_seq")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -163,7 +170,7 @@ class Process(Event):
     processes can ``yield`` other processes to join them.
     """
 
-    __slots__ = ("gen", "name", "_waiting_on", "_pid")
+    __slots__ = ("gen", "name", "_waiting_on", "_pid", "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         if not hasattr(gen, "send"):
@@ -179,12 +186,17 @@ class Process(Event):
         sim._processes[self._pid] = self
         if sim.checker is not None:
             sim.checker.on_spawn(self)
+        # The resume callback is bound once: creating a fresh bound method
+        # on every suspend is measurable across millions of events. (This
+        # makes each Process part of a reference cycle with itself; the
+        # collect() on run() exit reclaims completed ones.)
+        self._resume_cb = self._resume
         # Bootstrap: start the generator at the current simulation time.
         # Built by hand (a pre-triggered bare Event carrying the resume
         # callback) to keep spawn off the succeed/add_callback slow path.
         bootstrap = Event.__new__(Event)
         bootstrap.sim = sim
-        bootstrap.callbacks = [self._resume]
+        bootstrap.callbacks = [self._resume_cb]
         bootstrap._value = None
         bootstrap._exc = None
         bootstrap._triggered = True
@@ -208,27 +220,35 @@ class Process(Event):
 
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
-        if self.sim.checker is not None:
-            self.sim.checker.on_resume(self, trigger)
-        self.sim._active_process = self
+        sim = self.sim
+        if sim.checker is not None:
+            sim.checker.on_resume(self, trigger)
+        sim._active_process = self
         try:
             if trigger._exc is not None:
                 target = self.gen.throw(trigger._exc)
             else:
                 target = self.gen.send(trigger._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             if not self._triggered:
                 self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             if not self._triggered:
                 self.fail(exc)
                 return
             raise
-        self.sim._active_process = None
-        if not isinstance(target, Event) or target.sim is not self.sim:
+        sim._active_process = None
+        # Fast suspend: the overwhelmingly common yield is a fresh,
+        # still-pending Timeout from this simulator.
+        if type(target) is Timeout and target.sim is sim \
+                and not target._processed:
+            self._waiting_on = target
+            target.callbacks.append(self._resume_cb)
+            return
+        if not isinstance(target, Event) or target.sim is not sim:
             self.gen.close()
             self.fail(SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes may "
@@ -238,7 +258,7 @@ class Process(Event):
         if target._processed:
             self._resume(target)
         else:
-            target.callbacks.append(self._resume)
+            target.callbacks.append(self._resume_cb)
 
 
 class AllOf(Event):
@@ -418,6 +438,25 @@ class Simulator:
     def _enqueue(self, event: Event, delay: float, priority: int) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    # -- schedule introspection -------------------------------------------
+    # These three methods are the engine-agnostic view of the pending
+    # schedule. Snapshot capture (:mod:`repro.snap.state`) and the snap
+    # session driver consume them instead of reaching into ``_heap``, so
+    # alternative engines (:mod:`repro.sim.calendar`) only need to
+    # override them to stay digest-compatible.
+    def pending_entries(self) -> list[tuple[float, int, int, Event]]:
+        """Pending ``(when, priority, seq, event)`` entries in execution
+        order — the canonical schedule view captured by state digests."""
+        return sorted(self._heap, key=lambda entry: entry[:3])
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None when drained."""
+        return self._heap[0][0] if self._heap else None
+
+    def queue_empty(self) -> bool:
+        """True when no events remain scheduled."""
+        return not self._heap
 
     def step(self) -> None:
         """Process the single next event."""

@@ -111,12 +111,12 @@ class SnapController:
             while True:
                 if target is not None and target._processed:
                     return target.value
-                heap = sim._heap
-                if not heap:
+                next_time = sim.peek_time()
+                if next_time is None:
                     if target is not None:
                         raise SimulationError(sim._deadlock_report())
                     break
-                if limit is not None and heap[0][0] > limit:
+                if limit is not None and next_time > limit:
                     if limit == self.stop_horizon and \
                             (horizon is None or limit < horizon):
                         self.on_stop_horizon(world)

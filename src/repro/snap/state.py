@@ -186,9 +186,12 @@ def _describe_heap_event(event: Event) -> dict[str, Any]:
 
 
 def _kernel_state(sim: Any) -> dict[str, Any]:
+    # ``pending_entries()`` is the engine-agnostic schedule view: both the
+    # heap and the calendar engine (REPRO_SIM_ENGINE) yield identical
+    # (when, prio, seq, event) entries here, which is what makes state
+    # digests comparable across engines.
     heap = [[when, prio, seq, _describe_heap_event(ev)]
-            for when, prio, seq, ev in sorted(
-                sim._heap, key=lambda entry: entry[:3])]
+            for when, prio, seq, ev in sim.pending_entries()]
     tasks = {}
     for pid, proc in sorted(sim._processes.items()):
         target = proc._waiting_on

@@ -6,8 +6,8 @@ host wall-clock — never results or their order (see docs/performance.md).
 
 import pytest
 
-from repro.bench import (MsgRateConfig, Sweep, default_jobs, run_points,
-                        run_msgrate, scaling_run)
+from repro.bench import (MsgRateConfig, Sweep, chunk_size, default_jobs,
+                        run_points, run_msgrate, scaling_run)
 
 
 def _square(x, offset=0):
@@ -81,6 +81,47 @@ def test_scaling_run_times_each_worker_count():
     # every jobs point carries the host's CPU count so sub-unity
     # "speedups" on oversubscribed hosts are attributable, not noise
     assert all(rec["cpu_count"] >= 1 for rec in walls.values())
+
+
+def test_scaling_run_records_rss_and_dispatch_overhead():
+    """Every jobs record must explain itself from the JSON alone: the
+    pool's fixed dispatch cost, the chunking used, and the parent/worker
+    memory high-water marks."""
+    walls = scaling_run(_square, POINTS[:6], jobs_list=(1, 2))
+    for jobs, rec in walls.items():
+        assert rec["dispatch_sec"] >= 0
+        assert rec["chunk_size"] == chunk_size(6, jobs)
+        assert rec["rss_self_kb"] > 0
+        assert rec["rss_children_kb"] >= 0
+
+
+def test_chunk_size_floor_and_scaling():
+    assert chunk_size(35, 4) == max(1, 35 // 16) == 2
+    assert chunk_size(3, 4) == 1     # never zero
+    assert chunk_size(0, 1) == 1
+    assert chunk_size(400, 2) == 50  # ~4 chunks per worker
+
+
+def test_chunked_dispatch_keeps_per_point_checkpoints(tmp_path):
+    """Chunked pool tasks still checkpoint one file per point, and a
+    resume returns byte-identical rows in the original order."""
+    ckpt = str(tmp_path / "ckpt")
+    fanned = run_points(_square, POINTS, jobs=3, checkpoint_dir=ckpt)
+    files = [f for f in sorted((tmp_path / "ckpt").iterdir())
+             if f.name.startswith("point-")]
+    assert len(files) == len(POINTS)  # one checkpoint per point, not chunk
+    resumed = run_points(_square, POINTS, jobs=3, checkpoint_dir=ckpt,
+                         resume=True)
+    assert resumed == fanned == run_points(_square, POINTS, jobs=1)
+
+
+def test_chunked_dispatch_csv_byte_identical(tmp_path):
+    sweep = Sweep(name="t", params={"x": [1, 2, 3, 4], "offset": [0, 1]})
+    serial = tmp_path / "serial.csv"
+    fanned = tmp_path / "fanned.csv"
+    sweep.to_csv(sweep.run(_square_row), str(serial))
+    sweep.to_csv(sweep.run(_square_row, jobs=3), str(fanned))
+    assert fanned.read_bytes() == serial.read_bytes()
 
 
 def test_worker_exception_propagates():
