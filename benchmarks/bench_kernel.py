@@ -18,6 +18,9 @@ writes ``benchmarks/results/BENCH_kernel.json`` with:
   ``is not None`` test on the hot paths), the on point prices the
   hooks, and the simulated message rate is asserted identical both
   ways (observer-only invariant);
+- ``analyzer`` — static-analyzer throughput (``repro analyze``) over
+  the shipped driver corpus: files/sec and findings scanned, gated at
+  the same >30% budget when present in the baseline;
 - ``fig1a_sweep`` — wall-clock of the full Fig 1(a) mode×cores sweep,
   serial and across ``--jobs`` worker processes, each point annotated
   with the host CPU count (sub-unity speedups with ``jobs > cpu_count``
@@ -208,6 +211,42 @@ def bench_checker(cores: int = 8, msgs_per_core: int = 256,
 
 
 # ---------------------------------------------------------------------------
+# analyzer throughput: repro analyze over the shipped corpus
+# ---------------------------------------------------------------------------
+def bench_analyzer(repeats: int = 3) -> dict:
+    """Host throughput of the static analyzer over the driver corpus.
+
+    Analyzes every ``repro.apps``/``repro.bench`` source (the same set
+    the CI ``analyze-corpus`` job gates) and reports files and source
+    lines per host second. The corpus must stay clean — a finding here
+    is a correctness regression, not a perf number.
+    """
+    import glob
+
+    import repro.apps as apps_pkg
+    import repro.bench as bench_pkg
+    from repro.check import analyze_paths
+
+    paths = []
+    for pkg in (apps_pkg, bench_pkg):
+        pkg_dir = os.path.dirname(os.path.abspath(pkg.__file__))
+        paths += sorted(glob.glob(os.path.join(pkg_dir, "**", "*.py"),
+                                  recursive=True))
+    lines = sum(len(open(p, "rb").read().splitlines()) for p in paths)
+
+    best = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        report = analyze_paths(paths)
+        best = max(best, len(paths) / (time.perf_counter() - t0))
+        assert report.clean, report.render()
+    return {"files": len(paths),
+            "source_lines": lines,
+            "files_per_sec": round(best, 2),
+            "lines_per_sec": round(lines * best / len(paths))}
+
+
+# ---------------------------------------------------------------------------
 # fig1a sweep wall-clock, serial and fanned out
 # ---------------------------------------------------------------------------
 def _fig1a_point(mode: str, cores: int, msgs_per_core: int) -> float:
@@ -375,6 +414,7 @@ def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
                               repeats=2 if quick else 3)
     checker = bench_checker(msgs_per_core=256 // scale,
                             repeats=2 if quick else 3)
+    analyzer = bench_analyzer(repeats=2 if quick else 3)
     sweep = bench_fig1a_sweep(jobs_list=jobs_list,
                               msgs_per_core=64 // (scale if quick else 1))
     memo = bench_memo_sweep(msgs_list=(16, 32) if quick else (16, 32, 64))
@@ -394,6 +434,7 @@ def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
         "matching": matching,
         "messages_per_sec": round(messages),
         "checker": checker,
+        "analyzer": analyzer,
         "fig1a_sweep": sweep,
         "memo_sweep": memo,
         "fat_tree_collectives": fat_tree,
@@ -429,6 +470,15 @@ def check_against(result: dict, baseline_path: str) -> bool:
               f"{ref_cp:,} (floor {floor_cp:,.2f}) -> "
               f"{'OK' if ok_cp else 'REGRESSION'}")
         ok = ok and ok_cp
+    if "analyzer" in baseline:
+        ref_an = baseline["analyzer"]["files_per_sec"]
+        got_an = result["analyzer"]["files_per_sec"]
+        floor_an = ref_an * (1.0 - REGRESSION_BUDGET)
+        ok_an = got_an >= floor_an
+        print(f"analyzer files/sec: measured {got_an:,} vs baseline "
+              f"{ref_an:,} (floor {floor_an:,.2f}) -> "
+              f"{'OK' if ok_an else 'REGRESSION'}")
+        ok = ok and ok_an
     if "memo_sweep" in baseline:
         ref_ms = baseline["memo_sweep"]["points_per_sec_cold"]
         got_ms = result["memo_sweep"]["points_per_sec_cold"]
@@ -486,6 +536,8 @@ def test_kernel_microbench(benchmark, tmp_path) -> None:
     assert data["messages_per_sec"] > 0
     assert data["checker"]["simulated_rate_identical"]
     assert data["checker"]["messages_per_sec_on"] > 0
+    assert data["analyzer"]["files_per_sec"] > 0
+    assert data["analyzer"]["files"] > 10
     assert data["fat_tree_collectives"]["allreduces_per_sec"] > 0
     assert data["campaign"]["scenarios_per_sec"] > 0
     assert data["campaign"]["outcome_digest"]

@@ -10,11 +10,16 @@ Two sides, one rule catalog (:mod:`repro.check.rules`):
   and RMA protocol errors, and leaked resources — with rank/VCI/simulated
   time context. Observer-only: simulated timings are byte-identical with
   the checker on or off.
-- **static** — ``python -m repro lint`` runs the repository's own AST
-  lint (host nondeterminism in simulated paths, raw trace-category
-  strings, hygiene rules).
+- **static** — ``python -m repro analyze program.py`` runs the
+  interprocedural analyzer (:mod:`repro.check.static_`) over a driver's
+  AST without executing it: race/lifecycle/collective rules S301-S312
+  (the static twins of the CHK catalog) plus the VCI-mappability
+  advisor (S313-S315). ``python -m repro lint`` runs the repository's
+  own AST lint (host nondeterminism in simulated paths, raw
+  trace-category strings, hygiene rules).
 
-See ``docs/checking.md`` for the rule catalog and suppression syntax.
+See ``docs/checking.md`` and ``docs/static-analysis.md`` for the rule
+catalogs and suppression syntax.
 """
 
 from __future__ import annotations
@@ -22,9 +27,12 @@ from __future__ import annotations
 from .checker import CheckConfig, Checker
 from .lint import Finding, run_lint
 from .report import CheckReport, CheckWarning, Violation
-from .rules import ALL_RULES, DYNAMIC_RULES, LINT_RULES, Rule, rule
+from .rules import ALL_RULES, CHK_EQUIVALENT, DYNAMIC_RULES, LINT_RULES, \
+    STATIC_FOR_DYNAMIC, STATIC_RULES, Rule, rule
 from .session import checking, collect_report, default_check, \
     set_default_check
+from .static_ import StaticFinding, StaticReport, analyze_path, \
+    analyze_paths, analyze_source, to_sarif
 
 __all__ = [
     "CheckConfig",
@@ -37,8 +45,17 @@ __all__ = [
     "ALL_RULES",
     "DYNAMIC_RULES",
     "LINT_RULES",
+    "STATIC_RULES",
+    "CHK_EQUIVALENT",
+    "STATIC_FOR_DYNAMIC",
     "Finding",
     "run_lint",
+    "StaticFinding",
+    "StaticReport",
+    "analyze_path",
+    "analyze_paths",
+    "analyze_source",
+    "to_sarif",
     "checking",
     "collect_report",
     "default_check",

@@ -24,8 +24,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from .rules import LINT_RULES, rule as _rule
+
 __all__ = ["Finding", "lint_file", "run_lint", "render_text", "render_json",
            "SIMULATED_PATH_PREFIXES"]
+
+#: Ids this pass can emit (from the shared registry) plus the parse-error
+#: pseudo-rule. ``--select`` arguments are validated against this set.
+_EMITTABLE = {r.id for r in LINT_RULES} | {"E999"}
 
 _SUPPRESS_RE = re.compile(
     r"#\s*lint:\s*ignore\[([A-Za-z0-9,\s]+)\]\s*(?:--\s*(\S.*))?")
@@ -69,12 +75,18 @@ class Finding:
     rule: str
     message: str
 
+    @property
+    def severity(self) -> str:
+        """Severity from the shared registry (parse errors are errors)."""
+        return "error" if self.rule == "E999" else _rule(self.rule).severity
+
     def describe(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
     def to_dict(self) -> dict:
         return {"path": self.path, "line": self.line, "col": self.col,
-                "rule": self.rule, "message": self.message}
+                "rule": self.rule, "message": self.message,
+                "severity": self.severity}
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -302,6 +314,12 @@ def run_lint(roots: Optional[Sequence[Path]] = None,
         roots += [d for d in (repo_root / "benchmarks",
                               repo_root / "examples") if d.is_dir()]
     selected = {r.upper() for r in select} if select is not None else None
+    if selected is not None:
+        unknown = selected - _EMITTABLE
+        if unknown:
+            raise ValueError(
+                f"unknown lint rule id(s): {', '.join(sorted(unknown))} "
+                f"(see `repro check --list-rules`)")
     findings: list[Finding] = []
     for root in roots:
         root = Path(root)

@@ -1,0 +1,338 @@
+"""The VCI-mappability advisor (S304, S313-S315 + mechanism verdicts).
+
+The paper's core claim is that fast MPI+threads communication is a
+*contract*: the library can spread traffic across VCIs only when the
+program promises, up front, that matching stays unambiguous — no
+wildcard receives, disjoint per-thread channels, the right
+``mpi_assert_*`` info hints. This pass classifies every communication
+site against those preconditions and renders a verdict for each of the
+paper's four mechanisms (tags-with-hints, per-thread communicators,
+user-visible endpoints, partitioned communication): which ones the
+program can legally use as written, and what blocks the rest.
+
+Only S304 (a wildcard on a communicator that *asserted* it would never
+use one) is an error — it is the static twin of CHK104. Everything else
+here is ``advice`` severity: it never fails a build, it explains.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Optional
+
+from .findings import StaticFinding
+from .model import Access, FuncInfo, ModuleModel, Region, dotted
+
+__all__ = ["check_advisor"]
+
+#: Info keys that promise wildcard-freedom.
+_NO_SOURCE = "mpi_assert_no_any_source"
+_NO_TAG = "mpi_assert_no_any_tag"
+_OVERTAKE = "mpi_assert_allow_overtaking"
+
+#: Hint spellings the library itself accepts (repro.mpi.info._TRUE).
+_TRUE = frozenset({"true", "1", "yes"})
+
+
+def _is_true(hints: dict[str, str], key: str) -> bool:
+    """Whether a hint dict asserts ``key`` with a library-true value."""
+    return str(hints.get(key, "")).strip().lower() in _TRUE
+
+
+def _info_hints(expr: Optional[ast.AST], model: ModuleModel,
+                scope: Optional[FuncInfo]) -> dict[str, str]:
+    """Info hints carried by an expression, best-effort."""
+    if expr is None:
+        return {}
+    if isinstance(expr, ast.Call):
+        d = dotted(expr.func) or ""
+        base = d.rsplit(".", 1)[-1]
+        if base == "listing2_info":
+            return {_NO_SOURCE: "true", _NO_TAG: "true"}
+        if base == "overtaking_only_info":
+            return {_OVERTAKE: "true"}
+        if base == "Info" and expr.args \
+                and isinstance(expr.args[0], ast.Dict):
+            out: dict[str, str] = {}
+            for k, v in zip(expr.args[0].keys, expr.args[0].values):
+                if isinstance(k, ast.Constant) \
+                        and isinstance(v, ast.Constant):
+                    out[str(k.value)] = str(v.value)
+            return out
+    if isinstance(expr, ast.Name):
+        return _var_hints(expr.id, model, scope)
+    return {}
+
+
+def _var_hints(name: str, model: ModuleModel,
+               scope: Optional[FuncInfo]) -> dict[str, str]:
+    """Hints accumulated on an Info variable (construction + .set)."""
+    hints: dict[str, str] = {}
+    body: list[ast.stmt]
+    cur = scope
+    scopes: list[Optional[FuncInfo]] = []
+    while cur is not None:
+        scopes.append(cur)
+        cur = cur.parent
+    scopes.append(None)
+    for s in scopes:
+        body = s.node.body if s is not None else model.tree.body
+        for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+            if isinstance(node, ast.Assign) \
+                    and any(isinstance(t, ast.Name) and t.id == name
+                            for t in node.targets):
+                hints.update(_info_hints(node.value, model, None))
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "set" \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id == name \
+                    and len(node.args) >= 2 \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[1], ast.Constant):
+                hints[str(node.args[0].value)] = str(node.args[1].value)
+        if hints:
+            break
+    return hints
+
+
+def _comm_table(model: ModuleModel) -> dict[str, dict[str, Any]]:
+    """Communicator variables created in the module: name -> metadata
+    (``hints`` dict, ``endpoint`` flag, line)."""
+    comms: dict[str, dict[str, Any]] = {}
+    for info in list(model.functions.values()):
+        _scan_comms(model, info, info.node.body, comms)
+    _scan_comms(model, None, model.tree.body, comms)
+    return comms
+
+
+def _scan_comms(model: ModuleModel, scope: Optional[FuncInfo],
+                body: list[ast.stmt],
+                comms: dict[str, dict[str, Any]]) -> None:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1):
+                continue
+            # Driver classes hold their communicator as ``self.comm``;
+            # accesses carry the same dotted path, so key by it.
+            tgt = node.targets[0]
+            target = tgt.id if isinstance(tgt, ast.Name) \
+                else dotted(tgt) if isinstance(tgt, ast.Attribute) \
+                else None
+            if target is None:
+                continue
+            value: ast.AST = node.value
+            if isinstance(value, (ast.Await, ast.YieldFrom)):
+                value = value.value
+            if not isinstance(value, ast.Call):
+                continue
+            fn = value.func
+            attr = fn.attr if isinstance(fn, ast.Attribute) else None
+            name = fn.id if isinstance(fn, ast.Name) else None
+            if attr == "Dup":
+                arg = value.args[0] if value.args else None
+                comms[target] = {
+                    "hints": _info_hints(arg, model, scope),
+                    "endpoint": False, "line": node.lineno}
+            elif (attr or name) in ("comm_create_endpoints",
+                                    "comm_create_rankpoints"):
+                comms[target] = {"hints": {}, "endpoint": True,
+                                 "line": node.lineno}
+            elif attr == "Split":
+                comms[target] = {"hints": {}, "endpoint": False,
+                                 "line": node.lineno}
+    return
+
+
+def _comm_meta(comm: Optional[str],
+               comms: dict[str, dict[str, Any]]) -> dict[str, Any]:
+    if comm is None:
+        return {}
+    if comm in comms:
+        return comms[comm]
+    root = comm.split(".", 1)[0]
+    return comms.get(root, {})
+
+
+def check_advisor(model: ModuleModel) -> tuple[list[StaticFinding],
+                                               dict[str, Any]]:
+    """Advisor findings plus the mechanism-verdict summary."""
+    comms = _comm_table(model)
+    findings: list[StaticFinding] = []
+
+    # Every site in every scope (wildcards matter even outside regions).
+    all_accesses: list[Access] = []
+    for accs in model.spawner_accesses.values():
+        all_accesses.extend(a for _, a in accs)
+
+    # -- S304: wildcard vs asserted hints (error) -----------------------
+    s304_comms: set[str] = set()
+    for acc in all_accesses:
+        if acc.kind != "recv":
+            continue
+        meta = _comm_meta(acc.comm, comms)
+        hints = meta.get("hints", {})
+        for wild, hint, what in (
+                (acc.wildcard_source, _NO_SOURCE, "ANY_SOURCE"),
+                (acc.wildcard_tag, _NO_TAG, "ANY_TAG")):
+            if wild and _is_true(hints, hint):
+                s304_comms.add(acc.comm or "")
+                findings.append(StaticFinding(
+                    "S304",
+                    f"{what} receive on communicator {acc.comm!r} which "
+                    f"was constructed with {hint}=true; the hint is a "
+                    f"promise the program now breaks", model.path,
+                    acc.line, acc.col, function=acc.func.qualname,
+                    extra={"comm": acc.comm, "hint": hint}))
+
+    # -- S313: wildcard fast-path advice --------------------------------
+    wild_sites: dict[str, list[int]] = {}
+    for acc in all_accesses:
+        if acc.kind == "recv" and (acc.wildcard_source
+                                   or acc.wildcard_tag):
+            wild_sites.setdefault(acc.comm or "<unknown>",
+                                  []).append(acc.line)
+    for comm, lines in sorted(wild_sites.items()):
+        if comm in s304_comms:
+            continue
+        meta = _comm_meta(comm, comms)
+        where = "a dedicated endpoint" if meta.get("endpoint") \
+            else "one dedicated receiving thread/endpoint"
+        findings.append(StaticFinding(
+            "S313",
+            f"wildcard receive(s) on communicator {comm!r} at line(s) "
+            f"{sorted(set(lines))}: matching must stay serial, which "
+            f"blocks the tags-with-hints fast path; confine wildcards "
+            f"to {where} or remove them (paper Lesson 5)",
+            model.path, min(lines), function="",
+            extra={"comm": comm, "lines": sorted(set(lines))}))
+
+    # -- Region-level channel geometry (S314/S315) ----------------------
+    multi: dict[str, dict[str, Any]] = {}
+    for region in model.regions:
+        peers = [r for r in model.regions
+                 if r is not region and region.concurrent_with(r)]
+        for acc in region.accesses:
+            if acc.kind not in ("send", "recv") or acc.comm is None \
+                    or not acc.comm_shared:
+                continue
+            entry = multi.setdefault(acc.comm_id or acc.comm, {
+                "comm": acc.comm, "regions": set(), "many": False,
+                "tags": {}, "wild": False, "line": acc.line})
+            entry["regions"].add(region.index)
+            entry["many"] |= region.many and not acc.guarded
+            entry["wild"] |= acc.wildcard_source or acc.wildcard_tag
+            if acc.tag.is_const:
+                entry["tags"].setdefault(acc.tag.value,
+                                         set()).add(region.index)
+        # Unused: peers kept for symmetry with races; concurrency of the
+        # region set is implied by shared spawner windows.
+        del peers
+
+    for _cid, entry in sorted(multi.items()):
+        comm = entry["comm"]
+        concurrent_use = len(entry["regions"]) > 1 or entry["many"]
+        if not concurrent_use:
+            continue
+        overlapping = {t: rs for t, rs in entry["tags"].items()
+                       if len(rs) > 1 or entry["many"]}
+        if overlapping:
+            tags = sorted(overlapping, key=repr)
+            findings.append(StaticFinding(
+                "S314",
+                f"concurrent thread regions share constant tag(s) "
+                f"{tags} on communicator {comm!r}; without disjoint "
+                f"per-thread tag bits (Listing 2) the library cannot "
+                f"map these threads to separate VCIs",
+                model.path, entry["line"], function="",
+                extra={"comm": comm, "tags": [repr(t) for t in tags]}))
+        meta = _comm_meta(comm, comms)
+        hints = meta.get("hints", {})
+        if not entry["wild"] and not meta.get("endpoint") \
+                and not _is_true(hints, _NO_SOURCE):
+            findings.append(StaticFinding(
+                "S315",
+                f"communicator {comm!r} is driven from multiple "
+                f"concurrent thread regions without mpi_assert hints; "
+                f"without {_NO_SOURCE}/{_NO_TAG} (and {_OVERTAKE}) the "
+                f"library must assume wildcards and serialize matching "
+                f"(paper Lessons 5-6)", model.path, entry["line"],
+                function="", extra={"comm": comm}))
+
+    verdicts = _mechanisms(model, comms, wild_sites, multi)
+    return findings, verdicts
+
+
+def _mechanisms(model: ModuleModel, comms: dict[str, dict[str, Any]],
+                wild_sites: dict[str, list[int]],
+                multi: dict[str, dict[str, Any]]) -> dict[str, Any]:
+    """Per-mechanism verdicts: ok | blocked | in-use | candidate."""
+    wildcard_free = not wild_sites
+    overlaps = [
+        (entry["comm"],
+         sorted(map(repr, (t for t, rs in entry["tags"].items()
+                           if len(rs) > 1 or entry["many"]))))
+        for _cid, entry in sorted(multi.items())
+        if any(len(rs) > 1 or entry["many"]
+               for rs in entry["tags"].values())]
+    uses_partitioned = any(f.partitioned_vars
+                           for f in model.functions.values())
+    uses_endpoints = any(meta.get("endpoint")
+                         for meta in comms.values())
+    hinted = sorted(name for name, meta in comms.items()
+                    if _is_true(meta.get("hints", {}), _NO_SOURCE))
+
+    def verdict(status: str, *reasons: str) -> dict[str, Any]:
+        return {"status": status, "reasons": list(reasons)}
+
+    tags: dict[str, Any]
+    if not wildcard_free:
+        tags = verdict(
+            "blocked",
+            "wildcard receives present: matching cannot be split by tag "
+            f"(comms: {sorted(wild_sites)})")
+    elif overlaps:
+        tags = verdict(
+            "blocked",
+            *[f"constant tag space overlaps across threads on {c!r}: "
+              f"{ts}" for c, ts in overlaps])
+    else:
+        tags = verdict(
+            "ok" if hinted else "ok-needs-hints",
+            *([f"hints already asserted on: {hinted}"] if hinted else
+              ["add mpi_assert_no_any_source/no_any_tag via Info/Dup "
+               "to activate VCI spreading (Listing 2)"]))
+
+    if wildcard_free:
+        per_comm = verdict(
+            "ok", "no wildcard receives: each thread can own a "
+                  "duplicated communicator (paper Lesson 7)")
+    else:
+        per_comm = verdict(
+            "blocked",
+            "wildcard receives must all land on one communicator "
+            "owned by a single thread before per-thread comms are "
+            "legal")
+
+    endpoints = verdict(
+        "in-use" if uses_endpoints else "ok",
+        "endpoints decouple matching streams from thread count"
+        + ("" if wildcard_free else
+           "; confine the wildcard receives to one dedicated endpoint"))
+
+    partitioned = verdict(
+        "in-use" if uses_partitioned else "candidate",
+        "partitioned requests already in use" if uses_partitioned else
+        "requires a persistent, statically known communication "
+        "pattern; not inferable from this program (paper Lesson 15)")
+
+    return {
+        "wildcard_free": wildcard_free,
+        "mechanisms": {
+            "tags-with-hints": tags,
+            "per-thread-comms": per_comm,
+            "endpoints": endpoints,
+            "partitioned": partitioned,
+        },
+    }

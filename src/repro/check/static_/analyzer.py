@@ -1,0 +1,161 @@
+"""The analyzer entry points and the StaticReport.
+
+``analyze_path``/``analyze_source`` build one :class:`ModuleModel` and
+run the four passes (races, lifecycle, collective consistency, the VCI
+advisor) over it. The report mirrors :class:`repro.check.report
+.CheckReport`'s shape — ``schema``/``clean``/``counts`` plus a findings
+list — so existing report consumers need no new parser; a ``kind``
+field and the advisor section are the only additions.
+
+Analysis never imports or executes the target program: the input is
+source text, the output is a pure function of it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, Sequence
+
+from ..rules import rule as _rule
+from .advisor import check_advisor
+from .collective import check_collectives
+from .findings import StaticFinding
+from .lifecycle import check_lifecycle
+from .model import build_model
+from .races import check_races
+
+__all__ = ["StaticReport", "analyze_source", "analyze_path",
+           "analyze_paths"]
+
+#: Severities that make a report non-clean.
+_FAILING = ("error", "warning")
+
+
+class StaticReport:
+    """Aggregated result of analyzing one or more programs."""
+
+    def __init__(self, findings: list[StaticFinding],
+                 advisor: Optional[dict[str, Any]] = None,
+                 paths: Optional[list[str]] = None,
+                 errors: Optional[list[dict[str, Any]]] = None):
+        self.findings = list(findings)
+        self.advisor = advisor if advisor is not None else {}
+        self.paths = list(paths) if paths is not None else []
+        #: Parse failures: [{"path", "line", "message"}].
+        self.errors = list(errors) if errors is not None else []
+
+    @property
+    def clean(self) -> bool:
+        """No parse errors and no error/warning findings (advice ok)."""
+        if self.errors:
+            return False
+        return not any(f.severity in _FAILING for f in self.findings)
+
+    def counts(self) -> dict[str, int]:
+        """Finding count per rule id, sorted by id."""
+        out: dict[str, int] = {}
+        for f in sorted(self.findings, key=lambda f: f.rule_id):
+            out[f.rule_id] = out.get(f.rule_id, 0) + 1
+        return out
+
+    def by_rule(self, rule_id: str) -> list[StaticFinding]:
+        return [f for f in self.findings if f.rule_id == rule_id]
+
+    def merge(self, other: "StaticReport") -> "StaticReport":
+        """Combine reports (multi-file CLI runs, the corpus harness)."""
+        advisor = dict(self.advisor)
+        advisor.update(other.advisor)
+        return StaticReport(self.findings + other.findings,
+                            advisor=advisor,
+                            paths=self.paths + other.paths,
+                            errors=self.errors + other.errors)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready report (schema 1, mirrors ``CheckReport``)."""
+        d: dict[str, Any] = {
+            "schema": 1,
+            "kind": "static",
+            "clean": self.clean,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+            "paths": self.paths,
+        }
+        if self.advisor:
+            d["advisor"] = self.advisor
+        if self.errors:
+            d["errors"] = self.errors
+        return d
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self, limit: int = 50) -> str:
+        """Plain-text report in the house style of the check report."""
+        lines: list[str] = []
+        failing = [f for f in self.findings if f.severity in _FAILING]
+        advice = [f for f in self.findings if f.severity == "advice"]
+        for err in self.errors:
+            lines.append(f"{err['path']}:{err.get('line', 1)}: E999 "
+                         f"{err['message']}")
+        if not failing and not self.errors:
+            lines.append("== analyze ==\nno static violations detected")
+        else:
+            lines.append(f"== analyze: {len(failing)} finding(s) ==")
+            for rid, n in self.counts().items():
+                if _rule(rid).severity in _FAILING:
+                    lines.append(f"  {rid} ({_rule(rid).name}): {n}")
+            lines.append("")
+            for f in failing[:limit]:
+                lines.append("  " + f.describe())
+            if len(failing) > limit:
+                lines.append(f"  ... and {len(failing) - limit} more")
+        if advice:
+            lines.append(f"-- advisor: {len(advice)} note(s) --")
+            for f in advice[:limit]:
+                lines.append("  " + f.describe())
+        mech = self.advisor.get("mechanisms")
+        if mech:
+            lines.append("-- VCI mechanism verdicts --")
+            for name, v in mech.items():
+                lines.append(f"  {name}: {v['status']}")
+                for reason in v["reasons"]:
+                    lines.append(f"      {reason}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<StaticReport {len(self.findings)} finding(s) "
+                f"clean={self.clean}>")
+
+
+def analyze_source(source: str, path: str = "<string>") -> StaticReport:
+    """Analyze program text (no file access, no execution)."""
+    try:
+        model = build_model(source, path)
+    except SyntaxError as exc:
+        return StaticReport([], paths=[path], errors=[{
+            "path": path, "line": exc.lineno or 1,
+            "message": f"syntax error: {exc.msg}"}])
+    findings: list[StaticFinding] = []
+    findings.extend(check_races(model))
+    findings.extend(check_lifecycle(model))
+    findings.extend(check_collectives(model))
+    advice, verdicts = check_advisor(model)
+    findings.extend(advice)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return StaticReport(findings, advisor={path: verdicts} if verdicts
+                        else {}, paths=[path])
+
+
+def analyze_path(path: str) -> StaticReport:
+    """Analyze one program file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    return analyze_source(source, path)
+
+
+def analyze_paths(paths: Sequence[str]) -> StaticReport:
+    """Analyze several program files into one merged report."""
+    report = StaticReport([])
+    for p in paths:
+        report = report.merge(analyze_path(p))
+    return report

@@ -1,0 +1,61 @@
+"""The static analyzer's finding type (S3xx diagnostics with location).
+
+Mirrors :class:`repro.check.lint.Finding` (path/line/col/rule) and
+:class:`repro.check.report.Violation` (rule metadata, ``extra`` context)
+so the JSON schema stays recognizably the same across the three passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..rules import rule as _rule
+
+__all__ = ["StaticFinding"]
+
+
+@dataclass(frozen=True)
+class StaticFinding:
+    """One static diagnostic at a source location."""
+
+    rule_id: str
+    message: str
+    path: str
+    line: int
+    col: int = 1
+    #: Qualname of the function containing the finding, when known.
+    function: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rule_name(self) -> str:
+        return _rule(self.rule_id).name
+
+    @property
+    def severity(self) -> str:
+        return _rule(self.rule_id).severity
+
+    def describe(self) -> str:
+        """One-line human rendering, ``path:line:col: RULE message``."""
+        where = f" [{self.function}]" if self.function else ""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule_id} "
+                f"({self.rule_name}, {self.severity}){where}: "
+                f"{self.message}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering of one finding."""
+        d: dict[str, Any] = {
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "severity": self.severity,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+        if self.function:
+            d["function"] = self.function
+        if self.extra:
+            d["extra"] = dict(self.extra)
+        return d

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 export of static-analysis findings.
+
+One ``run`` with the full S3xx rule catalog in ``tool.driver.rules`` and
+one ``result`` per finding, so GitHub code scanning (and any other SARIF
+consumer) renders ``repro analyze`` output inline on pull requests.
+Severity maps ``error``→``error``, ``warning``→``warning`` and the
+advisor's ``advice``→``note``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .. import rules as _rules
+from .analyzer import StaticReport
+
+__all__ = ["to_sarif"]
+
+_LEVELS = {"error": "error", "warning": "warning", "advice": "note"}
+
+#: Stable tool identity for SARIF consumers.
+_TOOL_NAME = "repro-analyze"
+
+
+def _rule_descriptor(r: _rules.Rule) -> dict[str, Any]:
+    return {
+        "id": r.id,
+        "name": r.name,
+        "shortDescription": {"text": r.name},
+        "fullDescription": {"text": r.summary},
+        "help": {"text": f"See {r.doc} in the repository."},
+        "properties": {"severity": r.severity, "doc": r.doc},
+        "defaultConfiguration": {"level": _LEVELS[r.severity]},
+    }
+
+
+def to_sarif(report: StaticReport, version: str = "0") -> dict[str, Any]:
+    """Render a StaticReport as a SARIF 2.1.0 log dict."""
+    rule_ids = sorted({f.rule_id for f in report.findings}
+                      | {r.id for r in _rules.STATIC_RULES})
+    rules = [_rule_descriptor(_rules.rule(rid)) for rid in rule_ids]
+    index = {rid: i for i, rid in enumerate(rule_ids)}
+    results: list[dict[str, Any]] = []
+    for f in report.findings:
+        results.append({
+            "ruleId": f.rule_id,
+            "ruleIndex": index[f.rule_id],
+            "level": _LEVELS[f.severity],
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, f.line),
+                        "startColumn": max(1, f.col),
+                    },
+                },
+            }],
+        })
+    for err in report.errors:
+        results.append({
+            "ruleId": "E999",
+            "level": "error",
+            "message": {"text": err["message"]},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": str(err["path"]).replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, int(err.get("line",
+                                                               1)))},
+                },
+            }],
+        })
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": _TOOL_NAME,
+                "version": version,
+                "rules": rules,
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }

@@ -16,6 +16,8 @@ Reproduce any of the paper's experiments without pytest::
     python -m repro scope
     python -m repro resources --grid 4 4 4
     python -m repro check examples/quickstart.py
+    python -m repro analyze examples/quickstart.py
+    python -m repro analyze --corpus --crossval --sarif out.sarif
     python -m repro replay examples/quickstart.py --until 2e-5
     python -m repro replay prog.py --to-finding CHK102
     python -m repro lint
@@ -327,6 +329,15 @@ def _cmd_check(args) -> int:
 
     from .check import CheckConfig, checking
 
+    if args.list_rules:
+        from .check.rules import render_catalog
+        print(render_catalog(("dynamic",)))
+        return 0
+    if args.program is None:
+        print("error: a program path is required (or --list-rules)",
+              file=sys.stderr)
+        return 2
+
     config = CheckConfig(mode=args.mode, races=not args.no_races,
                          lock_order=not args.no_lock_order,
                          semantics=not args.no_semantics,
@@ -375,6 +386,69 @@ def _cmd_replay(args) -> int:
         return status or 1
     print(result.render())
     return status or (0 if result.verified else 1)
+
+
+def _corpus_paths() -> list[str]:
+    """The shipped analysis corpus: app drivers, benches and examples."""
+    import glob
+    import os
+
+    pkg = os.path.dirname(os.path.abspath(__file__))
+    paths = sorted(glob.glob(os.path.join(pkg, "apps", "**", "*.py"),
+                             recursive=True))
+    paths += sorted(glob.glob(os.path.join(pkg, "bench", "*.py")))
+    if os.path.isdir("examples"):
+        paths += sorted(glob.glob(os.path.join("examples", "*.py")))
+    return paths
+
+
+def _cmd_analyze(args) -> int:
+    """Statically analyze driver programs without executing them."""
+    import glob
+    import os
+
+    from .check.rules import render_catalog
+    from .check.static_ import analyze_paths, to_sarif
+
+    if args.list_rules:
+        print(render_catalog(("static",)))
+        return 0
+    paths: list[str] = []
+    for p in args.paths:
+        if os.path.isdir(p):
+            paths += sorted(glob.glob(os.path.join(p, "**", "*.py"),
+                                      recursive=True))
+        else:
+            paths.append(p)
+    if args.corpus:
+        paths += _corpus_paths()
+    if not paths:
+        print("error: no programs to analyze (pass paths, or --corpus)",
+              file=sys.stderr)
+        return 2
+    report = analyze_paths(paths)
+    status = 0 if report.clean else 1
+    crossval = None
+    if args.crossval:
+        from .check.static_.crossval import cross_validate, render_crossval
+        crossval = cross_validate(fixture_dir=args.fixtures)
+        if crossval["fp"] or crossval["fn"]:
+            status = status or 1
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            json.dump(to_sarif(report), fh, indent=2, sort_keys=True)
+        print(f"[sarif written to {args.sarif}]", file=sys.stderr)
+    if args.json:
+        d = report.to_dict()
+        if crossval is not None:
+            d["crossval"] = crossval
+        print(json.dumps(d, indent=2, sort_keys=True))
+    else:
+        print(report.render(limit=args.limit))
+        if crossval is not None:
+            print()
+            print(render_crossval(crossval))
+    return status
 
 
 def _cmd_lint(args) -> int:
@@ -595,8 +669,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "every World it creates; prints the merged report and "
                     "exits 1 if any violation was detected. See "
                     "docs/checking.md for the rule catalog.")
-    ck.add_argument("program", help="path to the Python program to run")
+    ck.add_argument("program", nargs="?",
+                    help="path to the Python program to run")
     ck.add_argument("args", nargs="*", help="arguments for the program")
+    ck.add_argument("--list-rules", action="store_true",
+                    help="print the dynamic rule catalog (CHK1xx) and exit")
     ck.add_argument("--mode", choices=("warn", "raise"), default="warn",
                     help="warn: record and continue; raise: stop at the "
                          "first violation (default: warn)")
@@ -613,6 +690,39 @@ def build_parser() -> argparse.ArgumentParser:
     ck.add_argument("--limit", type=int, default=50,
                     help="max violations detailed in the text report")
     ck.set_defaults(fn=_cmd_check)
+
+    an = sub.add_parser(
+        "analyze",
+        help="statically analyze a driver program (no execution)",
+        description="Run the interprocedural static analyzer over driver "
+                    "programs: lockset/happens-before race rules, request "
+                    "lifecycle tracking, collective consistency and the "
+                    "VCI-mappability advisor (rules S301-S315, the static "
+                    "twins of the dynamic CHK catalog). The target is "
+                    "parsed, never imported or executed. Exits 1 on "
+                    "error/warning findings; advice never fails. See "
+                    "docs/static-analysis.md.")
+    an.add_argument("paths", nargs="*",
+                    help="programs (or directories) to analyze")
+    an.add_argument("--list-rules", action="store_true",
+                    help="print the static rule catalog (S3xx) and exit")
+    an.add_argument("--corpus", action="store_true",
+                    help="also analyze the shipped corpus (app drivers, "
+                         "bench drivers, examples)")
+    an.add_argument("--crossval", action="store_true",
+                    help="cross-validate against the dynamic checker over "
+                         "the fixture corpus (runs the fixtures) and "
+                         "append the precision/recall table")
+    an.add_argument("--fixtures", metavar="DIR",
+                    help="fixture directory for --crossval (default: "
+                         "tests/fixtures/analyze found from cwd)")
+    an.add_argument("--json", action="store_true",
+                    help="print the report (and cross-validation) as JSON")
+    an.add_argument("--sarif", metavar="PATH",
+                    help="also write the findings as SARIF 2.1.0 to PATH")
+    an.add_argument("--limit", type=int, default=50,
+                    help="max findings detailed in the text report")
+    an.set_defaults(fn=_cmd_analyze)
 
     rp = sub.add_parser(
         "replay",

@@ -1,0 +1,43 @@
+"""advice: a multi-threaded communicator without hints (S314/S315).
+
+Correct MPI (the constant tags are distinct, so there is no channel
+collision), but both thread regions drive one communicator with
+overlapping constant tag space and no mpi_assert_* hints — the library
+must assume wildcards and serialize (paper Lessons 5/6).
+"""
+
+import numpy as np
+
+from repro.runtime import World
+
+
+def rank0(proc):
+    comm = proc.comm_world
+
+    def left():
+        req = yield from comm.Isend(np.full(2, 1.0), dest=1, tag=1)
+        yield from req.wait()
+
+    def right():
+        req = yield from comm.Isend(np.full(2, 2.0), dest=1, tag=2)
+        yield from req.wait()
+
+    t1 = proc.spawn(left(), name="left")
+    t2 = proc.spawn(right(), name="right")
+    yield proc.sim.all_of([t1, t2])
+
+
+def rank1(proc):
+    buf = np.zeros(2)
+    yield from proc.comm_world.Recv(buf, source=0, tag=1)
+    yield from proc.comm_world.Recv(buf, source=0, tag=2)
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""advice: wildcard receives block the tags-with-hints fast path (S313).
+
+Correct MPI — the program runs clean under the dynamic checker — but
+the ANY_SOURCE receive forces serialized matching, so the advisor
+flags the communicator (advice severity: never fails a run).
+"""
+
+import numpy as np
+
+from repro.mpi import ANY_SOURCE
+from repro.runtime import World
+
+
+def rank0(proc):
+    buf = np.zeros(2)
+    yield from proc.comm_world.Recv(buf, source=ANY_SOURCE, tag=0)
+
+
+def rank1(proc):
+    yield from proc.comm_world.Send(np.full(2, 3.0), dest=0, tag=0)
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

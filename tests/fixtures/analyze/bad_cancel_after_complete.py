@@ -1,0 +1,30 @@
+"""bad (static-only): cancel on a request a wait already finished (S312).
+
+The cancel is a silent no-op at run time, so only the static pass can
+flag it; the cross-validation harness analyzes but does not execute it.
+"""
+
+import numpy as np
+
+from repro.runtime import World
+
+
+def rank0(proc):
+    req = yield from proc.comm_world.Isend(np.zeros(4), dest=1, tag=0)
+    yield from req.wait()
+    req.cancel()
+
+
+def rank1(proc):
+    buf = np.zeros(4)
+    yield from proc.comm_world.Recv(buf, source=0, tag=0)
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

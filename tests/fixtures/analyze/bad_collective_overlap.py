@@ -1,0 +1,30 @@
+"""bad: two threads run collectives on one communicator (CHK111/S310)."""
+
+import numpy as np
+
+from repro.runtime import World
+
+
+def rank0(proc):
+    comm = proc.comm_world
+
+    def reducer():
+        yield from comm.Allreduce(np.ones(2), np.zeros(2))
+
+    t1 = proc.spawn(reducer(), name="c1")
+    t2 = proc.spawn(reducer(), name="c2")
+    yield proc.sim.all_of([t1, t2])
+
+
+def rank1(proc):
+    yield from proc.comm_world.Allreduce(np.ones(2), np.zeros(2))
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

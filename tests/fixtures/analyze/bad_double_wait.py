@@ -1,0 +1,31 @@
+"""bad (static-only): a second wait after a completing wait (S311).
+
+At run time the first wait usually masks the defect — the dynamic
+checker has no CHK twin for this — so the fixture is analyzed but not
+executed by the cross-validation harness.
+"""
+
+import numpy as np
+
+from repro.runtime import World
+
+
+def rank0(proc):
+    req = yield from proc.comm_world.Isend(np.zeros(4), dest=1, tag=0)
+    yield from req.wait()
+    yield from req.wait()
+
+
+def rank1(proc):
+    buf = np.zeros(4)
+    yield from proc.comm_world.Recv(buf, source=0, tag=0)
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

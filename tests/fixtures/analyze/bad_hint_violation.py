@@ -1,0 +1,29 @@
+"""bad: wildcard receive on a no_any_source communicator (CHK104/S304)."""
+
+import numpy as np
+
+from repro.mpi import ANY_SOURCE, Info
+from repro.runtime import World
+
+info = Info({"mpi_assert_no_any_source": "1"})
+
+
+def rank0(proc):
+    comm = yield from proc.comm_world.Dup(info)
+    buf = np.zeros(2)
+    yield from comm.Recv(buf, source=ANY_SOURCE, tag=0)
+
+
+def rank1(proc):
+    comm = yield from proc.comm_world.Dup(info)
+    yield from comm.Send(np.full(2, 3.0), dest=0, tag=0)
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

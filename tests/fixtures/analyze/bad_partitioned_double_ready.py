@@ -1,0 +1,35 @@
+"""bad: Pready issued twice for one partition in a cycle (CHK106/S305)."""
+
+import numpy as np
+
+from repro.mpi.partitioned import precv_init, psend_init
+from repro.runtime import World
+
+
+def rank0(proc):
+    buf = np.arange(4, dtype=np.float64)
+    req = psend_init(proc.comm_world, buf, partitions=2, count=2,
+                     dest=1, tag=0)
+    yield from req.start()
+    yield from req.pready(0)
+    yield from req.pready(0)
+    yield from req.pready(1)
+    yield from req.wait()
+
+
+def rank1(proc):
+    buf = np.zeros(4)
+    req = precv_init(proc.comm_world, buf, partitions=2, count=2,
+                     source=0, tag=0)
+    yield from req.start()
+    yield from req.wait()
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""bad: Pready on a partitioned request that was never started (CHK105/S305)."""
+
+import numpy as np
+
+from repro.mpi.partitioned import psend_init
+from repro.runtime import World
+
+
+def rank0(proc):
+    buf = np.arange(4, dtype=np.float64)
+    req = psend_init(proc.comm_world, buf, partitions=2, count=2,
+                     dest=1, tag=0)
+    yield from req.pready(0)
+
+
+def rank1(proc):
+    yield proc.sim.timeout(0)
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

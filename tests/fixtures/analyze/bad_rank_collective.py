@@ -1,0 +1,29 @@
+"""bad (static-only): collectives diverge across rank branches (S310).
+
+Executing this would deadlock (rank 0 enters a Barrier the other rank
+never posts), so the cross-validation harness analyzes but does not
+execute it.
+"""
+
+import numpy as np
+
+from repro.runtime import World
+
+
+def worker(proc):
+    rank = proc.comm_world.rank
+    if rank == 0:
+        yield from proc.comm_world.Barrier()
+        yield from proc.comm_world.Allreduce(np.ones(2), np.zeros(2))
+    else:
+        yield from proc.comm_world.Allreduce(np.ones(2), np.zeros(2))
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(worker(world.procs[0])),
+                   world.procs[1].spawn(worker(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

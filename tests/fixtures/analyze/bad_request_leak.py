@@ -1,0 +1,23 @@
+"""bad: an Irecv whose completion is never awaited (CHK109/S308)."""
+
+import numpy as np
+
+from repro.runtime import World
+
+
+def rank0(proc):
+    yield from proc.comm_world.Irecv(np.zeros(2), source=1, tag=99)
+
+
+def rank1(proc):
+    yield proc.sim.timeout(0)
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""bad: double Lock of one target plus a stray Unlock (CHK107/S306)."""
+
+import numpy as np
+
+from repro.mpi.rma import win_create
+from repro.runtime import World
+
+
+def rank0(proc):
+    win = yield from win_create(proc.comm_world, np.zeros(8))
+    yield from win.Lock(1)
+    yield from win.Lock(1)
+    yield from win.Unlock(1)
+    yield from win.Unlock(1)
+
+
+def rank1(proc):
+    yield from win_create(proc.comm_world, np.zeros(8))
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""ok: per-thread tags keep the channels disjoint (no CHK102/S302)."""
+
+import numpy as np
+
+from repro.runtime import World
+
+
+def rank0(proc):
+    comm = proc.comm_world
+
+    def sender(tid):
+        req = yield from comm.Isend(np.full(2, float(tid)), dest=1, tag=tid)
+        yield from req.wait()
+
+    t1 = proc.spawn(sender(1), name="s1")
+    t2 = proc.spawn(sender(2), name="s2")
+    yield proc.sim.all_of([t1, t2])
+
+
+def rank1(proc):
+    buf = np.zeros(2)
+    yield from proc.comm_world.Recv(buf, source=0, tag=1)
+    yield from proc.comm_world.Recv(buf, source=0, tag=2)
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""ok: both acquisitions take the locks in one order (no CHK103/S303)."""
+
+from repro.runtime import World
+from repro.sim.sync import Lock
+
+
+def rank0(proc):
+    lock_a = Lock(proc.sim, "A")
+    lock_b = Lock(proc.sim, "B")
+    yield from lock_a.acquire()
+    yield from lock_b.acquire()
+    lock_b.release()
+    lock_a.release()
+    yield from lock_a.acquire()
+    yield from lock_b.acquire()
+    lock_b.release()
+    lock_a.release()
+
+
+def main():
+    world = World(num_nodes=1, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0]))])
+
+
+if __name__ == "__main__":
+    main()

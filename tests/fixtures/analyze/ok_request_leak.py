@@ -1,0 +1,25 @@
+"""ok: the receive is matched and awaited (no CHK109/S308)."""
+
+import numpy as np
+
+from repro.runtime import World
+
+
+def rank0(proc):
+    buf = np.zeros(2)
+    req = yield from proc.comm_world.Irecv(buf, source=1, tag=99)
+    yield from req.wait()
+
+
+def rank1(proc):
+    yield from proc.comm_world.Send(np.full(2, 5.0), dest=0, tag=99)
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""ok: test-then-wait inside one task is program-ordered (no CHK101/S301)."""
+
+import numpy as np
+
+from repro.runtime import World
+
+
+def rank0(proc):
+    req = yield from proc.comm_world.Isend(np.zeros(4), dest=1, tag=0)
+    req.test()
+    yield from req.wait()
+
+
+def rank1(proc):
+    buf = np.zeros(4)
+    yield from proc.comm_world.Recv(buf, source=0, tag=0)
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

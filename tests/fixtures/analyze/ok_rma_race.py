@@ -1,0 +1,32 @@
+"""ok: the writers target disjoint displacement ranges (no CHK108/S307)."""
+
+import numpy as np
+
+from repro.mpi.rma import win_create
+from repro.runtime import World
+
+
+def rank0(proc):
+    win = yield from win_create(proc.comm_world, np.zeros(8))
+
+    def writer(value, disp):
+        yield from win.Put(np.full(4, value), target=1, disp=disp)
+        yield from win.Flush(1)
+
+    t1 = proc.spawn(writer(1.0, 0), name="w1")
+    t2 = proc.spawn(writer(2.0, 4), name="w2")
+    yield proc.sim.all_of([t1, t2])
+
+
+def rank1(proc):
+    yield from win_create(proc.comm_world, np.zeros(8))
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()

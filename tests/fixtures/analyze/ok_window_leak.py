@@ -1,0 +1,26 @@
+"""ok: the Put is flushed before the program ends (no CHK110/S309)."""
+
+import numpy as np
+
+from repro.mpi.rma import win_create
+from repro.runtime import World
+
+
+def rank0(proc):
+    win = yield from win_create(proc.comm_world, np.zeros(8))
+    yield from win.Put(np.arange(4, dtype=np.float64), target=1, disp=0)
+    yield from win.Flush(1)
+
+
+def rank1(proc):
+    yield from win_create(proc.comm_world, np.zeros(8))
+
+
+def main():
+    world = World(num_nodes=2, procs_per_node=1)
+    world.run_all([world.procs[0].spawn(rank0(world.procs[0])),
+                   world.procs[1].spawn(rank1(world.procs[1]))])
+
+
+if __name__ == "__main__":
+    main()
