@@ -31,7 +31,11 @@ writes ``benchmarks/results/BENCH_kernel.json`` with:
 - ``memo_sweep`` — the warm-prefix memoized Fig 1(a) executor, cold
   (empty cache) then warm (populated cache): the cold points/sec is
   gated at the 30% budget, and the warm pass must re-simulate exactly
-  zero warm-ups (a hard invariant, not a tolerance).
+  zero warm-ups (a hard invariant, not a tolerance);
+- ``serve`` — a small sweep job submitted through a real forked
+  service (``repro serve``: orchestrator + HTTP + workers): served
+  points/sec cold is gated at the 30% budget, and resubmitting the
+  identical job must hit the warm result cache 100% (invariant).
 
 Standalone (this is what CI's perf-smoke job runs)::
 
@@ -366,6 +370,52 @@ def bench_memo_sweep(msgs_list=(16, 32, 64), cores: int = 4) -> dict:
             "warm": warm_stats.as_dict()}
 
 
+def bench_serve(msgs_list=(8, 16, 24), workers: int = 2) -> dict:
+    """Host throughput of the serve pipeline (served points/sec).
+
+    Spawns a real service (orchestrator + HTTP API + forked workers) on
+    a throwaway state dir, submits a small Fig 1(a)-style sweep job and
+    times submit-to-done — the full protocol round-trip per point. A
+    resubmission of the identical job must then be answered entirely
+    from the warm result cache (``warm_hit_rate`` is gated at exactly
+    1.0, an invariant like the memo sweep's zero re-warm-ups).
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve.service import spawn_service
+
+    spec = {"params": {"mode": ["everywhere", "threads-tags"],
+                       "cores": [1, 2],
+                       "msgs_per_core": list(msgs_list),
+                       "window": [4]}}
+    state = tempfile.mkdtemp(prefix="bench-serve-")
+    try:
+        handle = spawn_service(state, workers=workers, oversubscribe=True,
+                               heartbeat=0.2, heartbeat_timeout=10.0)
+        try:
+            client = handle.client()
+            t0 = time.perf_counter()
+            job = client.submit("sweep", spec)
+            client.wait(job["job_id"], timeout=600)
+            cold_sec = time.perf_counter() - t0
+            total = job["total"]
+            t0 = time.perf_counter()
+            again = client.submit("sweep", spec)
+            warm_sec = time.perf_counter() - t0
+            assert again["status"] == "done", again
+            hits = again["cache_hits"]
+        finally:
+            handle.stop()
+    finally:
+        shutil.rmtree(state, ignore_errors=True)
+    return {"points": total,
+            "workers": workers,
+            "points_per_sec_cold": round(total / cold_sec, 2),
+            "points_per_sec_warm": round(total / max(warm_sec, 1e-9), 2),
+            "warm_hit_rate": round(hits / total, 2)}
+
+
 def bench_campaign(n: int = 12, repeats: int = 2) -> dict:
     """Host throughput of the chaos-campaign executor (scenarios/sec).
 
@@ -422,6 +472,7 @@ def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
                                           repeats=2 if quick else 3)
     campaign = bench_campaign(n=6 if quick else 12,
                               repeats=2 if quick else 3)
+    serve = bench_serve(msgs_list=(8, 16) if quick else (8, 16, 24))
     return {
         "schema": 2,
         "python": sys.version.split()[0],
@@ -439,6 +490,7 @@ def run_suite(quick: bool = False, jobs_list=(1, 2, 4)) -> dict:
         "memo_sweep": memo,
         "fat_tree_collectives": fat_tree,
         "campaign": campaign,
+        "serve": serve,
     }
 
 
@@ -493,6 +545,20 @@ def check_against(result: dict, baseline_path: str) -> bool:
         print(f"memo sweep warm re-simulated warm-ups: {resim} "
               f"-> {'OK' if ok_warm else 'CACHE BROKEN'}")
         ok = ok and ok_ms and ok_warm
+    if "serve" in baseline:
+        ref_sv = baseline["serve"]["points_per_sec_cold"]
+        got_sv = result["serve"]["points_per_sec_cold"]
+        floor_sv = ref_sv * (1.0 - REGRESSION_BUDGET)
+        ok_sv = got_sv >= floor_sv
+        print(f"served points/sec (cold): measured {got_sv:,} vs "
+              f"baseline {ref_sv:,} (floor {floor_sv:,.2f}) -> "
+              f"{'OK' if ok_sv else 'REGRESSION'}")
+        # Invariant: resubmitting an identical job executes nothing.
+        hit_rate = result["serve"]["warm_hit_rate"]
+        ok_hits = hit_rate == 1.0
+        print(f"served warm hit rate: {hit_rate} "
+              f"-> {'OK' if ok_hits else 'CACHE BROKEN'}")
+        ok = ok and ok_sv and ok_hits
     return ok
 
 
@@ -543,6 +609,9 @@ def test_kernel_microbench(benchmark, tmp_path) -> None:
     assert data["campaign"]["outcome_digest"]
     assert data["events_per_sec_heap"] > 0
     assert data["calendar_vs_heap"] > 0
+    serve = data["serve"]
+    assert serve["points_per_sec_cold"] > 0
+    assert serve["warm_hit_rate"] == 1.0
     memo = data["memo_sweep"]
     assert memo["warm_resimulated_warmups"] == 0
     assert memo["points_per_sec_cold"] > 0

@@ -3,12 +3,13 @@
 from .memo import MemoStats, WarmPrefixExecutor, fig1a_executor
 from .msgrate import (MODES, MsgRateConfig, MsgRateResult, MsgRateWarm,
                       run_msgrate, warm_msgrate)
-from .parallel import chunk_size, default_jobs, run_points, scaling_run
+from .parallel import (auto_jobs, chunk_size, default_jobs, run_points,
+                       scaling_run)
 from .report import Table, write_results
 from .sweep import Sweep, SweepRow
 
 __all__ = ["MODES", "MemoStats", "MsgRateConfig", "MsgRateResult",
            "MsgRateWarm", "Sweep", "SweepRow", "Table",
-           "WarmPrefixExecutor", "chunk_size", "default_jobs",
+           "WarmPrefixExecutor", "auto_jobs", "chunk_size", "default_jobs",
            "fig1a_executor", "run_msgrate", "run_points", "scaling_run",
            "warm_msgrate", "write_results"]

@@ -33,6 +33,7 @@ from ..snap.fork import fork_available
 from .parallel import _PENDING, _PointStore
 
 __all__ = ["MEMO_VERSION", "MemoStats", "WarmPrefixExecutor",
+           "canonical_params", "json_roundtrip",
            "fig1a_executor", "FIG1A_PREFIX_KEYS"]
 
 #: Cache-key version: any SNAP/STATE format bump invalidates every
@@ -73,19 +74,30 @@ class MemoStats:
         }
 
 
-def _canonical(params: dict) -> str:
+def canonical_params(params: dict) -> str:
+    """Canonical JSON for a parameter mapping (sorted keys, no spaces).
+
+    The shared spelling of "these parameters, as a cache key" — the memo
+    executor groups prefixes by it and :mod:`repro.serve.cache` keys the
+    service's result cache with it.
+    """
     return json.dumps(params, sort_keys=True, separators=(",", ":"),
                       default=str)
 
 
-def _roundtrip(result: Any) -> Any:
+def json_roundtrip(result: Any) -> Any:
     """``result`` as JSON reads it back (tuples become lists, ...).
 
     Every result is normalized this way whether it was computed live,
-    ferried from a forked child, or loaded from the persistent cache —
-    so all three paths return byte-identical data.
+    ferried from a forked child, served by a socket worker, or loaded
+    from the persistent cache — so all paths return byte-identical data.
     """
     return json.loads(json.dumps(result, default=str))
+
+
+# Pre-service spellings, kept for callers grown before repro.serve.
+_canonical = canonical_params
+_roundtrip = json_roundtrip
 
 
 def _prefix_record(prefix: dict) -> dict:

@@ -23,8 +23,8 @@ import multiprocessing
 import os
 from typing import Any, Callable, Iterable, Optional, Sequence
 
-__all__ = ["chunk_size", "default_jobs", "point_key", "run_points",
-           "scaling_run"]
+__all__ = ["auto_jobs", "chunk_size", "default_jobs", "point_key",
+           "run_points", "scaling_run"]
 
 
 def default_jobs(env: str = "REPRO_BENCH_JOBS") -> int:
@@ -38,6 +38,37 @@ def default_jobs(env: str = "REPRO_BENCH_JOBS") -> int:
         return max(1, int(os.environ.get(env, "1")))
     except ValueError:
         return 1
+
+
+def auto_jobs(requested: Optional[int] = None,
+              n_points: Optional[int] = None,
+              cpu_count: Optional[int] = None,
+              oversubscribe: bool = False) -> int:
+    """Worker count that never oversubscribes the host by default.
+
+    The ``scaling_run`` records showed why: at ``jobs > cpu_count`` the
+    fork pool's *dispatch* overhead (IPC, scheduling) is pure loss — on
+    the 1-CPU CI host, jobs=2/4 ran the Fig 1(a) sweep *slower* than
+    serial (the ``expected_on_host`` flags in ``BENCH_kernel.json``).
+    So the sizing rule consulted by the serve orchestrator is:
+
+    - ``requested is None`` — use every CPU, no more (``os.cpu_count()``);
+    - explicit ``requested`` — honored, but capped at the CPU count
+      unless ``oversubscribe=True`` (tests and latency-insensitive
+      fan-out may deliberately oversubscribe);
+    - never more workers than ``n_points`` (idle workers are pure
+      start-up cost), and always at least 1.
+
+    ``cpu_count`` overrides host detection (for tests).
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    cpus = max(1, cpus)
+    jobs = cpus if requested is None else max(1, int(requested))
+    if not oversubscribe:
+        jobs = min(jobs, cpus)
+    if n_points is not None:
+        jobs = min(jobs, max(1, int(n_points)))
+    return max(1, jobs)
 
 
 def _fork_context() -> Optional[multiprocessing.context.BaseContext]:

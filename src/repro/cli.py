@@ -25,6 +25,9 @@ Reproduce any of the paper's experiments without pytest::
     python -m repro campaign resume out/
     python -m repro campaign report out/
     python -m repro campaign replay out/artifacts/fail-0001-*.yaml
+    python -m repro serve --state-dir .repro-serve
+    python -m repro submit job.yaml --result
+    python -m repro jobs
 
 Every command prints a plain-text table; add ``--seed`` where supported.
 """
@@ -56,10 +59,14 @@ def _cmd_msgrate(args) -> int:
 
 def _msgrate_point(mode: str, cores: int, messages: int = 64,
                    seed: int = 0) -> dict:
-    """One sweep point (module-level so worker processes can receive it)."""
-    r = run_msgrate(MsgRateConfig(mode=mode, cores=cores,
-                                  msgs_per_core=messages, seed=seed))
-    return {"rate_Mmsgs": round(r.rate / 1e6, 2)}
+    """One sweep point (module-level so worker processes can receive it).
+
+    Delegates to the service's point registry so the local ``sweep``
+    command and a served sweep execute the exact same code path.
+    """
+    from .serve.points import msgrate_point
+    full = msgrate_point(mode, cores, msgs_per_core=messages, seed=seed)
+    return {"rate_Mmsgs": full["rate_Mmsgs"]}
 
 
 def _cmd_sweep(args) -> int:
@@ -507,6 +514,82 @@ def _cmd_campaign_replay(args) -> int:
     return 1
 
 
+def _serve_url(args) -> str:
+    """Resolve the service URL: --url wins, else the discovery file."""
+    from .errors import ServeError
+    if getattr(args, "url", None):
+        return args.url
+    import os
+    path = os.path.join(args.state_dir, "serve.json")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)["url"]
+    except (OSError, ValueError, KeyError) as exc:
+        raise ServeError(
+            f"no running service found via {path!r} "
+            f"(start one with 'repro serve --state-dir "
+            f"{args.state_dir}', or pass --url): {exc}") from exc
+
+
+def _cmd_serve(args) -> int:
+    from .serve.service import run_service
+    try:
+        run_service(args.state_dir, workers=args.workers,
+                    oversubscribe=args.oversubscribe,
+                    heartbeat=args.heartbeat,
+                    heartbeat_timeout=args.heartbeat_timeout,
+                    announce=print)
+    except KeyboardInterrupt:
+        print("interrupted; jobs are resumable from "
+              f"{args.state_dir} on the next 'repro serve'")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .errors import ServeError
+    from .serve.client import ServeClient
+    from .serve.http import parse_job_document
+    try:
+        if args.job == "-":
+            body = sys.stdin.buffer.read()
+        else:
+            with open(args.job, "rb") as fh:
+                body = fh.read()
+        kind, spec = parse_job_document(body)
+        client = ServeClient(_serve_url(args))
+        status = client.submit(kind, spec)
+        print(f"submitted {status['job_id']} ({kind}, "
+              f"{status['total']} points, "
+              f"{status['cache_hits']} already cached)", file=sys.stderr)
+        if args.wait or args.result:
+            status = client.wait(status["job_id"], timeout=args.timeout)
+        doc = (client.result(status["job_id"]) if args.result
+               else client.job(status["job_id"]))
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from .errors import ServeError
+    from .serve.client import ServeClient
+    try:
+        jobs = ServeClient(_serve_url(args)).jobs()
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    table = Table("jobs", ["job", "kind", "status", "done", "hits", "sec"],
+                  widths=[10, 10, 8, 11, 6, 9])
+    for job in jobs:
+        table.add(job["job_id"], job["kind"], job["status"],
+                  f"{job['done']}/{job['total']}", job["cache_hits"],
+                  f"{job['elapsed_sec']:.2f}")
+    print(table.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argparse parser with all subcommands."""
     p = argparse.ArgumentParser(
@@ -819,6 +902,56 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="replay + verify a minimal-repro artifact")
     cpl.add_argument("artifact", help="artifact YAML written by a campaign")
     cpl.set_defaults(fn=_cmd_campaign_replay)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the sweep/campaign service (HTTP API + worker pool)",
+        description="Serve sweep, campaign and scenario jobs over HTTP "
+                    "(see docs/serving.md): points are sharded across a "
+                    "supervised local worker pool, deduplicated in "
+                    "flight, cached persistently, and requeued when a "
+                    "worker dies. Kill the service at any time — jobs "
+                    "resume from --state-dir on the next start.")
+    sv.add_argument("--state-dir", default=".repro-serve",
+                    help="job manifests + result cache + discovery file "
+                         "(default %(default)s)")
+    sv.add_argument("--workers", "-j", type=int, default=None,
+                    help="local worker processes (default: one per host "
+                         "CPU; explicit counts are capped at the CPU "
+                         "count unless --oversubscribe; 0 = external "
+                         "workers only)")
+    sv.add_argument("--oversubscribe", action="store_true",
+                    help="allow more workers than host CPUs")
+    sv.add_argument("--heartbeat", type=float, default=0.5,
+                    help="worker heartbeat interval, seconds")
+    sv.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                    help="declare a silent worker dead after this many "
+                         "seconds and requeue its point")
+    sv.set_defaults(fn=_cmd_serve)
+
+    sb = sub.add_parser(
+        "submit",
+        help="submit a job document to a running service",
+        description="POST a YAML/JSON job document ({kind: sweep|"
+                    "campaign|scenarios|selftest, spec: {...}}) to the "
+                    "service and (by default) wait for completion.")
+    sb.add_argument("job", help="job document path, or - for stdin")
+    sb.add_argument("--url", help="service URL (default: read "
+                                  "--state-dir/serve.json)")
+    sb.add_argument("--state-dir", default=".repro-serve")
+    sb.add_argument("--no-wait", dest="wait", action="store_false",
+                    help="print the job id and return immediately")
+    sb.add_argument("--result", action="store_true",
+                    help="wait and print the full result document")
+    sb.add_argument("--timeout", type=float, default=600.0,
+                    help="max seconds to wait (default %(default)s)")
+    sb.set_defaults(fn=_cmd_submit)
+
+    jb = sub.add_parser("jobs", help="list a running service's jobs")
+    jb.add_argument("--url", help="service URL (default: read "
+                                  "--state-dir/serve.json)")
+    jb.add_argument("--state-dir", default=".repro-serve")
+    jb.set_defaults(fn=_cmd_jobs)
     return p
 
 

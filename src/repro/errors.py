@@ -20,6 +20,8 @@ __all__ = [
     "SnapshotFormatError",
     "SnapshotMismatchError",
     "TopologyError",
+    "ServeError",
+    "ProtocolError",
 ]
 
 
@@ -145,3 +147,24 @@ class SnapshotMismatchError(SnapshotError):
     def __init__(self, message: str, paths=None):
         super().__init__(message)
         self.paths = list(paths or [])
+
+
+class ServeError(MpiError):
+    """A simulation-service operation failed (:mod:`repro.serve`).
+
+    Raised for malformed job documents, unknown job/point kinds, lookups
+    of job ids the orchestrator has never seen, and service lifecycle
+    failures (state directory held by another orchestrator, worker pool
+    exhausted its respawn budget).
+    """
+
+
+class ProtocolError(ServeError):
+    """A worker-protocol frame is malformed.
+
+    Raised when a length-prefixed JSON frame is truncated at EOF,
+    exceeds the frame size bound, or decodes to something other than a
+    JSON object with a ``type`` field. Transport code treats it as a
+    fatal error for that connection: the peer is dropped and any job it
+    held is re-queued.
+    """

@@ -48,9 +48,19 @@ def _ensure_handlers(lib: "MpiLibrary") -> None:
     if not hasattr(lib, "part_recv_channels"):
         lib.part_recv_channels = {}
         lib.part_send_channels = {}
+        lib.part_channel_seq = 0
     lib.handlers[MessageKind.PART_INIT] = lambda m: _on_part_init(lib, m)
     lib.handlers[MessageKind.PART_INIT_ACK] = lambda m: _on_part_init_ack(lib, m)
     lib.handlers[MessageKind.PARTITION] = lambda m: _on_partition(lib, m)
+
+
+def _alloc_channel(lib: "MpiLibrary") -> int:
+    """Allocate the next per-library channel id. Channel ids travel in
+    wire-message meta, which lands in traces and state digests — so
+    they must be deterministic across runs (``id(self)`` is not)."""
+    chan = lib.part_channel_seq
+    lib.part_channel_seq += 1
+    return chan
 
 
 class _PartitionedOp:
@@ -82,6 +92,10 @@ class _PartitionedOp:
         self.active = False
         self.cycle = -1
         self.request: Optional[Request] = None
+        #: Deterministic channel id, allocated when the op first touches
+        #: the wire (handshake / init post). Never ``id(self)``: channel
+        #: ids appear in message meta and hence in state digests.
+        self.channel_id: Optional[int] = None
 
     @property
     def part_context_id(self) -> int:
@@ -157,6 +171,7 @@ class PsendRequest(_PartitionedOp):
     def _send_handshake(self) -> Generator[Event, Any, None]:
         _ensure_handlers(self.lib)
         lib, comm = self.lib, self.comm
+        self.channel_id = _alloc_channel(lib)
         yield self.sim.timeout(lib.cpu.send_post)
         vci = lib.vci_pool.get(self.base_vci)
         dst_world = comm.group[self.peer]
@@ -170,9 +185,9 @@ class PsendRequest(_PartitionedOp):
             dst_vci=comm.vci_map.send_remote(comm.rank, self.peer, self.tag)
             % lib.vci_pool.max_vcis,
             meta={"src_addr": comm.rank, "dst_addr": self.peer,
-                  "channel": id(self), "partitions": self.partitions,
+                  "channel": self.channel_id, "partitions": self.partitions,
                   "bytes_per_part": self.count * self.flat.dtype.itemsize})
-        lib.part_send_channels[id(self)] = self
+        lib.part_send_channels[self.channel_id] = self
         yield from lib.issue_from_thread(vci, msg)
 
     def pready(self, i: int) -> Generator[Event, Any, None]:
@@ -329,7 +344,8 @@ class PrecvRequest(_PartitionedOp):
         """Post the one-time matching entry for the PART_INIT handshake."""
         _ensure_handlers(self.lib)
         lib, comm = self.lib, self.comm
-        lib.part_recv_channels[id(self)] = self
+        self.channel_id = _alloc_channel(lib)
+        lib.part_recv_channels[self.channel_id] = self
         yield self.sim.timeout(lib.cpu.recv_post)
         vci = lib.vci_pool.get(
             comm.vci_map.recv_vci(comm.rank, self.peer, self.tag))
@@ -404,7 +420,7 @@ def _establish_recv_channel(lib: "MpiLibrary", preq: PrecvRequest,
         src_rank=lib.rank, dst_rank=init_msg.src_rank,
         context_id=init_msg.context_id, tag=init_msg.tag, size=0,
         src_vci=vci.index, dst_vci=init_msg.src_vci,
-        meta={"channel": sender_channel, "recv_channel": id(preq)})
+        meta={"channel": sender_channel, "recv_channel": preq.channel_id})
     lib.issue_async(vci, ack)
 
 

@@ -19,8 +19,15 @@ from .campaign import (
     load_manifest,
     render_report,
     run_campaign,
+    summarize_outcomes,
 )
-from .executor import STATUSES, outcome_signature, run_scenario
+from .executor import (
+    STATUSES,
+    outcome_signature,
+    run_scenario,
+    run_scenario_dict,
+    run_scenarios,
+)
 from .sample import sample_one, sample_scenarios
 from .shrink import (
     ShrinkResult,
@@ -34,8 +41,10 @@ from .spec import ScenarioSpec
 __all__ = [
     "APP_REGISTRY", "AppAdapter", "app_names", "get_app",
     "ScenarioSpec", "sample_one", "sample_scenarios",
-    "STATUSES", "outcome_signature", "run_scenario",
+    "STATUSES", "outcome_signature", "run_scenario", "run_scenario_dict",
+    "run_scenarios",
     "ShrinkResult", "shrink_scenario", "write_artifact", "load_artifact",
     "verify_artifact",
     "run_campaign", "campaign_report", "render_report", "load_manifest",
+    "summarize_outcomes",
 ]

@@ -27,7 +27,7 @@ from .shrink import shrink_scenario, verify_artifact, write_artifact
 from .spec import ScenarioSpec
 
 __all__ = ["run_campaign", "campaign_report", "render_report",
-           "load_manifest"]
+           "load_manifest", "summarize_outcomes"]
 
 _MANIFEST = "campaign.json"
 
@@ -151,13 +151,19 @@ def run_campaign(out_dir: str, seed: int = 0, n: int = 100,
                 "problems": verdict["problems"],
             })
 
-    summary = _summarize(manifest, outcomes, artifacts)
+    summary = summarize_outcomes(manifest, outcomes, artifacts)
     _atomic_write_json(os.path.join(out_dir, "summary.json"), summary)
     return summary
 
 
-def _summarize(manifest: dict, outcomes: list[dict],
-               artifacts: list[dict]) -> dict[str, Any]:
+def summarize_outcomes(manifest: dict, outcomes: list[dict],
+                       artifacts: list[dict]) -> dict[str, Any]:
+    """Aggregate outcome dicts into the campaign summary document.
+
+    Shared by the local campaign runner and the serve API's campaign
+    result endpoint, so a served campaign's report JSON has exactly the
+    shape (and sort order) of a local ``summary.json``.
+    """
     by_status: dict[str, int] = {}
     by_rule: dict[str, int] = {}
     by_app: dict[str, dict[str, int]] = {}
@@ -202,7 +208,7 @@ def campaign_report(out_dir: str) -> dict[str, Any]:
             pending += 1
         else:
             done.append(cached)
-    summary = _summarize(manifest, done, _load_artifact_index(out_dir))
+    summary = summarize_outcomes(manifest, done, _load_artifact_index(out_dir))
     summary["pending"] = pending
     return summary
 

@@ -20,8 +20,8 @@ from ..snap import SnapController, capture_state, recording, state_digest
 from .apps import get_app
 from .spec import ScenarioSpec
 
-__all__ = ["run_scenario", "run_scenarios", "scenario_executor",
-           "outcome_signature", "STATUSES"]
+__all__ = ["run_scenario", "run_scenario_dict", "run_scenarios",
+           "scenario_executor", "outcome_signature", "STATUSES"]
 
 #: Every status an outcome can carry, healthiest first.
 STATUSES = ("ok", "finding", "incorrect", "transport", "deadlock", "crash")
@@ -118,6 +118,19 @@ def run_scenario(spec: ScenarioSpec,
         "wall_time": wall,
         "spec": spec.to_dict(),
     }
+
+
+def run_scenario_dict(spec: dict) -> dict[str, Any]:
+    """Run one scenario from its dict form; JSON-canonical outcome.
+
+    The plain-data twin of :func:`run_scenario` used wherever outcomes
+    cross a process or wire boundary (campaign checkpoints, the serve
+    worker protocol): the returned dict is exactly what JSON storage or
+    a socket frame would read back, so in-process, checkpointed and
+    served executions of the same spec are byte-identical.
+    """
+    from ..bench.memo import json_roundtrip
+    return json_roundtrip(run_scenario(ScenarioSpec.from_dict(spec)))
 
 
 def _scenario_prefix(spec: dict) -> dict[str, Any]:

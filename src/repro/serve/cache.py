@@ -1,0 +1,90 @@
+"""The service's shared result cache: one point, one file, one key.
+
+Results persist in the :class:`repro.bench.parallel._PointStore`
+checkpoint format (atomic per-point JSON files), keyed by the canonical
+JSON of ``(cache version, point kind, point parameters)`` — i.e. the
+full (program, config, seed) triple that determines a simulation. Two
+points collide on a key only if their canonical parameter JSON is
+byte-identical, in which case they *are* the same simulation; the store
+additionally verifies the stored key record on load, so even a SHA-256
+filename collision reads as a miss, never as a wrong result.
+
+:data:`SERVE_CACHE_VERSION` embeds :data:`repro.bench.memo.MEMO_VERSION`
+(which embeds the SNAP/STATE format versions), so bumping any snapshot
+format invalidates every served result at once — stale keys simply
+never match again, exactly like the warm-prefix memo cache.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from ..bench.memo import MEMO_VERSION
+from ..bench.parallel import _PENDING, _PointStore, point_key
+
+__all__ = ["SERVE_CACHE_VERSION", "PENDING", "ResultCache", "cache_key",
+           "cache_record"]
+
+#: Cache-key version: embeds the memo/SNAP/STATE format versions, so a
+#: format bump anywhere below invalidates every served result at once.
+SERVE_CACHE_VERSION = f"serve1-{MEMO_VERSION}"
+
+#: Sentinel returned by :meth:`ResultCache.load` for a miss.
+PENDING = _PENDING
+
+
+def cache_record(kind: str, point: dict) -> dict:
+    """The full key record stored (and verified) with each result."""
+    return {"kind": "serve-result", "version": SERVE_CACHE_VERSION,
+            "point_kind": kind, "point": point}
+
+
+def cache_key(kind: str, point: dict) -> str:
+    """Stable content key for one (point kind, parameters) pair.
+
+    Also the orchestrator's dedupe identity: two queued points with the
+    same key are the same simulation, so only one ever runs at a time.
+    """
+    return point_key(cache_record(kind, point))
+
+
+class ResultCache:
+    """Persistent, shared result cache for served points.
+
+    A thin, counting wrapper over the checkpoint store: ``load`` returns
+    :data:`PENDING` on a miss and the byte-identical JSON result on a
+    hit. ``directory=None`` disables persistence (every load misses) —
+    the orchestrator code path stays identical either way.
+    """
+
+    def __init__(self, directory: Optional[str]):
+        self.directory = directory
+        self._store = _PointStore(directory) if directory else None
+        #: Lifetime hit/miss counts (also mirrored into the service's
+        #: metrics registry by the orchestrator).
+        self.hits = 0
+        self.misses = 0
+
+    def load(self, kind: str, point: dict) -> Any:
+        """The cached result for ``(kind, point)``, or :data:`PENDING`."""
+        if self._store is None:
+            self.misses += 1
+            return PENDING
+        result = self._store.load(cache_record(kind, point))
+        if result is PENDING:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def save(self, kind: str, point: dict, result: Any) -> None:
+        """Atomically persist ``result`` for ``(kind, point)``."""
+        if self._store is not None:
+            self._store.save(cache_record(kind, point), result)
+
+    def __len__(self) -> int:
+        if self.directory is None or not os.path.isdir(self.directory):
+            return 0
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.startswith("point-") and name.endswith(".json"))

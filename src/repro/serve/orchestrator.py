@@ -1,0 +1,442 @@
+"""Asyncio orchestrator: job queue, scheduler, dedupe, requeue, resume.
+
+The orchestrator owns every piece of scheduling state the workers do
+not: the point queue, the in-flight table, the shared result cache and
+the job manifests. Its contract mirrors the fork-pool executor's —
+results are byte-identical to an in-process :func:`run_points` run —
+plus the service properties the pool cannot offer:
+
+- **dedupe** — points are identified by their cache key
+  (:func:`repro.serve.cache.cache_key`); if two jobs (or a resubmitted
+  job) contain the same point, one execution serves every waiter.
+- **warm hits** — completed points persist in the result cache, so a
+  resubmitted job is answered without running anything.
+- **requeue on worker death** — a worker that drops its socket or
+  stops heartbeating (``heartbeat_timeout``) has its in-flight point
+  put back on the queue, up to ``max_attempts`` tries.
+- **crash resume** — every accepted job's ``(kind, spec)`` document is
+  persisted under ``state_dir/jobs/`` before the submit call returns.
+  Because expansion is deterministic and results live in the cache, a
+  restarted orchestrator rebuilds its entire queue from manifests +
+  cache: finished points are served warm, only the rest re-run.
+
+Scheduling runs on one asyncio event loop; workers attach over TCP
+(one connection each) and the per-connection coroutine is the whole
+scheduler for that worker: claim a point, send the job frame, await
+result frames with a heartbeat deadline. Host wall-clock (not simulated
+time) feeds the metrics registry and trace spans — this is the service
+layer, the one place in the tree where host time is the measurand.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..errors import ProtocolError, ServeError
+from ..obs.metrics import MetricsRegistry
+from .cache import PENDING, ResultCache, cache_key
+from .points import expand_job
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+    job_frame,
+    shutdown_frame,
+)
+
+__all__ = ["Job", "PointTask", "Orchestrator"]
+
+_READ_CHUNK = 65536
+
+
+@dataclass
+class PointTask:
+    """One deduped unit of work: a (point kind, point) pair and its fans.
+
+    ``waiters`` lists every ``(job_id, index)`` slot awaiting this
+    point's result — the in-flight dedupe table is exactly the mapping
+    from cache key to one of these.
+    """
+
+    key: str
+    kind: str
+    point: dict
+    status: str = "queued"  # queued | running | done | failed
+    attempts: int = 0
+    result: Any = None
+    error: Optional[str] = None
+    waiters: list[tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class Job:
+    """One submitted job: its document, expansion and fill-in results."""
+
+    job_id: str
+    kind: str
+    spec: dict
+    point_kind: str
+    points: list[dict]
+    keys: list[str]
+    results: list[Any]
+    status: str = "running"  # running | done | failed
+    error: Optional[str] = None
+    submitted: float = 0.0
+    finished: Optional[float] = None
+    cache_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        """Number of points in the job."""
+        return len(self.keys)
+
+    @property
+    def done_count(self) -> int:
+        """Number of points with a result (cached or computed)."""
+        return sum(1 for r in self.results if r is not PENDING)
+
+
+class Orchestrator:
+    """The service's scheduler: submit jobs, feed workers, track results.
+
+    All mutation happens on the event loop thread; the HTTP layer calls
+    the synchronous query/submit methods from its own coroutines on the
+    same loop, so no locking is needed.
+    """
+
+    def __init__(self, state_dir: str, heartbeat_timeout: float = 5.0,
+                 max_attempts: int = 3, host: str = "127.0.0.1"):
+        self.state_dir = state_dir
+        self.jobs_dir = os.path.join(state_dir, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self.cache = ResultCache(os.path.join(state_dir, "cache"))
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_attempts = max_attempts
+        self.metrics = MetricsRegistry(clock=time.monotonic)
+        self.jobs: dict[str, Job] = {}
+        self.tasks: dict[str, PointTask] = {}
+        self.workers: dict[str, dict[str, Any]] = {}
+        self.worker_port: Optional[int] = None
+        self._host = host
+        self._t0 = time.monotonic()
+        self._trace: dict[str, list[dict]] = {}
+        self._queue: asyncio.Queue[str] = asyncio.Queue()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._next_id = 1 + max(
+            (int(name[4:9]) for name in os.listdir(self.jobs_dir)
+             if name.startswith("job-") and name.endswith(".json")),
+            default=0)
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> int:
+        """Bind the worker port, reload persisted jobs; returns the port."""
+        self._server = await asyncio.start_server(
+            self._handle_worker, self._host, 0)
+        self.worker_port = self._server.sockets[0].getsockname()[1]
+        self._resume_jobs()
+        return self.worker_port
+
+    async def stop(self) -> None:
+        """Tell workers to exit and close the worker server."""
+        for writer in list(self._writers):
+            try:
+                writer.write(encode_frame(shutdown_frame()))
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, OSError):
+                continue
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def _resume_jobs(self) -> None:
+        """Rebuild queue state from job manifests + the result cache.
+
+        This IS the crash-resume path: manifests are tiny (the job
+        document, not the expansion), expansion is deterministic, and
+        every completed point is in the cache — so the rebuilt queue
+        contains exactly the points the dead orchestrator hadn't
+        finished, with zero lost and zero duplicated work.
+        """
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if not (name.startswith("job-") and name.endswith(".json")):
+                continue
+            with open(os.path.join(self.jobs_dir, name),
+                      encoding="utf-8") as fh:
+                manifest = json.load(fh)
+            try:
+                point_kind, points = expand_job(manifest["kind"],
+                                                manifest["spec"])
+            except ServeError as exc:
+                # Sampler/format version moved underneath a persisted
+                # job: surface it as a failed job, don't wedge startup.
+                self.jobs[manifest["job_id"]] = Job(
+                    job_id=manifest["job_id"], kind=manifest["kind"],
+                    spec=manifest["spec"], point_kind="", points=[],
+                    keys=[], results=[], status="failed", error=str(exc),
+                    submitted=time.monotonic())
+                continue
+            self._register_job(manifest["job_id"], manifest["kind"],
+                               manifest["spec"], point_kind, points)
+            self.metrics.inc("serve.job.resumed")
+
+    # -- job intake --------------------------------------------------------
+    def submit(self, kind: str, spec: dict) -> str:
+        """Validate, persist and enqueue one job; returns its id.
+
+        The manifest hits disk *before* any point is queued, so a crash
+        at any later instant leaves a resumable record.
+        """
+        point_kind, points = expand_job(kind, spec)  # raises on bad spec
+        job_id = f"job-{self._next_id:05d}"
+        self._next_id += 1
+        path = os.path.join(self.jobs_dir, f"{job_id}.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"job_id": job_id, "kind": kind, "spec": spec},
+                      fh, sort_keys=True, separators=(",", ":"),
+                      default=str)
+        os.replace(tmp, path)
+        self._register_job(job_id, kind, spec, point_kind, points)
+        self.metrics.inc("serve.job.submitted")
+        return job_id
+
+    def _register_job(self, job_id: str, kind: str, spec: dict,
+                      point_kind: str, points: list[dict]) -> None:
+        keys = [cache_key(point_kind, p) for p in points]
+        job = Job(job_id=job_id, kind=kind, spec=spec,
+                  point_kind=point_kind, points=points, keys=keys,
+                  results=[PENDING] * len(points),
+                  submitted=time.monotonic())
+        self.jobs[job_id] = job
+        self._trace.setdefault(job_id, [])
+        for index, (key, point) in enumerate(zip(keys, points)):
+            cached = self.cache.load(point_kind, point)
+            if cached is not PENDING:
+                job.results[index] = cached
+                job.cache_hits += 1
+                self.metrics.inc("serve.cache.hit")
+                continue
+            self.metrics.inc("serve.cache.miss")
+            task = self.tasks.get(key)
+            if task is None or task.status == "failed":
+                task = PointTask(key=key, kind=point_kind, point=point)
+                self.tasks[key] = task
+                self._queue.put_nowait(key)
+                self.metrics.inc("serve.point.queued")
+            elif task.status == "done":
+                # In-memory completion that predates cache persistence
+                # being enabled; serve it like a hit.
+                job.results[index] = task.result
+                job.cache_hits += 1
+                continue
+            task.waiters.append((job_id, index))
+        self._maybe_finish(job)
+
+    # -- worker side -------------------------------------------------------
+    async def _next_frame(self, reader: asyncio.StreamReader,
+                          decoder: FrameDecoder, frames: deque,
+                          timeout: float) -> Optional[dict]:
+        """Next decoded frame, or None on clean EOF; enforces ``timeout``
+        per read — a live worker heartbeats well inside it."""
+        while not frames:
+            data = await asyncio.wait_for(reader.read(_READ_CHUNK), timeout)
+            if not data:
+                decoder.close()  # raises ProtocolError if mid-frame
+                return None
+            frames.extend(decoder.feed(data))
+        return frames.popleft()
+
+    async def _handle_worker(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """Per-worker scheduler loop: claim, dispatch, await, repeat."""
+        decoder = FrameDecoder()
+        frames: deque = deque()
+        name: Optional[str] = None
+        task: Optional[PointTask] = None
+        reason = "connection closed"
+        self._writers.add(writer)
+        try:
+            hello = await self._next_frame(
+                reader, decoder, frames, timeout=self.heartbeat_timeout * 4)
+            if (hello is None or hello.get("type") != "hello"
+                    or hello.get("protocol") != PROTOCOL_VERSION):
+                return
+            name = str(hello["worker"])
+            self.workers[name] = {"pid": hello.get("pid"), "busy": None}
+            self.metrics.inc("serve.worker.connected")
+            while True:
+                key = await self._queue.get()
+                task = self.tasks.get(key)
+                if task is None or task.status != "queued":
+                    task = None  # stale queue entry (completed elsewhere)
+                    continue
+                task.status = "running"
+                self.workers[name]["busy"] = key
+                writer.write(encode_frame(job_frame(key, task.kind,
+                                                    task.point)))
+                await writer.drain()
+                started = time.monotonic()
+                while True:
+                    frame = await self._next_frame(
+                        reader, decoder, frames,
+                        timeout=self.heartbeat_timeout)
+                    if frame is None:
+                        raise ConnectionError("worker EOF mid-job")
+                    if frame["type"] == "heartbeat":
+                        continue
+                    if frame["type"] == "result":
+                        if frame.get("ok"):
+                            self._complete(task, frame["result"],
+                                           worker=name, started=started)
+                        else:
+                            self._fail_task(task, str(frame.get("error")))
+                        task = None
+                        break
+                self.workers[name]["busy"] = None
+        except asyncio.TimeoutError:
+            reason = f"no heartbeat for {self.heartbeat_timeout}s"
+        except asyncio.CancelledError:
+            reason = "orchestrator shutting down"  # loop teardown
+        except (ConnectionError, ProtocolError, OSError) as exc:
+            reason = str(exc) or type(exc).__name__
+        finally:
+            self._writers.discard(writer)
+            if name is not None:
+                self.workers.pop(name, None)
+                self.metrics.inc("serve.worker.lost")
+            if task is not None and task.status == "running":
+                self._requeue(task, reason)
+            writer.close()
+
+    def _requeue(self, task: PointTask, reason: str) -> None:
+        """Put a lost worker's point back on the queue (bounded tries)."""
+        task.attempts += 1
+        self.metrics.inc("serve.point.requeued")
+        if task.attempts >= self.max_attempts:
+            self._fail_task(
+                task, f"gave up after {task.attempts} attempts "
+                f"(last worker: {reason})")
+        else:
+            task.status = "queued"
+            self._queue.put_nowait(task.key)
+
+    def _complete(self, task: PointTask, result: Any, worker: str,
+                  started: float) -> None:
+        now = time.monotonic()
+        task.status = "done"
+        task.result = result
+        self.cache.save(task.kind, task.point, result)
+        self.metrics.inc("serve.point.done")
+        self.metrics.observe("serve.point.host_sec", now - started)
+        event = {"name": task.kind, "cat": "serve", "ph": "X",
+                 "pid": 1, "tid": worker,
+                 "ts": round((started - self._t0) * 1e6),
+                 "dur": round((now - started) * 1e6),
+                 "args": {"key": task.key, "attempts": task.attempts}}
+        for job_id, index in task.waiters:
+            job = self.jobs[job_id]
+            job.results[index] = result
+            self._trace[job_id].append(event)
+            self._maybe_finish(job)
+
+    def _fail_task(self, task: PointTask, error: str) -> None:
+        task.status = "failed"
+        task.error = error
+        self.metrics.inc("serve.point.failed")
+        for job_id, index in task.waiters:
+            job = self.jobs[job_id]
+            if job.status == "running":
+                job.status = "failed"
+                job.error = f"point {index} failed: {error}"
+                job.finished = time.monotonic()
+
+    def _maybe_finish(self, job: Job) -> None:
+        if job.status == "running" and job.done_count == job.total:
+            job.status = "done"
+            job.finished = time.monotonic()
+            self.metrics.inc("serve.job.done")
+
+    # -- queries (HTTP layer) ----------------------------------------------
+    def _job(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"no such job {job_id!r}")
+        return job
+
+    def job_status(self, job_id: str) -> dict[str, Any]:
+        """Live progress document for one job."""
+        job = self._job(job_id)
+        end = job.finished if job.finished is not None else time.monotonic()
+        return {"job_id": job.job_id, "kind": job.kind,
+                "status": job.status, "error": job.error,
+                "total": job.total, "done": job.done_count,
+                "cache_hits": job.cache_hits,
+                "elapsed_sec": round(end - job.submitted, 6)}
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        """Status documents for every known job, in submit order."""
+        return [self.job_status(job_id) for job_id in sorted(self.jobs)]
+
+    def job_result(self, job_id: str) -> dict[str, Any]:
+        """The completed job's full result document.
+
+        Raises :class:`~repro.errors.ServeError` while the job is still
+        running (the HTTP layer maps that to 409) or when it failed.
+        Campaign jobs additionally carry the same summary document a
+        local ``run_campaign`` writes (via
+        :func:`~repro.scenarios.campaign.summarize_outcomes`).
+        """
+        job = self._job(job_id)
+        if job.status == "failed":
+            raise ServeError(f"{job_id} failed: {job.error}")
+        if job.status != "done":
+            raise ServeError(
+                f"{job_id} still running "
+                f"({job.done_count}/{job.total} points)")
+        doc: dict[str, Any] = {
+            "job_id": job.job_id, "kind": job.kind,
+            "point_kind": job.point_kind, "spec": job.spec,
+            "points": job.points, "results": job.results,
+            "cache_hits": job.cache_hits,
+        }
+        if job.kind == "campaign":
+            from ..scenarios.campaign import summarize_outcomes
+            from ..scenarios.sample import SAMPLER_VERSION
+            apps = job.spec.get("apps")
+            manifest = {"seed": int(job.spec.get("seed", 0)),
+                        "n": int(job.spec.get("n", 0)),
+                        "apps": sorted(apps) if apps else None,
+                        "sampler_version": SAMPLER_VERSION}
+            doc["summary"] = summarize_outcomes(manifest, job.results, [])
+        return doc
+
+    def job_trace(self, job_id: str) -> dict[str, Any]:
+        """Chrome-trace document of the job's point executions.
+
+        Load it in ``chrome://tracing`` / Perfetto: one lane per worker,
+        one slice per executed point (cache hits execute nothing and so
+        draw nothing — an all-warm job has an empty trace).
+        """
+        self._job(job_id)
+        return {"traceEvents": sorted(self._trace.get(job_id, []),
+                                      key=lambda e: e["ts"]),
+                "displayTimeUnit": "ms"}
+
+    def healthz(self) -> dict[str, Any]:
+        """Liveness document: workers (with pids), queue and cache state."""
+        return {"ok": True, "worker_port": self.worker_port,
+                "workers": {name: dict(info)
+                            for name, info in sorted(self.workers.items())},
+                "jobs": len(self.jobs),
+                "queue_depth": self._queue.qsize(),
+                "cache": {"hits": self.cache.hits,
+                          "misses": self.cache.misses,
+                          "stored": len(self.cache)}}

@@ -1,0 +1,191 @@
+"""The worker protocol: length-prefixed JSON frames over a byte stream.
+
+This is the transport-agnostic extraction of the fork-pool executor's
+job dispatch (:func:`repro.bench.parallel.run_points` hands points to
+workers through a multiprocessing pipe; the service hands the same
+points to workers through *sockets*). A frame is::
+
+    [4-byte big-endian payload length][canonical JSON object]
+
+Frames are small, self-describing objects with a ``type`` field:
+
+========== ==========================================================
+``hello``      worker → orchestrator: name, pid, protocol version
+``job``        orchestrator → worker: one point to execute
+``result``     worker → orchestrator: the point's JSON result or error
+``heartbeat``  worker → orchestrator: liveness while idle *and* busy
+``shutdown``   orchestrator → worker: drain and exit cleanly
+========== ==========================================================
+
+Why length-prefixed JSON and not pickle: frames cross trust and version
+boundaries once workers live on remote hosts, so the wire format is the
+same canonical JSON the result cache and checkpoint stores already use —
+a result is byte-identical whether it came from an in-process run, a
+local worker or (later) a remote one. Truncated or oversized frames
+raise :class:`repro.errors.ProtocolError`; the peer is dropped and its
+in-flight job re-queued, never silently retried on a corrupt stream.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION", "MAX_FRAME_BYTES", "FrameDecoder",
+    "encode_frame", "read_frame", "write_frame",
+    "hello_frame", "job_frame", "result_frame", "error_frame",
+    "heartbeat_frame", "shutdown_frame",
+]
+
+#: Version of the frame vocabulary; a worker whose ``hello`` carries a
+#: different version is rejected (no silent cross-version dispatch).
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's JSON payload. Large enough for any report
+#: the simulator produces, small enough that a corrupt length prefix
+#: (e.g. ASCII read as a length) cannot make a reader allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(frame: dict) -> bytes:
+    """Serialize one frame: 4-byte length prefix + canonical JSON."""
+    payload = json.dumps(frame, sort_keys=True, separators=(",", ":"),
+                         default=str).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict:
+    try:
+        frame = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"corrupt frame payload: {exc}") from exc
+    if not isinstance(frame, dict) or not isinstance(frame.get("type"), str):
+        raise ProtocolError(
+            f"frame is not an object with a 'type' field: {frame!r}")
+    return frame
+
+
+class FrameDecoder:
+    """Incremental frame decoder for a byte stream.
+
+    Feed it whatever chunks the transport hands you; it returns every
+    complete frame and buffers the remainder. :meth:`close` raises
+    :class:`~repro.errors.ProtocolError` if the stream ended mid-frame —
+    a truncated frame is an error, never a silently dropped job.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Consume ``data``; return all frames completed by it."""
+        self._buf.extend(data)
+        frames: list[dict] = []
+        while True:
+            if len(self._buf) < _HEADER.size:
+                return frames
+            (length,) = _HEADER.unpack_from(self._buf)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame length prefix {length} exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte bound (corrupt stream?)")
+            if len(self._buf) < _HEADER.size + length:
+                return frames
+            payload = bytes(self._buf[_HEADER.size:_HEADER.size + length])
+            del self._buf[:_HEADER.size + length]
+            frames.append(_decode_payload(payload))
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buf)
+
+    def close(self) -> None:
+        """Declare EOF; raises if the stream ended inside a frame."""
+        if self._buf:
+            raise ProtocolError(
+                f"stream ended mid-frame with {len(self._buf)} buffered "
+                f"byte(s) (truncated frame)")
+
+
+def read_frame(sock: socket.socket) -> Optional[dict]:
+    """Blocking read of exactly one frame from a connected socket.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`~repro.errors.ProtocolError` if the peer vanished mid-frame.
+    """
+    header = _read_exact(sock, _HEADER.size, at_boundary=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length prefix {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound (corrupt stream?)")
+    payload = _read_exact(sock, length, at_boundary=False)
+    assert payload is not None  # at_boundary=False raises instead
+    return _decode_payload(payload)
+
+
+def _read_exact(sock: socket.socket, n: int,
+                at_boundary: bool) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; EOF is clean only at a frame boundary."""
+    chunks = bytearray()
+    while len(chunks) < n:
+        chunk = sock.recv(n - len(chunks))
+        if not chunk:
+            if at_boundary and not chunks:
+                return None
+            raise ProtocolError(
+                f"stream ended after {len(chunks)}/{n} byte(s) "
+                f"(truncated frame)")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def write_frame(sock: socket.socket, frame: dict) -> None:
+    """Blocking write of one frame to a connected socket."""
+    sock.sendall(encode_frame(frame))
+
+
+# -- frame constructors ----------------------------------------------------
+def hello_frame(worker: str, pid: int) -> dict:
+    """The worker's opening frame: identity + protocol version."""
+    return {"type": "hello", "worker": worker, "pid": pid,
+            "protocol": PROTOCOL_VERSION}
+
+
+def job_frame(task_id: str, kind: str, point: dict) -> dict:
+    """One point of work: the task id echoes back on the result."""
+    return {"type": "job", "id": task_id, "kind": kind, "point": point}
+
+
+def result_frame(task_id: str, result: Any) -> dict:
+    """A successfully executed point's JSON-able result."""
+    return {"type": "result", "id": task_id, "ok": True, "result": result}
+
+
+def error_frame(task_id: str, error: str) -> dict:
+    """A point whose execution raised; ``error`` is one line of blame."""
+    return {"type": "result", "id": task_id, "ok": False, "error": error}
+
+
+def heartbeat_frame(worker: str, busy: Optional[str] = None) -> dict:
+    """Liveness beacon; ``busy`` names the task the worker is running."""
+    return {"type": "heartbeat", "worker": worker, "busy": busy}
+
+
+def shutdown_frame() -> dict:
+    """Orchestrator → worker: finish the current frame and exit."""
+    return {"type": "shutdown"}

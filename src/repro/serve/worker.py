@@ -1,0 +1,132 @@
+"""Socket worker: connects to the orchestrator, runs points, reports.
+
+A worker is deliberately dumb — it owns no queue, no cache and no retry
+policy. It connects, says hello, and then loops: read a job frame, run
+the point via the single shared execution path
+(:func:`repro.serve.points.execute_point`), write back a result or error
+frame. All scheduling intelligence (dedupe, requeue, caching) lives in
+the orchestrator, so a worker can die at any instant — ``kill -9``
+included — and the only observable effect is a dropped socket, which the
+orchestrator treats as "re-queue whatever that worker held".
+
+While a point runs, a daemon thread writes heartbeat frames every
+``heartbeat`` seconds so the orchestrator can tell a *slow* worker from
+a *wedged* one (a SIGSTOP'd worker stops heartbeating and is declared
+dead after the timeout; a worker grinding through a big simulation keeps
+heartbeating and is left alone).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+import traceback
+from typing import Optional
+
+from .points import execute_point
+from .protocol import (
+    heartbeat_frame,
+    hello_frame,
+    read_frame,
+    result_frame,
+    write_frame,
+)
+from .protocol import error_frame as _error_frame
+
+__all__ = ["worker_main", "spawn_worker"]
+
+
+class _Heart(threading.Thread):
+    """Daemon thread writing heartbeat frames while a point executes.
+
+    Socket writes are serialized with the result writes through ``lock``
+    so a heartbeat can never interleave bytes mid-frame.
+    """
+
+    def __init__(self, sock: socket.socket, lock: threading.Lock,
+                 name: str, interval: float):
+        super().__init__(daemon=True)
+        self._sock = sock
+        self._lock = lock
+        self._name = name
+        self._interval = interval
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        """Beat every ``interval`` host seconds until :meth:`stop`."""
+        while not self._stop.wait(self._interval):
+            try:
+                with self._lock:
+                    write_frame(self._sock, heartbeat_frame(self._name,
+                                                            busy=True))
+            except OSError:
+                return  # orchestrator is gone; main loop will notice too
+
+    def stop(self) -> None:
+        """Stop heartbeating (the point finished)."""
+        self._stop.set()
+
+
+def worker_main(host: str, port: int, name: str,
+                heartbeat: float = 0.5) -> None:
+    """Run the worker loop until the orchestrator closes the connection.
+
+    Connects to the orchestrator's worker port, sends a hello frame
+    (name + pid, so the service can expose worker pids for test
+    harnesses to ``kill -9``), then serves job frames one at a time.
+    A failing point produces an ``error`` frame with the traceback; the
+    worker itself survives and asks for the next job. EOF or a
+    ``shutdown`` frame ends the loop — so orphaned workers exit on
+    their own when the orchestrator dies.
+    """
+    sock = socket.create_connection((host, port))
+    lock = threading.Lock()
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with lock:
+            write_frame(sock, hello_frame(name, os.getpid()))
+        while True:
+            frame = read_frame(sock)
+            if frame is None or frame["type"] == "shutdown":
+                return
+            if frame["type"] != "job":
+                continue  # future-proof: ignore unknown orchestrator frames
+            heart = _Heart(sock, lock, name, heartbeat)
+            heart.start()
+            try:
+                result = execute_point(frame["kind"], frame["point"])
+            except Exception:
+                heart.stop()
+                with lock:
+                    write_frame(sock, _error_frame(
+                        frame["id"], traceback.format_exc()))
+            else:
+                heart.stop()
+                with lock:
+                    write_frame(sock, result_frame(frame["id"], result))
+    except OSError:
+        return  # connection lost: orchestrator will requeue our job
+    finally:
+        sock.close()
+
+
+def spawn_worker(host: str, port: int, name: str,
+                 heartbeat: float = 0.5
+                 ) -> Optional[multiprocessing.process.BaseProcess]:
+    """Fork a local worker process running :func:`worker_main`.
+
+    Uses the ``fork`` start method for the same reason as the bench
+    pool: workers inherit loaded modules and start in milliseconds.
+    Returns ``None`` where ``fork`` is unavailable (non-POSIX hosts).
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        return None
+    proc = ctx.Process(target=worker_main, args=(host, port, name),
+                       kwargs={"heartbeat": heartbeat},
+                       name=f"repro-serve-{name}", daemon=False)
+    proc.start()
+    return proc

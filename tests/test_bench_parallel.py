@@ -6,8 +6,8 @@ host wall-clock — never results or their order (see docs/performance.md).
 
 import pytest
 
-from repro.bench import (MsgRateConfig, Sweep, chunk_size, default_jobs,
-                        run_points, run_msgrate, scaling_run)
+from repro.bench import (MsgRateConfig, Sweep, auto_jobs, chunk_size,
+                        default_jobs, run_points, run_msgrate, scaling_run)
 
 
 def _square(x, offset=0):
@@ -127,3 +127,29 @@ def test_chunked_dispatch_csv_byte_identical(tmp_path):
 def test_worker_exception_propagates():
     with pytest.raises(TypeError):
         run_points(_square, [{"x": "nope"}, {"x": 1}], jobs=2)
+
+
+def test_auto_jobs_defaults_to_cpu_count():
+    # The serve orchestrator's sizing bugfix: never oversubscribe the
+    # host by default (jobs > cpus is pure dispatch overhead — see the
+    # scaling_run records in BENCH_kernel.json).
+    assert auto_jobs(cpu_count=4) == 4
+    assert auto_jobs(cpu_count=1) == 1
+
+
+def test_auto_jobs_caps_explicit_requests_at_cpu_count():
+    assert auto_jobs(requested=8, cpu_count=2) == 2
+    assert auto_jobs(requested=8, cpu_count=2, oversubscribe=True) == 8
+    assert auto_jobs(requested=2, cpu_count=8) == 2  # honor smaller asks
+
+
+def test_auto_jobs_never_exceeds_point_count():
+    assert auto_jobs(cpu_count=16, n_points=3) == 3
+    assert auto_jobs(requested=8, cpu_count=16, n_points=1) == 1
+
+
+def test_auto_jobs_is_always_at_least_one():
+    assert auto_jobs(requested=0, cpu_count=4) == 1
+    assert auto_jobs(requested=-3, cpu_count=4) == 1
+    assert auto_jobs(cpu_count=0) == 1
+    assert auto_jobs(n_points=0, cpu_count=4) == 1
